@@ -1,0 +1,98 @@
+/// Ablation: block shape and pruning — the two settings §IV-C identifies as
+/// dominating the ratio — plus the Wasserstein-granularity trade-off of
+/// §IV-B (one-element blocks are exact but compress nothing).
+///
+/// (a) error/ratio frontier over block volumes and pruned fractions,
+/// (b) approximate-Wasserstein error as a function of block size,
+/// (c) hypercubic vs non-hypercubic blocks on anisotropic (MRI-like) data.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/codec/compressor.hpp"
+#include "core/codec/ratio.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/rng.hpp"
+#include "core/util/table.hpp"
+#include "sim/mri/mri.hpp"
+
+using namespace pyblaz;  // NOLINT
+
+int main() {
+  std::printf("Ablation (a): block volume x pruning -> ratio/error frontier\n");
+  std::printf("(256x256 smooth data, fp32, int8)\n\n");
+  {
+    Rng rng(29);
+    NDArray<double> array = random_smooth(Shape{256, 256}, rng);
+    const double norm = reference::l2_norm(array);
+    Table table({"block", "kept fraction", "ratio", "L2 rel err"});
+    for (index_t side : {4, 8, 16, 32}) {
+      for (double keep : {1.0, 0.5, 0.25, 0.125}) {
+        CompressorSettings settings{.block_shape = Shape{side, side},
+                                    .float_type = FloatType::kFloat32,
+                                    .index_type = IndexType::kInt8};
+        if (keep < 1.0)
+          settings.mask = PruningMask::keep_fraction(Shape{side, side}, keep);
+        Compressor compressor(settings);
+        NDArray<double> restored =
+            compressor.decompress(compressor.compress(array));
+        table.add_row({Shape{side, side}.to_string(), Table::fmt(keep, 3),
+                       Table::fmt(formula_ratio(settings, array.shape()), 2),
+                       Table::sci(reference::l2_distance(array, restored) / norm)});
+      }
+    }
+    std::printf("%s\n", table.to_text().c_str());
+    table.write_csv("bench_out_ablation_blocks_frontier.csv");
+  }
+
+  std::printf("Ablation (b): Wasserstein approximation error vs block size\n");
+  std::printf("(§IV-B: one-element blocks are exact; error grows with block volume)\n\n");
+  {
+    Rng rng(31);
+    NDArray<double> x = random_smooth(Shape{64, 64}, rng);
+    NDArray<double> y = random_smooth(Shape{64, 64}, rng);
+    const double exact = reference::wasserstein_distance(x, y, 2.0);
+    Table table({"block", "ratio", "W2 approx", "W2 exact", "abs err"});
+    for (index_t side : {1, 2, 4, 8, 16, 32}) {
+      CompressorSettings settings{.block_shape = Shape{side, side},
+                                  .float_type = FloatType::kFloat32,
+                                  .index_type = IndexType::kInt16};
+      Compressor compressor(settings);
+      const double approx =
+          ops::wasserstein_distance(compressor.compress(x), compressor.compress(y), 2.0);
+      table.add_row({Shape{side, side}.to_string(),
+                     Table::fmt(formula_ratio(settings, x.shape()), 2),
+                     Table::sci(approx), Table::sci(exact),
+                     Table::sci(std::fabs(approx - exact))});
+    }
+    std::printf("%s\n", table.to_text().c_str());
+    table.write_csv("bench_out_ablation_blocks_wasserstein.csv");
+  }
+
+  std::printf("Ablation (c): hypercubic vs non-hypercubic blocks on anisotropic data\n");
+  std::printf("(24x256x256 FLAIR-like volume, fp32, int8; Fig. 5's block-shape insight)\n\n");
+  {
+    NDArray<double> volume = sim::flair_volume({.depth = 24, .seed = 37});
+    const double norm = reference::l2_norm(volume);
+    Table table({"block", "ratio", "L2 rel err", "mean err"});
+    for (const Shape& block : {Shape{4, 4, 4}, Shape{8, 8, 8}, Shape{16, 16, 16},
+                               Shape{4, 8, 8}, Shape{4, 16, 16}, Shape{8, 16, 16}}) {
+      CompressorSettings settings{.block_shape = block,
+                                  .float_type = FloatType::kFloat32,
+                                  .index_type = IndexType::kInt8};
+      Compressor compressor(settings);
+      CompressedArray compressed = compressor.compress(volume);
+      NDArray<double> restored = compressor.decompress(compressed);
+      table.add_row({block.to_string(),
+                     Table::fmt(formula_ratio(settings, volume.shape()), 2),
+                     Table::sci(reference::l2_distance(volume, restored) / norm),
+                     Table::sci(std::fabs(ops::mean(compressed) -
+                                          reference::mean(volume)))});
+    }
+    std::printf("%s\n", table.to_text().c_str());
+    table.write_csv("bench_out_ablation_blocks_mri.csv");
+  }
+  return 0;
+}

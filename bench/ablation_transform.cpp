@@ -1,0 +1,95 @@
+/// Ablation: DCT vs Haar wavelet as the orthonormal transform (§III-A c says
+/// PyBlaz supports both; the paper evaluates only DCT).
+///
+/// Compares, at identical settings, the round-trip error on three data
+/// families (smooth random fields, an MRI-like volume slice, a fission
+/// density step), the scalar-function errors, and transform timing.  Both
+/// transforms preserve the properties the compressed-space operations need
+/// (orthonormality + constant first basis vector), so operations work under
+/// either; the DCT usually wins on smooth data because its basis decorrelates
+/// slow gradients better than Haar's piecewise-constant basis.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/codec/compressor.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/rng.hpp"
+#include "core/util/table.hpp"
+#include "core/util/timer.hpp"
+#include "sim/fission/fission.hpp"
+#include "sim/mri/mri.hpp"
+
+using namespace pyblaz;  // NOLINT
+
+namespace {
+
+struct Workload {
+  const char* label;
+  NDArray<double> data;
+  Shape block;
+};
+
+void run(const Workload& workload, Table& table) {
+  for (TransformKind kind : {TransformKind::kDCT, TransformKind::kHaar}) {
+    // Keep only a quarter of the coefficients: pruning is where the basis's
+    // energy compaction matters (without it, binning noise dominates and the
+    // two transforms tie).
+    CompressorSettings settings{.block_shape = workload.block,
+                                .float_type = FloatType::kFloat32,
+                                .index_type = IndexType::kInt16,
+                                .transform = kind,
+                                .mask = PruningMask::keep_fraction(workload.block, 0.25)};
+    Compressor compressor(settings);
+
+    Timer timer;
+    CompressedArray compressed = compressor.compress(workload.data);
+    const double t_comp = timer.seconds();
+    NDArray<double> restored = compressor.decompress(compressed);
+
+    const double norm = reference::l2_norm(workload.data);
+    table.add_row(
+        {workload.label, name(kind),
+         Table::sci(reference::l2_distance(workload.data, restored) / norm),
+         Table::sci(reference::linf_distance(workload.data, restored)),
+         Table::sci(std::fabs(ops::mean(compressed) - reference::mean(workload.data))),
+         Table::sci(std::fabs(ops::variance(compressed) -
+                              reference::variance(workload.data))),
+         Table::sci(t_comp)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: orthonormal transform choice (fp32, int16, keep 25%%)\n\n");
+  Table table({"workload", "transform", "L2 rel err", "Linf err", "mean err",
+               "var err", "compress s"});
+
+  Rng rng(19);
+  run({"smooth 256x256 (8x8)", random_smooth(Shape{256, 256}, rng), Shape{8, 8}},
+      table);
+  run({"mri 24x256x256 (4x16x16)",
+       sim::flair_volume({.depth = 24, .seed = 23}), Shape{4, 16, 16}},
+      table);
+  // Grid divisible by the block so the mean/variance columns measure
+  // compression error, not padding bias.
+  sim::FissionConfig fission_config;
+  fission_config.grid = Shape{32, 32, 64};
+  run({"fission 32x32x64 (16^3)",
+       sim::negative_log_density(690, fission_config), Shape{16, 16, 16}},
+      table);
+  // White noise: neither basis decorrelates it; the gap should close.
+  run({"white noise 256x256 (8x8)", random_normal(Shape{256, 256}, rng),
+       Shape{8, 8}},
+      table);
+
+  std::printf("%s\n", table.to_text().c_str());
+  table.write_csv("bench_out_ablation_transform.csv");
+  std::printf("expected: DCT beats Haar on the smooth/MRI/fission workloads;\n"
+              "the gap closes on white noise.\n");
+  return 0;
+}

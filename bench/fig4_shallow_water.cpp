@@ -1,0 +1,132 @@
+/// Fig. 4 reproduction: capturing precision-change perturbations in a
+/// shallow-water simulation with compressed-space operations.
+///
+/// The paper runs a double-gyre simulation at FP16 and FP32, visualizes the
+/// surface height of each, computes the element-wise difference of the raw
+/// outputs, and shows the same difference computed from compressed data
+/// (negation + element-wise addition; block 16x16, FP32, int8).  Instead of
+/// images, this harness prints the quantitative equivalents: the fields'
+/// statistics, the difference magnitudes, and agreement metrics between the
+/// uncompressed difference and the compressed-space difference — plus the
+/// block-level localization of the perturbation, which is what the paper's
+/// rectangles highlight.
+///
+/// Args: [steps] (default 2400).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/codec/compressor.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/table.hpp"
+#include "sim/shallow_water/swe.hpp"
+
+using namespace pyblaz;  // NOLINT
+
+namespace {
+
+/// Indices of the k largest elements of an array.
+std::vector<index_t> top_k(const NDArray<double>& values, int k) {
+  std::vector<index_t> order(static_cast<std::size_t>(values.size()));
+  for (index_t j = 0; j < values.size(); ++j) order[static_cast<std::size_t>(j)] = j;
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](index_t a, index_t b) { return values[a] > values[b]; });
+  order.resize(static_cast<std::size_t>(k));
+  return order;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 2400;
+
+  sim::SweConfig base;
+  base.nx = 128;
+  base.ny = 256;
+  base.lx = 1.28e6;
+  base.ly = 2.56e6;
+  base.seamount_sigma = 1.5e5;
+
+  sim::SweConfig c16 = base;
+  c16.precision = FloatType::kFloat16;
+  sim::SweConfig c32 = base;
+  c32.precision = FloatType::kFloat32;
+
+  std::printf("Fig. 4: shallow water surface height, FP16 vs FP32, %d steps\n\n", steps);
+  sim::ShallowWaterModel m16(c16), m32(c32);
+  m16.run(steps);
+  m32.run(steps);
+
+  const NDArray<double>& h16 = m16.surface_height();
+  const NDArray<double>& h32 = m32.surface_height();
+
+  Table fields({"field", "min", "max", "mean", "std"});
+  for (const auto& [label, field] : {std::pair<const char*, const NDArray<double>*>{
+                                         "height FP16", &h16},
+                                     {"height FP32", &h32}}) {
+    fields.add_row({label, Table::fmt(min(*field), 4), Table::fmt(max(*field), 4),
+                    Table::fmt(reference::mean(*field), 5),
+                    Table::fmt(reference::standard_deviation(*field), 5)});
+  }
+  std::printf("%s\n", fields.to_text().c_str());
+
+  // Uncompressed difference (Fig. 4c).
+  NDArray<double> truth = subtract(h16, h32);
+
+  // Compressed-space difference (Fig. 4d), at the paper's int8 setting and
+  // at int16.  The paper's 500-day run grows a perturbation large relative
+  // to int8 binning noise; at this reduced horizon the pointwise agreement
+  // needs int16, while the difference's magnitude and localization are
+  // already captured at int8.
+  Table agreement({"metric", "int8 bins (paper)", "int16 bins"});
+  std::vector<std::string> max_row = {"max |compressed diff|"};
+  std::vector<std::string> l2_row = {"L2(compressed diff)"};
+  std::vector<std::string> cos_row = {"cosine(truth, compressed)"};
+  for (IndexType itype : {IndexType::kInt8, IndexType::kInt16}) {
+    Compressor compressor({.block_shape = Shape{16, 16},
+                           .float_type = FloatType::kFloat32,
+                           .index_type = itype});
+    CompressedArray c_diff =
+        ops::add(compressor.compress(h16), ops::negate(compressor.compress(h32)));
+    NDArray<double> recovered = compressor.decompress(c_diff);
+    max_row.push_back(Table::sci(max_abs(recovered)));
+    l2_row.push_back(Table::sci(reference::l2_norm(recovered)));
+    cos_row.push_back(Table::fmt(reference::cosine_similarity(truth, recovered), 4));
+  }
+  agreement.add_row({"max |uncompressed diff|", Table::sci(max_abs(truth)),
+                     Table::sci(max_abs(truth))});
+  agreement.add_row({"L2(uncompressed diff)", Table::sci(reference::l2_norm(truth)),
+                     Table::sci(reference::l2_norm(truth))});
+  agreement.add_row(max_row);
+  agreement.add_row(l2_row);
+  agreement.add_row(cos_row);
+  std::printf("difference field agreement:\n%s\n", agreement.to_text().c_str());
+
+  // Localization: do the compressed-space difference's hottest blocks match
+  // the truth's (the paper's rectangles)?  Rank blocks by within-block L2.
+  Compressor block_stats({.block_shape = Shape{16, 16},
+                          .float_type = FloatType::kFloat32,
+                          .index_type = IndexType::kInt16});
+  NDArray<double> truth_energy =
+      ops::blockwise_standard_deviation(block_stats.compress(truth));
+  NDArray<double> comp_energy = ops::blockwise_standard_deviation(
+      ops::subtract(block_stats.compress(h16), block_stats.compress(h32)));
+
+  const int k = 10;
+  const auto top_truth = top_k(truth_energy, k);
+  const auto top_comp = top_k(comp_energy, k);
+  int hits = 0;
+  for (index_t a : top_truth)
+    for (index_t b : top_comp)
+      if (a == b) ++hits;
+  std::printf("perturbation localization: %d of the top-%d hottest 16x16 blocks\n"
+              "agree between the uncompressed and compressed-space differences\n",
+              hits, k);
+  std::printf("(int16 bins for the localization statistics)\n");
+  return 0;
+}

@@ -1,0 +1,162 @@
+/// Fig. 6 reproduction: locating the nuclear scission point in compressed
+/// space.
+///
+/// (a) Adjacent-time-step L2 distances of the negative-log Pu neutron
+///     densities, computed three ways: uncompressed (raw arrays),
+///     (de)compressed (decompress then measure), and compressed
+///     (compressed-space subtract + L2 norm, never decompressing) — with the
+///     paper's settings: block 16x16x16, int16 bins, FP32.  The three curves
+///     must nearly coincide (the paper reports max |uncompressed -
+///     compressed| ≈ 1.68 against a mean L2 of ≈ 619 on their data), and all
+///     show noise peaks besides the scission peak.
+///
+/// (b) Approximate Wasserstein distance between adjacent steps for orders
+///     p in {1, 2, 4, 8, 16, 32, 68, 80}: the noise peaks are suppressed as p
+///     grows, leaving the scission peak; the last column shows the naive
+///     (non-log-domain) evaluation at p = 80, which underflows to zero — the
+///     paper's "all peaks vanish for p >= 80".
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/codec/compressor.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/table.hpp"
+#include "sim/fission/fission.hpp"
+
+using namespace pyblaz;  // NOLINT
+
+namespace {
+
+/// Algorithm 13 evaluated the way a float32 framework would: naive powers
+/// accumulated in single precision.  Softmax-scale differences are ~1e-4, so
+/// |d|^p underflows float32's denormal floor (~1e-45) once p reaches the
+/// tens — the paper's "if the order >= 80 all the peaks vanish".
+double wasserstein_naive_float32(const CompressedArray& a,
+                                 const CompressedArray& b, double p) {
+  NDArray<double> ma = ops::blockwise_mean(a);
+  NDArray<double> mb = ops::blockwise_mean(b);
+  auto softmax32 = [](NDArray<double>& v) {
+    float biggest = -std::numeric_limits<float>::infinity();
+    for (index_t k = 0; k < v.size(); ++k)
+      biggest = std::max(biggest, static_cast<float>(v[k]));
+    float total = 0.0f;
+    for (index_t k = 0; k < v.size(); ++k) {
+      const float e = std::exp(static_cast<float>(v[k]) - biggest);
+      v[k] = e;
+      total += e;
+    }
+    for (index_t k = 0; k < v.size(); ++k)
+      v[k] = static_cast<float>(v[k]) / total;
+  };
+  softmax32(ma);
+  softmax32(mb);
+  std::sort(ma.vector().begin(), ma.vector().end());
+  std::sort(mb.vector().begin(), mb.vector().end());
+  float total = 0.0f;
+  for (index_t k = 0; k < ma.size(); ++k) {
+    const float d = std::fabs(static_cast<float>(ma[k] - mb[k]));
+    total += std::pow(d, static_cast<float>(p));
+  }
+  return std::pow(total / static_cast<float>(ma.size()),
+                  1.0f / static_cast<float>(p));
+}
+
+}  // namespace
+
+int main() {
+  const auto& steps = sim::fission_time_steps();
+
+  // Paper settings for the L2 study.
+  Compressor coarse({.block_shape = Shape{16, 16, 16},
+                     .float_type = FloatType::kFloat32,
+                     .index_type = IndexType::kInt16});
+  // Finer blocks for the Wasserstein study (blockwise-mean granularity).
+  Compressor fine({.block_shape = Shape{4, 4, 4},
+                   .float_type = FloatType::kFloat32,
+                   .index_type = IndexType::kInt16});
+
+  std::vector<NDArray<double>> raw;
+  std::vector<NDArray<double>> decompressed;
+  std::vector<CompressedArray> compressed, compressed_fine;
+  for (int step : steps) {
+    raw.push_back(sim::negative_log_density(step));
+    compressed.push_back(coarse.compress(raw.back()));
+    decompressed.push_back(coarse.decompress(compressed.back()));
+    compressed_fine.push_back(fine.compress(raw.back()));
+  }
+
+  std::printf("Fig. 6a: adjacent-step L2 distances of negative-log Pu density\n");
+  std::printf("(block 16x16x16, int16, fp32)\n\n");
+  Table l2_table({"pair", "uncompressed", "(de)compressed", "compressed",
+                  "|unc - comp|"});
+  double max_discrepancy = 0.0, mean_l2 = 0.0;
+  std::size_t l2_peak_at = 1;
+  double l2_peak = -1.0;
+  for (std::size_t k = 1; k < steps.size(); ++k) {
+    const double unc = reference::l2_distance(raw[k - 1], raw[k]);
+    const double dec = reference::l2_distance(decompressed[k - 1], decompressed[k]);
+    const double com = ops::l2_norm(ops::subtract(compressed[k], compressed[k - 1]));
+    max_discrepancy = std::max(max_discrepancy, std::fabs(unc - com));
+    mean_l2 += unc;
+    if (com > l2_peak) {
+      l2_peak = com;
+      l2_peak_at = k;
+    }
+    l2_table.add_row({std::to_string(steps[k - 1]) + "->" + std::to_string(steps[k]),
+                      Table::fmt(unc, 3), Table::fmt(dec, 3), Table::fmt(com, 3),
+                      Table::fmt(std::fabs(unc - com), 3)});
+  }
+  mean_l2 /= static_cast<double>(steps.size() - 1);
+  std::printf("%s\n", l2_table.to_text().c_str());
+  std::printf("L2 peak at %d->%d (known scission: 690->692)\n",
+              steps[l2_peak_at - 1], steps[l2_peak_at]);
+  std::printf("max |uncompressed - compressed| = %.3f, mean L2 = %.2f\n"
+              "(paper reports ~1.68 against mean ~618.97 on the real data)\n\n",
+              max_discrepancy, mean_l2);
+
+  std::printf("Fig. 6b: approximate Wasserstein distance between adjacent steps\n");
+  std::printf("(block 4x4x4, int16, fp32; log-domain evaluation except the last column)\n\n");
+  const std::vector<double> orders = {1, 2, 4, 8, 16, 32, 68, 80};
+  std::vector<std::string> headers = {"pair"};
+  for (double p : orders) headers.push_back("p=" + std::to_string(static_cast<int>(p)));
+  headers.push_back("p=80 fp32");
+  Table w_table(headers);
+
+  std::vector<std::size_t> peak_at(orders.size(), 1);
+  std::vector<double> peak(orders.size(), -1.0);
+  for (std::size_t k = 1; k < steps.size(); ++k) {
+    std::vector<std::string> row = {std::to_string(steps[k - 1]) + "->" +
+                                    std::to_string(steps[k])};
+    for (std::size_t j = 0; j < orders.size(); ++j) {
+      const double w = ops::wasserstein_distance(compressed_fine[k],
+                                                 compressed_fine[k - 1], orders[j]);
+      if (w > peak[j]) {
+        peak[j] = w;
+        peak_at[j] = k;
+      }
+      row.push_back(Table::sci(w, 2));
+    }
+    row.push_back(Table::sci(
+        wasserstein_naive_float32(compressed_fine[k], compressed_fine[k - 1], 80.0),
+        2));
+    w_table.add_row(std::move(row));
+  }
+  std::printf("%s\n", w_table.to_text().c_str());
+  for (std::size_t j = 0; j < orders.size(); ++j) {
+    std::printf("p=%2d peak at %d->%d\n", static_cast<int>(orders[j]),
+                steps[peak_at[j] - 1], steps[peak_at[j]]);
+  }
+  std::printf("\nknown scission: 690->692.  Note how the noise transitions\n"
+              "(685->686, 695->699) peak in L2 but are suppressed in W as p grows,\n"
+              "and how the naive float32 evaluation at p=80 underflows to zero\n"
+              "(the paper's \"all peaks vanish for p >= 80\"); our log-domain\n"
+              "evaluation keeps the scission peak at every order.\n");
+  l2_table.write_csv("bench_out_fig6a.csv");
+  w_table.write_csv("bench_out_fig6b.csv");
+  return 0;
+}

@@ -1,0 +1,99 @@
+/// Fig. 7 reproduction: PyBlaz operation time for cubic 3-D arrays with
+/// block size 4, across float types {bfloat16, float16, float32, float64}
+/// and index types {int8, int16, int32}.
+///
+/// Operations timed: compress, decompress, negate, add, multiply (scalar),
+/// dot, L2 norm, cosine similarity, mean, variance, SSIM.  Expected shape
+/// (paper appendix VI-B): compress/decompress scale with array volume;
+/// negate/multiply are trivially cheap; the scalar reductions scale with the
+/// compressed size, far below (de)compression cost.
+///
+/// Args: [max_size] (default 128).  One table per (ftype, itype) setting.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/codec/compressor.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/ops.hpp"
+#include "core/util/rng.hpp"
+#include "core/util/table.hpp"
+#include "core/util/timer.hpp"
+
+using namespace pyblaz;  // NOLINT
+
+namespace {
+
+template <typename Fn>
+double best_time(Fn&& fn, int repeats = 3) {
+  double best = 1e300;
+  for (int k = 0; k < repeats; ++k) {
+    Timer timer;
+    fn();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const index_t max_size = argc > 1 ? std::atoll(argv[1]) : 128;
+
+  std::printf("Fig. 7: PyBlaz operation times (seconds), cubic 3-D arrays,\n");
+  std::printf("block 4x4x4, OpenMP CPU execution\n\n");
+
+  Table csv({"ftype", "itype", "size", "compress", "decompress", "negate", "add",
+             "multiply", "dot", "l2", "cosine", "mean", "variance", "ssim"});
+
+  for (FloatType ftype : kAllFloatTypes) {
+    for (IndexType itype : {IndexType::kInt8, IndexType::kInt16, IndexType::kInt32}) {
+      Compressor compressor({.block_shape = Shape{4, 4, 4},
+                             .float_type = ftype,
+                             .index_type = itype});
+      Table table({"size", "compress", "decompress", "negate", "add", "multiply",
+                   "dot", "l2", "cosine", "mean", "variance", "ssim"});
+
+      for (index_t size = 8; size <= max_size; size *= 2) {
+        Rng rng(17);
+        NDArray<double> x = random_smooth(Shape{size, size, size}, rng, 4);
+        NDArray<double> y = random_smooth(Shape{size, size, size}, rng, 4);
+        CompressedArray a = compressor.compress(x);
+        CompressedArray b = compressor.compress(y);
+
+        const double t_comp = best_time([&] { (void)compressor.compress(x); });
+        const double t_dec = best_time([&] { (void)compressor.decompress(a); });
+        const double t_neg = best_time([&] { (void)ops::negate(a); });
+        const double t_add = best_time([&] { (void)ops::add(a, b); });
+        const double t_mul = best_time([&] { (void)ops::multiply_scalar(a, 2.0); });
+        const double t_dot = best_time([&] { (void)ops::dot(a, b); });
+        const double t_l2 = best_time([&] { (void)ops::l2_norm(a); });
+        const double t_cos = best_time([&] { (void)ops::cosine_similarity(a, b); });
+        const double t_mean = best_time([&] { (void)ops::mean(a); });
+        const double t_var = best_time([&] { (void)ops::variance(a); });
+        const double t_ssim =
+            best_time([&] { (void)ops::structural_similarity(a, b); });
+
+        table.add_row({std::to_string(size), Table::sci(t_comp, 2),
+                       Table::sci(t_dec, 2), Table::sci(t_neg, 2),
+                       Table::sci(t_add, 2), Table::sci(t_mul, 2),
+                       Table::sci(t_dot, 2), Table::sci(t_l2, 2),
+                       Table::sci(t_cos, 2), Table::sci(t_mean, 2),
+                       Table::sci(t_var, 2), Table::sci(t_ssim, 2)});
+        csv.add_row({name(ftype), name(itype), std::to_string(size),
+                     Table::sci(t_comp, 2), Table::sci(t_dec, 2),
+                     Table::sci(t_neg, 2), Table::sci(t_add, 2),
+                     Table::sci(t_mul, 2), Table::sci(t_dot, 2),
+                     Table::sci(t_l2, 2), Table::sci(t_cos, 2),
+                     Table::sci(t_mean, 2), Table::sci(t_var, 2),
+                     Table::sci(t_ssim, 2)});
+      }
+      std::printf("---- %s, %s ----\n%s\n", name(ftype).c_str(),
+                  name(itype).c_str(), table.to_text().c_str());
+    }
+  }
+  csv.write_csv("bench_out_fig7.csv");
+  std::printf("CSV written to bench_out_fig7.csv\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+/// Google-benchmark micro-benchmarks for the hot kernels underneath the
+/// paper-level harnesses: the separable block transform, binning (compress),
+/// the compressed-space add/dot, the Blaz block pipeline, and the zfpx block
+/// codec.  Useful for regression-testing kernel performance independent of
+/// the figure-level benchmarks.
+
+#include <benchmark/benchmark.h>
+
+#include "blaz/blaz.hpp"
+#include "core/codec/compressor.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/ops.hpp"
+#include "core/util/rng.hpp"
+#include "zfpx/zfpx.hpp"
+
+namespace {
+
+using namespace pyblaz;  // NOLINT
+
+void BM_BlockTransformForward(benchmark::State& state) {
+  const index_t side = state.range(0);
+  BlockTransform transform(TransformKind::kDCT, Shape{side, side});
+  Rng rng(1);
+  NDArray<double> block = random_normal(Shape{side, side}, rng);
+  std::vector<double> scratch(static_cast<std::size_t>(block.size()));
+  std::vector<double> data = block.vector();
+  for (auto _ : state) {
+    data = block.vector();
+    transform.forward(data.data(), scratch.data());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * block.size());
+}
+BENCHMARK(BM_BlockTransformForward)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Compress2D(benchmark::State& state) {
+  const index_t size = state.range(0);
+  Compressor compressor({.block_shape = Shape{8, 8},
+                         .float_type = FloatType::kFloat32,
+                         .index_type = IndexType::kInt8});
+  Rng rng(2);
+  NDArray<double> array = random_smooth(Shape{size, size}, rng, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compressor.compress(array));
+  }
+  state.SetItemsProcessed(state.iterations() * array.size());
+}
+BENCHMARK(BM_Compress2D)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Decompress2D(benchmark::State& state) {
+  const index_t size = state.range(0);
+  Compressor compressor({.block_shape = Shape{8, 8},
+                         .float_type = FloatType::kFloat32,
+                         .index_type = IndexType::kInt8});
+  Rng rng(3);
+  CompressedArray compressed =
+      compressor.compress(random_smooth(Shape{size, size}, rng, 6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compressor.decompress(compressed));
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_Decompress2D)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CompressedAdd(benchmark::State& state) {
+  const index_t size = state.range(0);
+  Compressor compressor({.block_shape = Shape{8, 8},
+                         .float_type = FloatType::kFloat32,
+                         .index_type = IndexType::kInt8});
+  Rng rng(4);
+  CompressedArray a = compressor.compress(random_smooth(Shape{size, size}, rng, 6));
+  CompressedArray b = compressor.compress(random_smooth(Shape{size, size}, rng, 6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::add(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_CompressedAdd)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CompressedDot(benchmark::State& state) {
+  const index_t size = state.range(0);
+  Compressor compressor({.block_shape = Shape{8, 8},
+                         .float_type = FloatType::kFloat32,
+                         .index_type = IndexType::kInt8});
+  Rng rng(5);
+  CompressedArray a = compressor.compress(random_smooth(Shape{size, size}, rng, 6));
+  CompressedArray b = compressor.compress(random_smooth(Shape{size, size}, rng, 6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::dot(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_CompressedDot)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BlazCompress(benchmark::State& state) {
+  const index_t size = state.range(0);
+  Rng rng(6);
+  NDArray<double> array = random_smooth(Shape{size, size}, rng, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blaz::compress(array));
+  }
+  state.SetItemsProcessed(state.iterations() * array.size());
+}
+BENCHMARK(BM_BlazCompress)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ZfpxCompress2D(benchmark::State& state) {
+  const index_t size = state.range(0);
+  zfpx::Codec codec(2, 16.0);
+  Rng rng(7);
+  NDArray<double> array = random_smooth(Shape{size, size}, rng, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.compress(array));
+  }
+  state.SetItemsProcessed(state.iterations() * array.size());
+}
+BENCHMARK(BM_ZfpxCompress2D)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ZfpxDecompress2D(benchmark::State& state) {
+  const index_t size = state.range(0);
+  zfpx::Codec codec(2, 16.0);
+  Rng rng(8);
+  NDArray<double> array = random_smooth(Shape{size, size}, rng, 6);
+  const auto stream = codec.compress(array);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decompress(stream, array.shape()));
+  }
+  state.SetItemsProcessed(state.iterations() * array.size());
+}
+BENCHMARK(BM_ZfpxDecompress2D)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+/// Table I reproduction: for every compressed-space operation, measure the
+/// *additional* error it introduces beyond compression error, and check it
+/// against the paper's stated error source:
+///
+///   negation, scalar multiplication ............ none (exact)
+///   element-wise addition, scalar addition ..... rebinning only
+///   dot, mean, covariance, variance, L2,
+///   cosine similarity, SSIM ..................... none (they equal the same
+///                                                 function of the decompressed
+///                                                 arrays)
+///   approximate Wasserstein distance ............ error shrinking with block
+///                                                 size
+///
+/// "Additional error" is measured against the operation applied to the
+/// decompressed arrays, so compression error itself is factored out.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/codec/compressor.hpp"
+#include "core/codec/error_bounds.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/rng.hpp"
+#include "core/util/table.hpp"
+
+using namespace pyblaz;  // NOLINT
+
+int main() {
+  Rng rng(20230101);
+  const Shape shape{64, 64};
+  NDArray<double> x = random_smooth(shape, rng);
+  NDArray<double> y = random_smooth(shape, rng);
+
+  CompressorSettings settings{.block_shape = Shape{8, 8},
+                              .float_type = FloatType::kFloat64,
+                              .index_type = IndexType::kInt8};
+  Compressor compressor(settings);
+  CompressedArray a = compressor.compress(x);
+  CompressedArray b = compressor.compress(y);
+  NDArray<double> dx = compressor.decompress(a);
+  NDArray<double> dy = compressor.decompress(b);
+
+  Table table({"operation", "result", "paper error source", "measured additional error"});
+
+  // Negation: decompress(-A) vs -decompress(A).
+  {
+    NDArray<double> lhs = compressor.decompress(ops::negate(a));
+    const double err = reference::linf_distance(lhs, scale(dx, -1.0));
+    table.add_row({"negation", "array", "none", Table::sci(err)});
+  }
+  // Scalar multiplication.
+  {
+    NDArray<double> lhs = compressor.decompress(ops::multiply_scalar(a, -2.5));
+    const double err = reference::linf_distance(lhs, scale(dx, -2.5));
+    table.add_row({"multiply by scalar", "array", "none", Table::sci(err)});
+  }
+  // Element-wise addition: rebinning bound.
+  {
+    NDArray<double> lhs = compressor.decompress(ops::add(a, b));
+    const double err = reference::linf_distance(lhs, add(dx, dy));
+    CompressedArray sum = ops::add(a, b);
+    double bound = 0.0;
+    for (double n : sum.biggest)
+      bound = std::max(bound, loose_linf_bound(n, sum.index_type, sum.block_shape));
+    table.add_row({"element-wise addition", "array",
+                   "rebinning (bound " + Table::sci(bound) + ")", Table::sci(err)});
+  }
+  // Scalar addition: rebinning bound.
+  {
+    NDArray<double> lhs = compressor.decompress(ops::add_scalar(a, 0.75));
+    const double err = reference::linf_distance(lhs, add_scalar(dx, 0.75));
+    table.add_row({"addition of scalar", "array", "rebinning", Table::sci(err)});
+  }
+  // Scalar functions: op(compressed) vs op(decompressed arrays).
+  {
+    const double err = std::fabs(ops::dot(a, b) - reference::dot(dx, dy));
+    table.add_row({"dot product", "scalar", "none", Table::sci(err)});
+  }
+  {
+    const double err = std::fabs(ops::mean(a) - reference::mean(dx));
+    table.add_row({"mean", "scalar", "none", Table::sci(err)});
+  }
+  {
+    const double err =
+        std::fabs(ops::covariance(a, b) - reference::covariance(dx, dy));
+    table.add_row({"covariance", "scalar", "none", Table::sci(err)});
+  }
+  {
+    const double err = std::fabs(ops::variance(a) - reference::variance(dx));
+    table.add_row({"variance", "scalar", "none", Table::sci(err)});
+  }
+  {
+    const double err = std::fabs(ops::l2_norm(a) - reference::l2_norm(dx));
+    table.add_row({"L2 norm", "scalar", "none", Table::sci(err)});
+  }
+  {
+    const double err = std::fabs(ops::cosine_similarity(a, b) -
+                                 reference::cosine_similarity(dx, dy));
+    table.add_row({"cosine similarity", "scalar", "none", Table::sci(err)});
+  }
+  {
+    const double err = std::fabs(ops::structural_similarity(a, b) -
+                                 reference::structural_similarity(dx, dy));
+    table.add_row({"SSIM", "scalar", "none", Table::sci(err)});
+  }
+
+  std::printf("Table I: compressed-space operations and their additional error\n");
+  std::printf("(64x64 smooth data, 8x8 blocks, float64, int8; additional error is\n");
+  std::printf("measured against the same operation on the decompressed arrays)\n\n");
+  std::printf("%s\n", table.to_text().c_str());
+
+  // Wasserstein: approximation error as a function of block size.
+  Table wtable({"block shape", "W2(approx)", "W2(exact)", "abs error"});
+  const double exact = reference::wasserstein_distance(x, y, 2.0);
+  for (index_t side : {1, 2, 4, 8, 16}) {
+    Compressor c({.block_shape = Shape{side, side},
+                  .float_type = FloatType::kFloat64,
+                  .index_type = IndexType::kInt32});
+    const double approx =
+        ops::wasserstein_distance(c.compress(x), c.compress(y), 2.0);
+    wtable.add_row({Shape{side, side}.to_string(), Table::sci(approx),
+                    Table::sci(exact), Table::sci(std::fabs(approx - exact))});
+  }
+  std::printf("approximate Wasserstein distance: error vs block size\n");
+  std::printf("(1-element blocks are exact, §IV-B)\n\n%s\n", wtable.to_text().c_str());
+  return 0;
+}

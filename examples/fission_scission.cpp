@@ -1,0 +1,69 @@
+/// The paper's nuclear-fission use case (§V-C): compress the neutron-density
+/// time series, then locate the scission point — the time interval where the
+/// nucleus splits — from compressed data only, first with the L2 norm (which
+/// also shows misleading noise peaks) and then with the high-order
+/// Wasserstein distance (which isolates the scission).
+///
+/// Build & run:  ./build/examples/fission_scission
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/codec/compressor.hpp"
+#include "core/ops/ops.hpp"
+#include "sim/fission/fission.hpp"
+
+using namespace pyblaz;  // NOLINT
+
+int main() {
+  // Paper settings: block 16x16x16, int16 bins, FP32 storage.
+  Compressor compressor({.block_shape = Shape{16, 16, 16},
+                         .float_type = FloatType::kFloat32,
+                         .index_type = IndexType::kInt16});
+  // The Wasserstein path wants finer blocks for a usable blockwise-mean proxy.
+  Compressor fine({.block_shape = Shape{4, 4, 4},
+                   .float_type = FloatType::kFloat32,
+                   .index_type = IndexType::kInt16});
+
+  const auto& steps = sim::fission_time_steps();
+  std::printf("compressing %zu time steps of negative-log Pu density...\n",
+              steps.size());
+
+  std::vector<CompressedArray> coarse, finer;
+  for (int step : steps) {
+    NDArray<double> density = sim::negative_log_density(step);
+    coarse.push_back(compressor.compress(density));
+    finer.push_back(fine.compress(density));
+  }
+
+  std::printf("\n%12s %14s %14s %14s\n", "step pair", "L2", "W(p=2)", "W(p=68)");
+  int l2_peak_at = 0;
+  double l2_peak = -1.0;
+  int w_peak_at = 0;
+  double w_peak = -1.0;
+  for (std::size_t k = 1; k < steps.size(); ++k) {
+    const double l2 = ops::l2_norm(ops::subtract(coarse[k], coarse[k - 1]));
+    const double w2 = ops::wasserstein_distance(finer[k], finer[k - 1], 2.0);
+    const double w68 = ops::wasserstein_distance(finer[k], finer[k - 1], 68.0);
+    std::printf("%5d->%5d %14.4f %14.6g %14.6g\n", steps[k - 1], steps[k], l2,
+                w2, w68);
+    if (l2 > l2_peak) {
+      l2_peak = l2;
+      l2_peak_at = static_cast<int>(k);
+    }
+    if (w68 > w_peak) {
+      w_peak = w68;
+      w_peak_at = static_cast<int>(k);
+    }
+  }
+
+  std::printf("\nL2 peak:          between steps %d and %d\n",
+              steps[static_cast<std::size_t>(l2_peak_at) - 1],
+              steps[static_cast<std::size_t>(l2_peak_at)]);
+  std::printf("W(p=68) peak:     between steps %d and %d\n",
+              steps[static_cast<std::size_t>(w_peak_at) - 1],
+              steps[static_cast<std::size_t>(w_peak_at)]);
+  std::printf("known scission:   between steps 690 and 692\n");
+  return 0;
+}

@@ -1,0 +1,260 @@
+#include "blaz/blaz.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/transform/dct.hpp"
+
+namespace blaz {
+
+namespace {
+
+constexpr index_t kBlockArea = kBlockSide * kBlockSide;
+
+/// Row-major offsets of the kept coefficients: everything outside the 6x6
+/// square in the higher-index corner, i.e. row < 2 or col < 2.
+const std::vector<index_t>& kept_offsets() {
+  static const std::vector<index_t> offsets = [] {
+    std::vector<index_t> out;
+    for (index_t row = 0; row < kBlockSide; ++row)
+      for (index_t col = 0; col < kBlockSide; ++col)
+        if (row < 2 || col < 2) out.push_back(row * kBlockSide + col);
+    return out;
+  }();
+  assert(static_cast<index_t>(offsets.size()) == kKeptPerBlock);
+  return offsets;
+}
+
+/// The orthonormal 8x8 DCT basis (shared with PyBlaz's transform module).
+const std::vector<double>& dct8() {
+  static const std::vector<double> h = pyblaz::dct_matrix(kBlockSide);
+  return h;
+}
+
+/// Serpentine (boustrophedon) scan order: row 0 left-to-right, row 1
+/// right-to-left, and so on.  Consecutive scan positions are always spatially
+/// adjacent, so the "difference from the previous element" encoding never
+/// straddles a row boundary jump.
+const std::array<index_t, kBlockArea>& scan_order() {
+  static const std::array<index_t, kBlockArea> order = [] {
+    std::array<index_t, kBlockArea> out{};
+    index_t k = 0;
+    for (index_t row = 0; row < kBlockSide; ++row) {
+      if (row % 2 == 0) {
+        for (index_t col = 0; col < kBlockSide; ++col)
+          out[static_cast<std::size_t>(k++)] = row * kBlockSide + col;
+      } else {
+        for (index_t col = kBlockSide - 1; col >= 0; --col)
+          out[static_cast<std::size_t>(k++)] = row * kBlockSide + col;
+      }
+    }
+    return out;
+  }();
+  return order;
+}
+
+/// 2-D DCT of one 8x8 block: C = H^T B H expressed with the position-major
+/// basis matrix (out[k1][k2] = sum B[n1][n2] H[n1][k1] H[n2][k2]).
+void dct2d(const double* block, double* coeffs) {
+  const std::vector<double>& h = dct8();
+  double temp[kBlockArea];
+  for (index_t n1 = 0; n1 < kBlockSide; ++n1)
+    for (index_t k2 = 0; k2 < kBlockSide; ++k2) {
+      double total = 0.0;
+      for (index_t n2 = 0; n2 < kBlockSide; ++n2)
+        total += block[n1 * kBlockSide + n2] *
+                 h[static_cast<std::size_t>(n2 * kBlockSide + k2)];
+      temp[n1 * kBlockSide + k2] = total;
+    }
+  for (index_t k1 = 0; k1 < kBlockSide; ++k1)
+    for (index_t k2 = 0; k2 < kBlockSide; ++k2) {
+      double total = 0.0;
+      for (index_t n1 = 0; n1 < kBlockSide; ++n1)
+        total += temp[n1 * kBlockSide + k2] *
+                 h[static_cast<std::size_t>(n1 * kBlockSide + k1)];
+      coeffs[k1 * kBlockSide + k2] = total;
+    }
+}
+
+/// Inverse 2-D DCT (contract with the transposed basis).
+void idct2d(const double* coeffs, double* block) {
+  const std::vector<double>& h = dct8();
+  double temp[kBlockArea];
+  for (index_t k1 = 0; k1 < kBlockSide; ++k1)
+    for (index_t n2 = 0; n2 < kBlockSide; ++n2) {
+      double total = 0.0;
+      for (index_t k2 = 0; k2 < kBlockSide; ++k2)
+        total += coeffs[k1 * kBlockSide + k2] *
+                 h[static_cast<std::size_t>(n2 * kBlockSide + k2)];
+      temp[k1 * kBlockSide + n2] = total;
+    }
+  for (index_t n1 = 0; n1 < kBlockSide; ++n1)
+    for (index_t n2 = 0; n2 < kBlockSide; ++n2) {
+      double total = 0.0;
+      for (index_t k1 = 0; k1 < kBlockSide; ++k1)
+        total += temp[k1 * kBlockSide + n2] *
+                 h[static_cast<std::size_t>(n1 * kBlockSide + k1)];
+      block[n1 * kBlockSide + n2] = total;
+    }
+}
+
+/// Bin one coefficient block into int8 indices against its biggest element.
+void bin_block(const double* coeffs, double biggest, std::int8_t* bins) {
+  const auto& offsets = kept_offsets();
+  if (biggest == 0.0) {
+    std::fill(bins, bins + kKeptPerBlock, std::int8_t{0});
+    return;
+  }
+  for (index_t slot = 0; slot < kKeptPerBlock; ++slot) {
+    double scaled = std::round(kBinRadius * coeffs[offsets[static_cast<std::size_t>(slot)]] / biggest);
+    scaled = std::clamp(scaled, -double{kBinRadius}, double{kBinRadius});
+    bins[slot] = static_cast<std::int8_t>(scaled);
+  }
+}
+
+}  // namespace
+
+std::size_t CompressedMatrix::compressed_bits() const {
+  const std::size_t blocks = static_cast<std::size_t>(num_blocks());
+  return 2 * 64                                 // rows, cols.
+         + blocks * (64 + 64)                   // first + biggest.
+         + blocks * static_cast<std::size_t>(kKeptPerBlock) * 8;  // bins.
+}
+
+CompressedMatrix compress(const NDArray<double>& matrix) {
+  if (matrix.shape().ndim() != 2)
+    throw std::invalid_argument("blaz::compress expects a 2-D matrix");
+  CompressedMatrix out;
+  out.rows = matrix.shape()[0];
+  out.cols = matrix.shape()[1];
+  out.block_rows = (out.rows + kBlockSide - 1) / kBlockSide;
+  out.block_cols = (out.cols + kBlockSide - 1) / kBlockSide;
+  const index_t num_blocks = out.num_blocks();
+  out.first.resize(static_cast<std::size_t>(num_blocks));
+  out.biggest.resize(static_cast<std::size_t>(num_blocks));
+  out.bins.resize(static_cast<std::size_t>(num_blocks * kKeptPerBlock));
+
+  double block[kBlockArea];
+  double deltas[kBlockArea];
+  double coeffs[kBlockArea];
+  for (index_t br = 0; br < out.block_rows; ++br) {
+    for (index_t bc = 0; bc < out.block_cols; ++bc) {
+      const index_t kb = br * out.block_cols + bc;
+      // Gather with zero padding.
+      for (index_t r = 0; r < kBlockSide; ++r)
+        for (index_t c = 0; c < kBlockSide; ++c) {
+          const index_t row = br * kBlockSide + r;
+          const index_t col = bc * kBlockSide + c;
+          block[r * kBlockSide + c] =
+              (row < out.rows && col < out.cols) ? matrix[row * out.cols + col]
+                                                 : 0.0;
+        }
+      // Differentiation: save the first element; the rest become deltas from
+      // their previous element in serpentine scan order.
+      const auto& scan = scan_order();
+      out.first[static_cast<std::size_t>(kb)] = block[0];
+      deltas[scan[0]] = 0.0;
+      for (index_t j = 1; j < kBlockArea; ++j)
+        deltas[scan[static_cast<std::size_t>(j)]] =
+            block[scan[static_cast<std::size_t>(j)]] -
+            block[scan[static_cast<std::size_t>(j - 1)]];
+
+      dct2d(deltas, coeffs);
+
+      double biggest = 0.0;
+      for (index_t j = 0; j < kBlockArea; ++j)
+        biggest = std::max(biggest, std::fabs(coeffs[j]));
+      out.biggest[static_cast<std::size_t>(kb)] = biggest;
+      bin_block(coeffs, biggest, out.bins.data() + kb * kKeptPerBlock);
+    }
+  }
+  return out;
+}
+
+NDArray<double> decompress(const CompressedMatrix& compressed) {
+  NDArray<double> out(Shape{compressed.rows, compressed.cols});
+  const auto& offsets = kept_offsets();
+
+  double coeffs[kBlockArea];
+  double deltas[kBlockArea];
+  double block[kBlockArea];
+  for (index_t br = 0; br < compressed.block_rows; ++br) {
+    for (index_t bc = 0; bc < compressed.block_cols; ++bc) {
+      const index_t kb = br * compressed.block_cols + bc;
+      std::fill(coeffs, coeffs + kBlockArea, 0.0);
+      const double biggest = compressed.biggest[static_cast<std::size_t>(kb)];
+      const std::int8_t* bins = compressed.bins.data() + kb * kKeptPerBlock;
+      for (index_t slot = 0; slot < kKeptPerBlock; ++slot)
+        coeffs[offsets[static_cast<std::size_t>(slot)]] =
+            biggest * static_cast<double>(bins[slot]) / kBinRadius;
+
+      idct2d(coeffs, deltas);
+
+      // Integrate the deltas from the saved first element, in scan order.
+      const auto& scan = scan_order();
+      block[scan[0]] = compressed.first[static_cast<std::size_t>(kb)];
+      for (index_t j = 1; j < kBlockArea; ++j)
+        block[scan[static_cast<std::size_t>(j)]] =
+            block[scan[static_cast<std::size_t>(j - 1)]] +
+            deltas[scan[static_cast<std::size_t>(j)]];
+
+      for (index_t r = 0; r < kBlockSide; ++r)
+        for (index_t c = 0; c < kBlockSide; ++c) {
+          const index_t row = br * kBlockSide + r;
+          const index_t col = bc * kBlockSide + c;
+          if (row < compressed.rows && col < compressed.cols)
+            out[row * compressed.cols + col] = block[r * kBlockSide + c];
+        }
+    }
+  }
+  return out;
+}
+
+CompressedMatrix add(const CompressedMatrix& a, const CompressedMatrix& b) {
+  if (a.rows != b.rows || a.cols != b.cols)
+    throw std::invalid_argument("blaz::add: shape mismatch");
+  CompressedMatrix out = a;
+  double coeffs[kKeptPerBlock];
+  for (index_t kb = 0; kb < a.num_blocks(); ++kb) {
+    out.first[static_cast<std::size_t>(kb)] =
+        a.first[static_cast<std::size_t>(kb)] + b.first[static_cast<std::size_t>(kb)];
+    const double na = a.biggest[static_cast<std::size_t>(kb)];
+    const double nb = b.biggest[static_cast<std::size_t>(kb)];
+    const std::int8_t* fa = a.bins.data() + kb * kKeptPerBlock;
+    const std::int8_t* fb = b.bins.data() + kb * kKeptPerBlock;
+    double biggest = 0.0;
+    for (index_t slot = 0; slot < kKeptPerBlock; ++slot) {
+      coeffs[slot] = (na * static_cast<double>(fa[slot]) +
+                      nb * static_cast<double>(fb[slot])) /
+                     kBinRadius;
+      biggest = std::max(biggest, std::fabs(coeffs[slot]));
+    }
+    out.biggest[static_cast<std::size_t>(kb)] = biggest;
+    std::int8_t* fo = out.bins.data() + kb * kKeptPerBlock;
+    if (biggest == 0.0) {
+      std::fill(fo, fo + kKeptPerBlock, std::int8_t{0});
+    } else {
+      for (index_t slot = 0; slot < kKeptPerBlock; ++slot)
+        fo[slot] = static_cast<std::int8_t>(
+            std::clamp(std::round(kBinRadius * coeffs[slot] / biggest),
+                       -double{kBinRadius}, double{kBinRadius}));
+    }
+  }
+  return out;
+}
+
+CompressedMatrix multiply_scalar(const CompressedMatrix& a, double x) {
+  CompressedMatrix out = a;
+  const double magnitude = std::fabs(x);
+  for (auto& f : out.first) f *= x;
+  for (auto& n : out.biggest) n *= magnitude;
+  if (std::signbit(x)) {
+    for (auto& bin : out.bins) bin = static_cast<std::int8_t>(-bin);
+  }
+  return out;
+}
+
+}  // namespace blaz

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ndarray/ndarray.hpp"
+
+/// Re-implementation of Blaz (Martel, "Compressed matrix computations",
+/// BDCAT 2022) as described in §II-A of the paper: the single-threaded
+/// 2-dimensional FP64 compressor PyBlaz descends from, used as the baseline
+/// of Fig. 2.
+///
+/// Pipeline per 8x8 block: save the first element, encode the rest as
+/// differences from their previous element ("differentiation"/
+/// "normalization"), apply a 2-D DCT, save the biggest coefficient, bin the
+/// others into 255 bins indexed by int8 in [-127, 127], prune the 6x6 square
+/// of highest-frequency indices, and flatten the remaining 28.
+///
+/// Everything in this namespace is deliberately sequential; the Fig. 2
+/// comparison measures PyBlaz's block parallelism against exactly this.
+namespace blaz {
+
+using pyblaz::index_t;
+using pyblaz::NDArray;
+using pyblaz::Shape;
+
+/// Block side length (Blaz is hardwired to 8x8 blocks).
+inline constexpr index_t kBlockSide = 8;
+
+/// Coefficients kept per block: the 8x8 grid minus the pruned 6x6
+/// high-frequency corner.
+inline constexpr index_t kKeptPerBlock = 28;
+
+/// Bin radius: indices span [-127, 127], i.e. 255 bins.
+inline constexpr int kBinRadius = 127;
+
+/// A Blaz-compressed 2-D matrix.
+struct CompressedMatrix {
+  index_t rows = 0;        ///< Original row count.
+  index_t cols = 0;        ///< Original column count.
+  index_t block_rows = 0;  ///< ceil(rows / 8).
+  index_t block_cols = 0;  ///< ceil(cols / 8).
+
+  std::vector<double> first;         ///< Per block: the saved first element.
+  std::vector<double> biggest;       ///< Per block: biggest DCT coefficient.
+  std::vector<std::int8_t> bins;     ///< Per block: 28 pruned-and-binned indices.
+
+  index_t num_blocks() const { return block_rows * block_cols; }
+
+  /// Serialized size in bits (two FP64 + 28 int8 per block, plus the shape).
+  std::size_t compressed_bits() const;
+};
+
+/// Compress a 2-D FP64 matrix (zero-padding ragged edges).
+CompressedMatrix compress(const NDArray<double>& matrix);
+
+/// Decompress back to the original shape.
+NDArray<double> decompress(const CompressedMatrix& compressed);
+
+/// Compressed-space element-wise addition: sums first elements and dequantized
+/// coefficients, then rebins (shapes must match).
+CompressedMatrix add(const CompressedMatrix& a, const CompressedMatrix& b);
+
+/// Compressed-space multiplication by a scalar: scales the first elements and
+/// biggest coefficients, negating bins for negative scalars.
+CompressedMatrix multiply_scalar(const CompressedMatrix& a, double x);
+
+}  // namespace blaz

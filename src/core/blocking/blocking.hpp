@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "core/ndarray/ndarray.hpp"
+#include "core/ndarray/shape.hpp"
+
+namespace pyblaz {
+
+/// A blocked array (§III-A "blocking"): the input padded with zeros to a
+/// multiple of the block shape in every direction and reorganized so each
+/// block is contiguous.
+///
+/// Layout: data[block_index * block_volume + intrablock_offset], both indices
+/// row-major over their respective shapes.  Blocking is the only exactly
+/// invertible compression step; unblock_array() recovers the original.
+struct Blocked {
+  Shape array_shape;  ///< Original (uncropped) shape s.
+  Shape block_shape;  ///< Block shape i.
+  Shape block_grid;   ///< Arrangement of blocks b = ceil(s ⊘ i).
+  std::vector<double> data;
+
+  index_t num_blocks() const { return block_grid.volume(); }
+  index_t block_volume() const { return block_shape.volume(); }
+
+  /// Pointer to the first element of block @p block_index.
+  double* block(index_t block_index) {
+    return data.data() + block_index * block_volume();
+  }
+  const double* block(index_t block_index) const {
+    return data.data() + block_index * block_volume();
+  }
+};
+
+/// Split @p array into blocks of @p block_shape, zero-padding the ragged
+/// edges.  Parallelized over blocks.
+Blocked block_array(const NDArray<double>& array, const Shape& block_shape);
+
+/// Reassemble the original array (cropping the zero padding).
+NDArray<double> unblock_array(const Blocked& blocked);
+
+}  // namespace pyblaz

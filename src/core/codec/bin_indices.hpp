@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/dtypes/index_type.hpp"
+
+namespace pyblaz {
+
+/// The flattened bin-index sequence F, stored at the *actual* width of the
+/// configured index type (int8 elements occupy one byte, not a widened
+/// int64).  This matches the §IV-C storage accounting and keeps the
+/// compressed-space operations memory-bound on the true compressed size.
+///
+/// Cold paths use get()/set(); hot loops fetch a typed pointer through
+/// visit(), which dispatches on the index type once instead of per element.
+class BinIndices {
+ public:
+  BinIndices() = default;
+
+  /// Allocate @p count zero indices of the given type.
+  BinIndices(IndexType type, std::size_t count)
+      : type_(type),
+        count_(count),
+        raw_(count * static_cast<std::size_t>(bits(type) / 8), 0) {}
+
+  IndexType type() const { return type_; }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Read index @p k, widened to int64.
+  std::int64_t get(std::size_t k) const {
+    switch (type_) {
+      case IndexType::kInt8:
+        return reinterpret_cast<const std::int8_t*>(raw_.data())[k];
+      case IndexType::kInt16:
+        return reinterpret_cast<const std::int16_t*>(raw_.data())[k];
+      case IndexType::kInt32:
+        return reinterpret_cast<const std::int32_t*>(raw_.data())[k];
+      case IndexType::kInt64:
+        return reinterpret_cast<const std::int64_t*>(raw_.data())[k];
+    }
+    return 0;
+  }
+
+  /// Write index @p k (the value must fit the index type; binning clamps to
+  /// [-r, r] which always fits).
+  void set(std::size_t k, std::int64_t value) {
+    switch (type_) {
+      case IndexType::kInt8:
+        reinterpret_cast<std::int8_t*>(raw_.data())[k] =
+            static_cast<std::int8_t>(value);
+        return;
+      case IndexType::kInt16:
+        reinterpret_cast<std::int16_t*>(raw_.data())[k] =
+            static_cast<std::int16_t>(value);
+        return;
+      case IndexType::kInt32:
+        reinterpret_cast<std::int32_t*>(raw_.data())[k] =
+            static_cast<std::int32_t>(value);
+        return;
+      case IndexType::kInt64:
+        reinterpret_cast<std::int64_t*>(raw_.data())[k] = value;
+        return;
+    }
+  }
+
+  /// Invoke @p fn with a typed const pointer to the index array
+  /// (fn(const T* data) for T in {int8_t, int16_t, int32_t, int64_t}).
+  template <typename Fn>
+  decltype(auto) visit(Fn&& fn) const {
+    switch (type_) {
+      case IndexType::kInt8:
+        return fn(reinterpret_cast<const std::int8_t*>(raw_.data()));
+      case IndexType::kInt16:
+        return fn(reinterpret_cast<const std::int16_t*>(raw_.data()));
+      case IndexType::kInt32:
+        return fn(reinterpret_cast<const std::int32_t*>(raw_.data()));
+      case IndexType::kInt64:
+      default:
+        return fn(reinterpret_cast<const std::int64_t*>(raw_.data()));
+    }
+  }
+
+  /// Invoke @p fn with a typed mutable pointer (fn(T* data)).
+  template <typename Fn>
+  decltype(auto) visit_mutable(Fn&& fn) {
+    switch (type_) {
+      case IndexType::kInt8:
+        return fn(reinterpret_cast<std::int8_t*>(raw_.data()));
+      case IndexType::kInt16:
+        return fn(reinterpret_cast<std::int16_t*>(raw_.data()));
+      case IndexType::kInt32:
+        return fn(reinterpret_cast<std::int32_t*>(raw_.data()));
+      case IndexType::kInt64:
+      default:
+        return fn(reinterpret_cast<std::int64_t*>(raw_.data()));
+    }
+  }
+
+  /// Negate every index in place (Algorithm 1; radii are symmetric so no
+  /// overflow is possible for clamped bins).
+  void negate_all() {
+    visit_mutable([this](auto* data) {
+      for (std::size_t k = 0; k < count_; ++k) data[k] = -data[k];
+    });
+  }
+
+  /// Raw storage in bytes (the true compressed F payload size).
+  std::size_t byte_size() const { return raw_.size(); }
+
+  friend bool operator==(const BinIndices& a, const BinIndices& b) {
+    return a.type_ == b.type_ && a.count_ == b.count_ && a.raw_ == b.raw_;
+  }
+
+ private:
+  IndexType type_ = IndexType::kInt8;
+  std::size_t count_ = 0;
+  std::vector<std::uint8_t> raw_;
+};
+
+}  // namespace pyblaz

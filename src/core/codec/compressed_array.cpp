@@ -1,0 +1,26 @@
+#include "core/codec/compressed_array.hpp"
+
+#include <stdexcept>
+
+namespace pyblaz {
+
+index_t CompressedArray::dc_slot() const {
+  const auto& offsets = mask.kept_offsets();
+  if (!offsets.empty() && offsets[0] == 0) return 0;
+  return -1;
+}
+
+bool CompressedArray::layout_matches(const CompressedArray& other) const {
+  return shape == other.shape && block_shape == other.block_shape &&
+         float_type == other.float_type && index_type == other.index_type &&
+         transform == other.transform && mask == other.mask;
+}
+
+void CompressedArray::require_layout_match(const CompressedArray& other) const {
+  if (!layout_matches(other))
+    throw std::invalid_argument(
+        "compressed-space binary operation requires operands compressed with "
+        "identical settings and shapes");
+}
+
+}  // namespace pyblaz

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/codec/bin_indices.hpp"
+#include "core/codec/pruning.hpp"
+#include "core/dtypes/float_type.hpp"
+#include "core/dtypes/index_type.hpp"
+#include "core/ndarray/shape.hpp"
+#include "core/transform/transform.hpp"
+
+namespace pyblaz {
+
+/// A compressed array (§III-B): the set {s, i, N, F} plus the information
+/// required for decompression (float/index types, transform kind, pruning
+/// mask P).
+///
+/// - `shape` (s): the original array shape.
+/// - `block_shape` (i): the block shape used during compression.
+/// - `biggest` (N): per block, the biggest-magnitude transform coefficient,
+///   already rounded through `float_type` (it is *stored* in that type).
+/// - `indices` (F): per block, the bin indices of the kept coefficients in
+///   mask kept-offset order, each in [-r, r] for the index-type radius r.
+///
+/// The specified coefficient for kept slot j of block k decodes as
+/// biggest[k] * indices[k * kept + j] / r (Algorithm 3); every
+/// compressed-space operation works on these without inverse-transforming.
+class CompressedArray {
+ public:
+  CompressedArray() = default;
+
+  Shape shape;             ///< Original shape s.
+  Shape block_shape;       ///< Block shape i.
+  FloatType float_type = FloatType::kFloat32;
+  IndexType index_type = IndexType::kInt8;
+  TransformKind transform = TransformKind::kDCT;
+  PruningMask mask;        ///< Kept-coefficient selection P.
+
+  std::vector<double> biggest;  ///< N: one value per block.
+  BinIndices indices;           ///< F: num_blocks() * kept_per_block(), stored
+                                ///< at the index type's true width.
+
+  /// Arrangement of blocks b = ceil(s ⊘ i).
+  Shape block_grid() const { return Shape::ceil_div(shape, block_shape); }
+
+  /// Number of blocks, prod(b).
+  index_t num_blocks() const { return block_grid().volume(); }
+
+  /// Kept coefficients per block, Σ P.
+  index_t kept_per_block() const { return mask.kept_count(); }
+
+  /// The binning radius used in arithmetic (arithmetic_radius of the index
+  /// type: the nominal r = 2^(b-1) - 1 capped at 2^53 for int64).
+  std::int64_t radius() const { return pyblaz::arithmetic_radius(index_type); }
+
+  /// Position of the DC coefficient inside each block's kept slots, or -1 if
+  /// the DC coefficient was pruned away.  Operations that read block means
+  /// (mean, covariance, scalar addition, Wasserstein) need this to be 0.
+  index_t dc_slot() const;
+
+  /// True when @p other has identical shape, block shape, types, transform,
+  /// and mask — the precondition for the binary compressed-space operations.
+  bool layout_matches(const CompressedArray& other) const;
+
+  /// Throws std::invalid_argument when layouts differ (used by binary ops).
+  void require_layout_match(const CompressedArray& other) const;
+};
+
+}  // namespace pyblaz

@@ -1,0 +1,290 @@
+#include "core/codec/compressor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/ndarray/ndarray_ops.hpp"
+
+namespace pyblaz {
+
+Compressor::Compressor(CompressorSettings settings)
+    : settings_(std::move(settings)) {
+  settings_.validate();
+  mask_ = settings_.effective_mask();
+  transform_ =
+      std::make_shared<BlockTransform>(settings_.transform, settings_.block_shape);
+}
+
+namespace {
+
+/// Decompose @p offset (row-major within @p shape) into per-axis coordinates.
+void decompose(const Shape& shape, index_t offset, index_t* coords) {
+  for (int axis = shape.ndim() - 1; axis >= 0; --axis) {
+    coords[axis] = offset % shape[axis];
+    offset /= shape[axis];
+  }
+}
+
+/// Advance row-major coordinates over the leading (all but last) axes.
+bool advance_row(const Shape& shape, index_t* coords) {
+  for (int axis = shape.ndim() - 2; axis >= 0; --axis) {
+    if (++coords[axis] < shape[axis]) return true;
+    coords[axis] = 0;
+  }
+  return false;
+}
+
+/// Per-thread workspace for fused block processing: block rows are moved
+/// with memcpy between the array (row-major) and a local block buffer, so
+/// compression never materializes a whole-array blocked intermediate.
+struct BlockCursor {
+  const Shape& shape;
+  const Shape& block_shape;
+  const Shape& grid;
+  std::vector<index_t> strides;
+  int d;
+  index_t block_last;
+  index_t rows_per_block;
+
+  std::vector<index_t> block_coords;
+  std::vector<index_t> row_coords;
+
+  BlockCursor(const Shape& array_shape, const Shape& block, const Shape& block_grid)
+      : shape(array_shape),
+        block_shape(block),
+        grid(block_grid),
+        strides(array_shape.strides()),
+        d(array_shape.ndim()),
+        block_last(block[array_shape.ndim() - 1]),
+        rows_per_block(block.volume() / block[array_shape.ndim() - 1]),
+        block_coords(static_cast<std::size_t>(array_shape.ndim())),
+        row_coords(static_cast<std::size_t>(array_shape.ndim()), 0) {}
+
+  /// Copy block @p kb of the array into @p dst, zero-padding ragged edges.
+  void gather(const double* array, index_t kb, double* dst) {
+    decompose(grid, kb, block_coords.data());
+    const index_t last_start =
+        block_coords[static_cast<std::size_t>(d - 1)] * block_last;
+    const index_t copy_count =
+        std::clamp<index_t>(shape[d - 1] - last_start, 0, block_last);
+    std::fill(row_coords.begin(), row_coords.end(), 0);
+    for (index_t row = 0; row < rows_per_block; ++row, dst += block_last) {
+      bool inside = copy_count > 0;
+      index_t src = last_start;
+      for (int axis = 0; inside && axis < d - 1; ++axis) {
+        const index_t coord =
+            block_coords[static_cast<std::size_t>(axis)] * block_shape[axis] +
+            row_coords[static_cast<std::size_t>(axis)];
+        if (coord >= shape[axis]) {
+          inside = false;
+        } else {
+          src += coord * strides[static_cast<std::size_t>(axis)];
+        }
+      }
+      if (inside) {
+        std::memcpy(dst, array + src,
+                    static_cast<std::size_t>(copy_count) * sizeof(double));
+        std::fill(dst + copy_count, dst + block_last, 0.0);
+      } else {
+        std::fill(dst, dst + block_last, 0.0);
+      }
+      if (d > 1) advance_row(block_shape, row_coords.data());
+    }
+  }
+
+  /// Copy block @p kb from @p src into the array, cropping ragged edges.
+  void scatter(double* array, index_t kb, const double* src) {
+    decompose(grid, kb, block_coords.data());
+    const index_t last_start =
+        block_coords[static_cast<std::size_t>(d - 1)] * block_last;
+    const index_t copy_count =
+        std::clamp<index_t>(shape[d - 1] - last_start, 0, block_last);
+    std::fill(row_coords.begin(), row_coords.end(), 0);
+    for (index_t row = 0; row < rows_per_block; ++row, src += block_last) {
+      bool inside = copy_count > 0;
+      index_t dst = last_start;
+      for (int axis = 0; inside && axis < d - 1; ++axis) {
+        const index_t coord =
+            block_coords[static_cast<std::size_t>(axis)] * block_shape[axis] +
+            row_coords[static_cast<std::size_t>(axis)];
+        if (coord >= shape[axis]) {
+          inside = false;
+        } else {
+          dst += coord * strides[static_cast<std::size_t>(axis)];
+        }
+      }
+      if (inside) {
+        std::memcpy(array + dst, src,
+                    static_cast<std::size_t>(copy_count) * sizeof(double));
+      }
+      if (d > 1) advance_row(block_shape, row_coords.data());
+    }
+  }
+};
+
+}  // namespace
+
+CompressedArray Compressor::compress(const NDArray<double>& array,
+                                     CompressionDiagnostics* diagnostics) const {
+  if (array.shape().ndim() != settings_.block_shape.ndim())
+    throw std::invalid_argument(
+        "Compressor: array dimensionality " +
+        std::to_string(array.shape().ndim()) + " does not match block shape " +
+        settings_.block_shape.to_string());
+
+  const Shape grid = Shape::ceil_div(array.shape(), settings_.block_shape);
+  const index_t num_blocks = grid.volume();
+  const index_t block_volume = settings_.block_shape.volume();
+  const index_t kept = mask_.kept_count();
+  const auto& kept_offsets = mask_.kept_offsets();
+  const double r = static_cast<double>(arithmetic_radius(settings_.index_type));
+  const bool lower_precision = settings_.float_type != FloatType::kFloat64;
+  const FloatType ftype = settings_.float_type;
+
+  CompressedArray out;
+  out.shape = array.shape();
+  out.block_shape = settings_.block_shape;
+  out.float_type = ftype;
+  out.index_type = settings_.index_type;
+  out.transform = settings_.transform;
+  out.mask = mask_;
+  out.biggest.resize(static_cast<std::size_t>(num_blocks));
+  out.indices = BinIndices(settings_.index_type,
+                           static_cast<std::size_t>(num_blocks * kept));
+
+  if (diagnostics) {
+    diagnostics->binning_l2.assign(static_cast<std::size_t>(num_blocks), 0.0);
+    diagnostics->pruning_l2.assign(static_cast<std::size_t>(num_blocks), 0.0);
+    diagnostics->pruning_linf.assign(static_cast<std::size_t>(num_blocks), 0.0);
+    diagnostics->pruning_l1.assign(static_cast<std::size_t>(num_blocks), 0.0);
+  }
+
+  out.indices.visit_mutable([&](auto* bins_data) {
+#pragma omp parallel
+    {
+      BlockCursor cursor(array.shape(), settings_.block_shape, grid);
+      std::vector<double> coeffs(static_cast<std::size_t>(block_volume));
+      std::vector<double> scratch(static_cast<std::size_t>(block_volume));
+#pragma omp for
+      for (index_t kb = 0; kb < num_blocks; ++kb) {
+        // Steps 1+2 (§III-A a, b): gather the block, rounding values through
+        // the storage float type (elementwise, so quantize-then-block and
+        // block-then-quantize agree).
+        cursor.gather(array.data(), kb, coeffs.data());
+        if (lower_precision) {
+          for (index_t j = 0; j < block_volume; ++j)
+            coeffs[static_cast<std::size_t>(j)] =
+                quantize(coeffs[static_cast<std::size_t>(j)], ftype);
+        }
+
+        // Step 3 (§III-A c): orthonormal transform, in place.
+        transform_->forward(coeffs.data(), scratch.data());
+
+        // Step 4 (§III-A d): binning.  N_k = ‖C_k‖∞ over all coefficients,
+        // stored rounded through the float type.
+        double biggest = 0.0;
+        for (index_t j = 0; j < block_volume; ++j)
+          biggest = std::max(biggest, std::fabs(coeffs[static_cast<std::size_t>(j)]));
+        biggest = quantize(biggest, ftype);
+        out.biggest[static_cast<std::size_t>(kb)] = biggest;
+
+        auto* bins = bins_data + kb * kept;
+        using BinT = std::remove_reference_t<decltype(bins[0])>;
+        if (biggest == 0.0) {
+          std::fill(bins, bins + kept, BinT{0});
+        } else {
+          // Step 5 (§III-A e): pruning — only kept offsets are binned and
+          // stored.  Indices are round(r C / N) clamped to [-r, r].
+          const double inv = r / biggest;
+          for (index_t slot = 0; slot < kept; ++slot) {
+            const double c =
+                coeffs[static_cast<std::size_t>(kept_offsets[static_cast<std::size_t>(slot)])];
+            const double scaled = std::clamp(std::round(c * inv), -r, r);
+            bins[slot] = static_cast<BinT>(scaled);
+          }
+        }
+
+        if (diagnostics) {
+          double binning_sq = 0.0, pruning_sq = 0.0, pruning_linf = 0.0,
+                 pruning_l1 = 0.0;
+          index_t slot = 0;
+          for (index_t j = 0; j < block_volume; ++j) {
+            const double c = coeffs[static_cast<std::size_t>(j)];
+            if (slot < kept && kept_offsets[static_cast<std::size_t>(slot)] == j) {
+              const double decoded =
+                  biggest == 0.0
+                      ? 0.0
+                      : biggest * static_cast<double>(bins[slot]) / r;
+              const double err = c - decoded;
+              binning_sq += err * err;
+              ++slot;
+            } else {
+              pruning_sq += c * c;
+              pruning_linf = std::max(pruning_linf, std::fabs(c));
+              pruning_l1 += std::fabs(c);
+            }
+          }
+          diagnostics->binning_l2[static_cast<std::size_t>(kb)] = std::sqrt(binning_sq);
+          diagnostics->pruning_l2[static_cast<std::size_t>(kb)] = std::sqrt(pruning_sq);
+          diagnostics->pruning_linf[static_cast<std::size_t>(kb)] = pruning_linf;
+          diagnostics->pruning_l1[static_cast<std::size_t>(kb)] = pruning_l1;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+NDArray<double> Compressor::decompress(const CompressedArray& array) const {
+  if (array.block_shape != settings_.block_shape ||
+      array.transform != settings_.transform)
+    throw std::invalid_argument(
+        "Compressor::decompress: array was compressed with different settings");
+
+  const Shape grid = array.block_grid();
+  const index_t num_blocks = grid.volume();
+  const index_t block_volume = array.block_shape.volume();
+  const index_t kept = array.kept_per_block();
+  const auto& kept_offsets = array.mask.kept_offsets();
+  const double r = static_cast<double>(array.radius());
+  const bool lower_precision = settings_.float_type != FloatType::kFloat64;
+  const FloatType ftype = settings_.float_type;
+
+  NDArray<double> out(array.shape);
+
+  array.indices.visit([&](const auto* bins_data) {
+#pragma omp parallel
+    {
+      BlockCursor cursor(array.shape, array.block_shape, grid);
+      std::vector<double> coeffs(static_cast<std::size_t>(block_volume));
+      std::vector<double> scratch(static_cast<std::size_t>(block_volume));
+#pragma omp for
+      for (index_t kb = 0; kb < num_blocks; ++kb) {
+        // Unflatten F with zeros in the pruned slots (§III-B), scaling back
+        // to specified coefficients (Algorithm 3).
+        std::fill(coeffs.begin(), coeffs.end(), 0.0);
+        const double biggest = array.biggest[static_cast<std::size_t>(kb)];
+        const auto* bins = bins_data + kb * kept;
+        const double scale = biggest / r;
+        for (index_t slot = 0; slot < kept; ++slot) {
+          coeffs[static_cast<std::size_t>(kept_offsets[static_cast<std::size_t>(slot)])] =
+              scale * static_cast<double>(bins[slot]);
+        }
+        transform_->inverse(coeffs.data(), scratch.data());
+        // The reconstruction lives in the storage float type.
+        if (lower_precision) {
+          for (index_t j = 0; j < block_volume; ++j)
+            coeffs[static_cast<std::size_t>(j)] =
+                quantize(coeffs[static_cast<std::size_t>(j)], ftype);
+        }
+        cursor.scatter(out.data(), kb, coeffs.data());
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace pyblaz

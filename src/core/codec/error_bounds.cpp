@@ -1,0 +1,62 @@
+#include "core/codec/error_bounds.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pyblaz {
+
+double bin_width(double biggest, IndexType index_type) {
+  const double r = static_cast<double>(radius(index_type));
+  return 2.0 * biggest / (2.0 * r + 1.0);
+}
+
+double max_binning_coefficient_error(double biggest, IndexType index_type) {
+  // The decodable values N * k / r (k in [-r, r]) are spaced N / r apart, so
+  // rounding moves a coefficient by at most N / (2r).  This is marginally
+  // looser than the paper's N / (2r + 1), which counts 2r + 1 bins over
+  // [-N, N]; the ratio is (2r + 1) / 2r, under 0.4% even for int8.
+  const double r = static_cast<double>(arithmetic_radius(index_type));
+  return biggest / (2.0 * r);
+}
+
+double loose_linf_bound(double biggest, IndexType index_type,
+                        const Shape& block_shape) {
+  return static_cast<double>(block_shape.volume()) *
+         max_binning_coefficient_error(biggest, index_type);
+}
+
+std::vector<double> loose_linf_bounds(const CompressedArray& array) {
+  std::vector<double> bounds(array.biggest.size());
+  for (std::size_t k = 0; k < array.biggest.size(); ++k) {
+    bounds[k] =
+        loose_linf_bound(array.biggest[k], array.index_type, array.block_shape);
+  }
+  return bounds;
+}
+
+double CompressionDiagnostics::total_l2() const {
+  double squares = 0.0;
+  for (double v : binning_l2) squares += v * v;
+  for (double v : pruning_l2) squares += v * v;
+  return std::sqrt(squares);
+}
+
+double CompressionDiagnostics::block_l2(index_t block) const {
+  const auto k = static_cast<std::size_t>(block);
+  assert(k < binning_l2.size());
+  return std::sqrt(binning_l2[k] * binning_l2[k] + pruning_l2[k] * pruning_l2[k]);
+}
+
+double CompressionDiagnostics::loose_linf(const CompressedArray& array) const {
+  double worst = 0.0;
+  for (std::size_t k = 0; k < array.biggest.size(); ++k) {
+    const double binning =
+        loose_linf_bound(array.biggest[k], array.index_type, array.block_shape);
+    const double pruning = k < pruning_l1.size() ? pruning_l1[k] : 0.0;
+    worst = std::max(worst, binning + pruning);
+  }
+  return worst;
+}
+
+}  // namespace pyblaz

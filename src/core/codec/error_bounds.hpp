@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "core/codec/compressed_array.hpp"
+#include "core/dtypes/index_type.hpp"
+
+namespace pyblaz {
+
+/// A-priori per-block error quantities of §IV-D.
+///
+/// With biggest coefficient N_k and index-type radius r, the 2r + 1 bins
+/// centered at zero covering [-N_k, N_k] have width 2 N_k / (2r + 1); binning
+/// therefore perturbs each kept coefficient by at most half a bin.
+
+/// Width of one bin under the paper's 2r + 1-bin accounting: 2 N / (2r + 1).
+double bin_width(double biggest, IndexType index_type);
+
+/// Guaranteed maximum binning error per coefficient: N / (2r), half the
+/// actual spacing of the decodable values N k / r.  (The paper quotes
+/// N / (2r + 1); the two differ by under 0.4% even for int8.  Uses the
+/// arithmetic radius, so the bound is honest for int64 too.)
+double max_binning_coefficient_error(double biggest, IndexType index_type);
+
+/// The paper's loose per-block L∞ bound in the decompressed space, for the
+/// binning contribution alone: every one of the prod(i) coefficients may be
+/// off by up to N/(2r+1) and every basis element has magnitude at most 1,
+/// giving prod(i) * N / (2r + 1).  Pruning adds the magnitudes of the dropped
+/// coefficients, which are only known at compression time (see
+/// CompressionDiagnostics).
+double loose_linf_bound(double biggest, IndexType index_type,
+                        const Shape& block_shape);
+
+/// Per-block loose L∞ bounds for a whole compressed array (binning term).
+std::vector<double> loose_linf_bounds(const CompressedArray& array);
+
+/// Exact per-block error accounting measured while compressing.  Because the
+/// transform is orthonormal, the decompressed-space L2 error of block k
+/// equals the L2 norm of its coefficient errors (§IV-D), i.e.
+/// sqrt(binning_l2[k]^2 + pruning_l2[k]^2) exactly (up to FP rounding).
+struct CompressionDiagnostics {
+  /// L2 norm of (coefficient - dequantized bin) over kept coefficients.
+  std::vector<double> binning_l2;
+  /// L2 norm of the pruned (zeroed) coefficients.
+  std::vector<double> pruning_l2;
+  /// Largest-magnitude pruned coefficient.
+  std::vector<double> pruning_linf;
+  /// Sum of magnitudes of pruned coefficients (enters the loose L∞ bound).
+  std::vector<double> pruning_l1;
+
+  /// Whole-array L2 error bound: sqrt(Σ_k binning² + pruning²).
+  double total_l2() const;
+
+  /// Per-block guaranteed L2 error (valid decompressed-space bound).
+  double block_l2(index_t block) const;
+
+  /// Loose whole-array L∞ bound: max over blocks of
+  /// prod(i)·N_k/(2r+1) + pruning_l1[k].  Needs the array for N and settings.
+  double loose_linf(const CompressedArray& array) const;
+};
+
+}  // namespace pyblaz

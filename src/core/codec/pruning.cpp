@@ -1,0 +1,64 @@
+#include "core/codec/pruning.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace pyblaz {
+
+void PruningMask::rebuild_offsets() {
+  kept_offsets_.clear();
+  for (std::size_t k = 0; k < flags_.size(); ++k) {
+    if (flags_[k]) kept_offsets_.push_back(static_cast<index_t>(k));
+  }
+}
+
+PruningMask PruningMask::keep_all(const Shape& block_shape) {
+  PruningMask mask;
+  mask.shape_ = block_shape;
+  mask.flags_.assign(static_cast<std::size_t>(block_shape.volume()), 1);
+  mask.rebuild_offsets();
+  return mask;
+}
+
+PruningMask PruningMask::keep_fraction(const Shape& block_shape, double fraction) {
+  assert(fraction >= 0.0 && fraction <= 1.0);
+  const index_t volume = block_shape.volume();
+  index_t keep = static_cast<index_t>(fraction * static_cast<double>(volume) + 0.5);
+  keep = std::clamp<index_t>(keep, fraction > 0.0 ? 1 : 0, volume);
+
+  // Order intrablock offsets by sequency (sum of frequency coordinates),
+  // then by offset for determinism.
+  std::vector<index_t> order(static_cast<std::size_t>(volume));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::vector<index_t> sequency(static_cast<std::size_t>(volume));
+  for (index_t j = 0; j < volume; ++j) {
+    index_t s = 0;
+    for (index_t c : block_shape.indices_of(j)) s += c;
+    sequency[static_cast<std::size_t>(j)] = s;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return sequency[static_cast<std::size_t>(a)] < sequency[static_cast<std::size_t>(b)];
+  });
+
+  PruningMask mask;
+  mask.shape_ = block_shape;
+  mask.flags_.assign(static_cast<std::size_t>(volume), 0);
+  for (index_t k = 0; k < keep; ++k)
+    mask.flags_[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] = 1;
+  mask.rebuild_offsets();
+  return mask;
+}
+
+PruningMask PruningMask::from_flags(const Shape& block_shape,
+                                    std::vector<std::uint8_t> flags) {
+  assert(static_cast<index_t>(flags.size()) == block_shape.volume());
+  PruningMask mask;
+  mask.shape_ = block_shape;
+  mask.flags_ = std::move(flags);
+  for (auto& f : mask.flags_) f = f ? 1 : 0;
+  mask.rebuild_offsets();
+  return mask;
+}
+
+}  // namespace pyblaz

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <vector>
+
+#include "core/ndarray/shape.hpp"
+
+namespace pyblaz {
+
+/// Pruning mask P (§III-A "pruning"): a Boolean array shaped like one block
+/// selecting which transform-coefficient indices (frequencies) survive
+/// compression.  Dropping an index is equivalent to rounding its coefficient
+/// to zero, so pruning trades error for compression ratio.
+class PruningMask {
+ public:
+  /// Default-constructed masks are invalid placeholders; use the factories.
+  PruningMask() = default;
+
+  /// Keep every coefficient (no pruning).
+  static PruningMask keep_all(const Shape& block_shape);
+
+  /// Keep approximately @p fraction of the coefficients, preferring low
+  /// sequency (sum of frequency coordinates), which is where DCT concentrates
+  /// smooth-signal energy.  Ties are broken by flat offset so the selection
+  /// is deterministic.  At least one coefficient (the DC) is always kept when
+  /// fraction > 0.
+  static PruningMask keep_fraction(const Shape& block_shape, double fraction);
+
+  /// Build from explicit flags (1 = keep), row-major over the block shape.
+  static PruningMask from_flags(const Shape& block_shape,
+                                std::vector<std::uint8_t> flags);
+
+  /// Shape of the mask (= block shape i).
+  const Shape& shape() const { return shape_; }
+
+  /// Σ P: how many coefficients are kept per block.
+  index_t kept_count() const { return static_cast<index_t>(kept_offsets_.size()); }
+
+  /// Flat intrablock offsets of the kept coefficients, ascending.  The
+  /// flattened sequence F stores coefficients in exactly this order.
+  const std::vector<index_t>& kept_offsets() const { return kept_offsets_; }
+
+  /// Whether intrablock offset @p offset survives pruning.
+  bool keeps(index_t offset) const {
+    return flags_[static_cast<std::size_t>(offset)] != 0;
+  }
+
+  /// Whether the first (DC) coefficient is kept.  Mean, scalar addition,
+  /// covariance, SSIM, and Wasserstein distance all require this.
+  bool keeps_dc() const { return !flags_.empty() && flags_[0] != 0; }
+
+  /// Raw flags, row-major over the block shape (1 = keep).
+  const std::vector<std::uint8_t>& flags() const { return flags_; }
+
+  /// True for factory-built masks, false for default-constructed ones.
+  bool valid() const { return !flags_.empty(); }
+
+  friend bool operator==(const PruningMask& a, const PruningMask& b) {
+    return a.shape_ == b.shape_ && a.flags_ == b.flags_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<index_t> kept_offsets_;
+
+  void rebuild_offsets();
+};
+
+}  // namespace pyblaz

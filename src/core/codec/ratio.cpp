@@ -1,0 +1,45 @@
+#include "core/codec/ratio.hpp"
+
+namespace pyblaz {
+
+double formula_ratio(const CompressorSettings& settings, const Shape& array_shape,
+                     int uncompressed_bits) {
+  const double u = uncompressed_bits;
+  const double f = bits(settings.float_type);
+  const double i = bits(settings.index_type);
+  const double kept = static_cast<double>(settings.effective_mask().kept_count());
+  const double blocks = static_cast<double>(
+      Shape::ceil_div(array_shape, settings.block_shape).volume());
+  return u * static_cast<double>(array_shape.volume()) / ((f + i * kept) * blocks);
+}
+
+double asymptotic_ratio(const CompressorSettings& settings, int uncompressed_bits) {
+  const double u = uncompressed_bits;
+  const double f = bits(settings.float_type);
+  const double i = bits(settings.index_type);
+  const double kept = static_cast<double>(settings.effective_mask().kept_count());
+  return u * static_cast<double>(settings.block_shape.volume()) / (f + i * kept);
+}
+
+std::size_t layout_bits(const CompressorSettings& settings,
+                        const Shape& array_shape) {
+  const std::size_t d = static_cast<std::size_t>(array_shape.ndim());
+  const std::size_t blocks = static_cast<std::size_t>(
+      Shape::ceil_div(array_shape, settings.block_shape).volume());
+  const std::size_t kept =
+      static_cast<std::size_t>(settings.effective_mask().kept_count());
+  return 4 + 64 * d + 64 + 64 * d +
+         static_cast<std::size_t>(settings.block_shape.volume()) +
+         static_cast<std::size_t>(bits(settings.float_type)) * blocks +
+         static_cast<std::size_t>(bits(settings.index_type)) * kept * blocks;
+}
+
+double exact_ratio(const CompressorSettings& settings, const Shape& array_shape,
+                   int uncompressed_bits) {
+  const double original =
+      static_cast<double>(uncompressed_bits) *
+      static_cast<double>(array_shape.volume());
+  return original / static_cast<double>(layout_bits(settings, array_shape));
+}
+
+}  // namespace pyblaz

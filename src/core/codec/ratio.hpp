@@ -1,0 +1,32 @@
+#pragma once
+
+#include "core/codec/settings.hpp"
+#include "core/ndarray/shape.hpp"
+
+namespace pyblaz {
+
+/// Compression-ratio accounting (§IV-C).  The ratio depends only on the
+/// compression settings and the array shape — never on the data.
+
+/// The paper's headline formula:
+///     u * prod(s) / ((f + i * ΣP) * prod(ceil(s ⊘ i)))
+/// where u = bits per uncompressed element, f = float-type bits, i =
+/// index-type bits, ΣP = kept coefficients per block.  This counts only the
+/// N and F payloads (the terms that grow with the array).
+double formula_ratio(const CompressorSettings& settings, const Shape& array_shape,
+                     int uncompressed_bits = 64);
+
+/// The limit of formula_ratio as the array grows: u * prod(i) / (f + i * ΣP).
+double asymptotic_ratio(const CompressorSettings& settings,
+                        int uncompressed_bits = 64);
+
+/// Exact ratio against the full §IV-C layout, including the type nibble,
+/// shape words, end marker, and pruning mask.
+double exact_ratio(const CompressorSettings& settings, const Shape& array_shape,
+                   int uncompressed_bits = 64);
+
+/// Total §IV-C layout size in bits for the given settings and shape.
+std::size_t layout_bits(const CompressorSettings& settings,
+                        const Shape& array_shape);
+
+}  // namespace pyblaz

@@ -1,0 +1,184 @@
+#include "core/codec/serialization.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "core/dtypes/bfloat16.hpp"
+#include "core/dtypes/float16.hpp"
+#include "core/util/bitstream.hpp"
+
+namespace pyblaz {
+
+namespace {
+
+constexpr std::uint64_t kEndOfShapeMarker = ~std::uint64_t{0};
+
+std::uint64_t encode_stored_float(double value, FloatType type) {
+  switch (type) {
+    case FloatType::kBFloat16:
+      return bfloat16::from_float(static_cast<float>(value));
+    case FloatType::kFloat16:
+      return float16::from_float(static_cast<float>(value));
+    case FloatType::kFloat32:
+      return std::bit_cast<std::uint32_t>(static_cast<float>(value));
+    case FloatType::kFloat64:
+      return std::bit_cast<std::uint64_t>(value);
+  }
+  return 0;
+}
+
+double decode_stored_float(std::uint64_t bits_value, FloatType type) {
+  switch (type) {
+    case FloatType::kBFloat16:
+      return static_cast<double>(
+          bfloat16::to_float(static_cast<std::uint16_t>(bits_value)));
+    case FloatType::kFloat16:
+      return static_cast<double>(
+          float16::to_float(static_cast<std::uint16_t>(bits_value)));
+    case FloatType::kFloat32:
+      return static_cast<double>(
+          std::bit_cast<float>(static_cast<std::uint32_t>(bits_value)));
+    case FloatType::kFloat64:
+      return std::bit_cast<double>(bits_value);
+  }
+  return 0.0;
+}
+
+/// Sign-extend the low @p nbits bits of @p raw.
+std::int64_t sign_extend(std::uint64_t raw, int nbits) {
+  if (nbits == 64) return static_cast<std::int64_t>(raw);
+  const std::uint64_t sign_bit = std::uint64_t{1} << (nbits - 1);
+  if (raw & sign_bit) raw |= ~((std::uint64_t{1} << nbits) - 1);
+  return static_cast<std::int64_t>(raw);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const CompressedArray& array) {
+  BitWriter writer;
+  writer.put_bits(static_cast<std::uint64_t>(array.float_type), 2);
+  writer.put_bits(static_cast<std::uint64_t>(array.index_type), 2);
+  writer.put_bits(static_cast<std::uint64_t>(array.transform), 1);
+  writer.put_bits(0, 3);  // Reserved.
+
+  for (index_t extent : array.shape.dims())
+    writer.put_bits(static_cast<std::uint64_t>(extent), 64);
+  writer.put_bits(kEndOfShapeMarker, 64);
+  for (index_t extent : array.block_shape.dims())
+    writer.put_bits(static_cast<std::uint64_t>(extent), 64);
+
+  for (std::uint8_t flag : array.mask.flags()) writer.put_bit(flag);
+
+  const int fbits = bits(array.float_type);
+  for (double n : array.biggest)
+    writer.put_bits(encode_stored_float(n, array.float_type), fbits);
+
+  const int ibits = bits(array.index_type);
+  for (std::size_t k = 0; k < array.indices.size(); ++k)
+    writer.put_bits(static_cast<std::uint64_t>(array.indices.get(k)), ibits);
+
+  writer.align_to_byte();
+  return std::move(writer).take_bytes();
+}
+
+CompressedArray deserialize(const std::vector<std::uint8_t>& bytes) {
+  BitReader reader(bytes);
+  CompressedArray array;
+  array.float_type = static_cast<FloatType>(reader.get_bits(2));
+  array.index_type = static_cast<IndexType>(reader.get_bits(2));
+  array.transform = static_cast<TransformKind>(reader.get_bits(1));
+  reader.get_bits(3);  // Reserved.
+
+  // Structural sanity limits: a corrupted size field must be rejected before
+  // it drives a huge allocation (see tests/test_fuzz.cpp).
+  constexpr index_t kMaxExtent = index_t{1} << 40;
+  constexpr index_t kMaxBlockExtent = index_t{1} << 20;
+  constexpr index_t kMaxBlockVolume = index_t{1} << 26;
+
+  std::vector<index_t> s_dims;
+  for (;;) {
+    const std::uint64_t word = reader.get_bits(64);
+    if (word == kEndOfShapeMarker) break;
+    if (s_dims.size() > 16 || reader.position() > reader.size_bits())
+      throw std::invalid_argument("deserialize: missing end-of-shape marker");
+    const auto extent = static_cast<index_t>(word);
+    if (extent <= 0 || extent > kMaxExtent)
+      throw std::invalid_argument("deserialize: implausible shape extent");
+    s_dims.push_back(extent);
+  }
+  if (s_dims.empty()) throw std::invalid_argument("deserialize: empty shape");
+  array.shape = Shape(std::move(s_dims));
+
+  std::vector<index_t> i_dims(static_cast<std::size_t>(array.shape.ndim()));
+  for (auto& extent : i_dims) {
+    extent = static_cast<index_t>(reader.get_bits(64));
+    if (extent <= 0 || extent > kMaxBlockExtent)
+      throw std::invalid_argument("deserialize: implausible block extent");
+  }
+  array.block_shape = Shape(std::move(i_dims));
+  if (!array.block_shape.all_powers_of_two() ||
+      array.block_shape.volume() > kMaxBlockVolume)
+    throw std::invalid_argument("deserialize: corrupt block shape");
+
+  // The remaining stream must be able to hold the mask, N, and F payloads
+  // the header promises.
+  {
+    const std::size_t remaining = reader.size_bits() - reader.position();
+    const std::size_t mask_bits =
+        static_cast<std::size_t>(array.block_shape.volume());
+    const std::size_t num_blocks = static_cast<std::size_t>(array.num_blocks());
+    const std::size_t n_bits =
+        static_cast<std::size_t>(bits(array.float_type)) * num_blocks;
+    if (mask_bits > remaining || n_bits > remaining - mask_bits)
+      throw std::invalid_argument("deserialize: truncated stream");
+  }
+
+  std::vector<std::uint8_t> flags(
+      static_cast<std::size_t>(array.block_shape.volume()));
+  for (auto& flag : flags) flag = static_cast<std::uint8_t>(reader.get_bit());
+  array.mask = PruningMask::from_flags(array.block_shape, std::move(flags));
+  if (array.mask.kept_count() == 0)
+    throw std::invalid_argument("deserialize: mask keeps nothing");
+
+  const index_t num_blocks = array.num_blocks();
+  const int fbits = bits(array.float_type);
+  const int ibits = bits(array.index_type);
+  {
+    const std::size_t remaining = reader.size_bits() - reader.position();
+    const std::size_t needed =
+        static_cast<std::size_t>(fbits) * static_cast<std::size_t>(num_blocks) +
+        static_cast<std::size_t>(ibits) * static_cast<std::size_t>(num_blocks) *
+            static_cast<std::size_t>(array.kept_per_block());
+    if (needed > remaining)
+      throw std::invalid_argument("deserialize: truncated stream");
+  }
+
+  array.biggest.resize(static_cast<std::size_t>(num_blocks));
+  for (auto& n : array.biggest)
+    n = decode_stored_float(reader.get_bits(fbits), array.float_type);
+
+  array.indices = BinIndices(
+      array.index_type,
+      static_cast<std::size_t>(num_blocks * array.kept_per_block()));
+  for (std::size_t k = 0; k < array.indices.size(); ++k)
+    array.indices.set(k, sign_extend(reader.get_bits(ibits), ibits));
+
+  if (reader.position() > reader.size_bits())
+    throw std::invalid_argument("deserialize: truncated stream");
+  return array;
+}
+
+std::size_t paper_layout_bits(const CompressedArray& array) {
+  const std::size_t d = static_cast<std::size_t>(array.shape.ndim());
+  const std::size_t num_blocks = static_cast<std::size_t>(array.num_blocks());
+  const std::size_t kept = static_cast<std::size_t>(array.kept_per_block());
+  return 4                                                 // Type nibble.
+         + 64 * d                                          // s.
+         + 64                                              // End marker.
+         + 64 * d                                          // i.
+         + static_cast<std::size_t>(array.block_shape.volume())  // P.
+         + static_cast<std::size_t>(bits(array.float_type)) * num_blocks  // N.
+         + static_cast<std::size_t>(bits(array.index_type)) * kept * num_blocks;  // F.
+}
+
+}  // namespace pyblaz

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/codec/compressed_array.hpp"
+
+namespace pyblaz {
+
+/// Bit-exact serialization of a compressed array following the §IV-C layout:
+///
+///   - 4 bits: float type (2) + index type (2)
+///   - 4 bits: transform kind (1) + reserved (3)   [our addition; the paper's
+///     accounting has only the first 4 bits — see paper_layout_bits()]
+///   - 64 bits per dimension: the original shape s
+///   - 64 bits: end-of-s marker (all ones), which encodes d implicitly
+///   - 64 bits per dimension: the block shape i
+///   - prod(i) bits: the pruning mask P, flattened
+///   - f bits per block: N, flattened (f = bits of the float type)
+///   - i bits per kept index per block: F, flattened (i = bits of the index
+///     type, two's complement)
+///
+/// The stream is zero-padded to a byte boundary at the end.
+std::vector<std::uint8_t> serialize(const CompressedArray& array);
+
+/// Inverse of serialize().  Throws std::invalid_argument on malformed input.
+CompressedArray deserialize(const std::vector<std::uint8_t>& bytes);
+
+/// Size in bits of the §IV-C layout for @p array — exactly the components the
+/// paper's ratio accounting lists (i.e. excluding our extra 4 transform bits
+/// and the final byte padding).
+std::size_t paper_layout_bits(const CompressedArray& array);
+
+}  // namespace pyblaz

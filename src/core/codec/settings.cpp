@@ -1,0 +1,32 @@
+#include "core/codec/settings.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pyblaz {
+
+void CompressorSettings::validate() const {
+  if (block_shape.ndim() == 0)
+    throw std::invalid_argument("CompressorSettings: block shape is empty");
+  if (!block_shape.all_powers_of_two())
+    throw std::invalid_argument(
+        "CompressorSettings: block extents must be powers of two, got " +
+        block_shape.to_string());
+  if (mask && mask->shape() != block_shape)
+    throw std::invalid_argument(
+        "CompressorSettings: pruning mask shape " + mask->shape().to_string() +
+        " does not match block shape " + block_shape.to_string());
+  if (mask && mask->kept_count() == 0)
+    throw std::invalid_argument("CompressorSettings: pruning mask keeps nothing");
+}
+
+std::string CompressorSettings::describe() const {
+  std::ostringstream out;
+  const PruningMask effective = effective_mask();
+  out << "block " << block_shape.to_string() << ", " << name(float_type) << ", "
+      << name(index_type) << ", " << name(transform) << ", kept "
+      << effective.kept_count() << "/" << block_shape.volume();
+  return out.str();
+}
+
+}  // namespace pyblaz

@@ -1,0 +1,78 @@
+#include "core/codec/tuning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/codec/compressor.hpp"
+#include "core/codec/ratio.hpp"
+#include "core/reference/reference.hpp"
+
+namespace pyblaz {
+
+namespace {
+
+/// Candidate block shapes for a sample of dimensionality d: hypercubic cubes
+/// of each side, plus flattened variants (first axis shortened) when the
+/// first extent is small relative to the rest — the paper's non-hypercubic
+/// insight for anisotropic data (§V-B).
+std::vector<Shape> candidate_blocks(const Shape& sample_shape,
+                                    const std::vector<index_t>& sides) {
+  const int d = sample_shape.ndim();
+  std::vector<Shape> blocks;
+  for (index_t side : sides) {
+    std::vector<index_t> dims(static_cast<std::size_t>(d), side);
+    blocks.emplace_back(dims);
+    if (d >= 2 && side >= 8 && sample_shape[0] * 2 <= sample_shape[d - 1]) {
+      dims[0] = std::max<index_t>(side / 4, 1);
+      blocks.emplace_back(dims);
+    }
+  }
+  return blocks;
+}
+
+}  // namespace
+
+TuningResult tune_for_linf(const NDArray<double>& sample, double target_linf,
+                           const TuningOptions& options) {
+  TuningResult result;
+
+  for (const Shape& block : candidate_blocks(sample.shape(), options.block_sides)) {
+    // Skip blocks larger than the sample in any direction; they only pad.
+    bool oversize = false;
+    for (int axis = 0; axis < block.ndim(); ++axis)
+      oversize |= block[axis] > 2 * sample.shape()[axis];
+    if (oversize) continue;
+
+    for (IndexType itype : {IndexType::kInt8, IndexType::kInt16, IndexType::kInt32}) {
+      for (double keep : options.keep_fractions) {
+        CompressorSettings settings{.block_shape = block,
+                                    .float_type = options.float_type,
+                                    .index_type = itype,
+                                    .transform = options.transform};
+        if (keep < 1.0) settings.mask = PruningMask::keep_fraction(block, keep);
+
+        Compressor compressor(settings);
+        CompressionDiagnostics diagnostics;
+        CompressedArray compressed = compressor.compress(sample, &diagnostics);
+
+        TuningCandidate candidate;
+        candidate.settings = settings;
+        candidate.ratio = formula_ratio(settings, sample.shape());
+        candidate.linf_error =
+            options.use_guaranteed_bound
+                ? diagnostics.loose_linf(compressed)
+                : reference::linf_distance(sample, compressor.decompress(compressed));
+        candidate.feasible = candidate.linf_error <= target_linf;
+
+        if (candidate.feasible &&
+            (!result.best || candidate.ratio > result.best->ratio)) {
+          result.best = candidate;
+        }
+        result.evaluated.push_back(std::move(candidate));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pyblaz

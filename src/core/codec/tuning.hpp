@@ -1,0 +1,65 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/codec/settings.hpp"
+#include "core/ndarray/ndarray.hpp"
+
+namespace pyblaz {
+
+/// Automatic compression-settings search (the paper's §VI future-work item:
+/// "PyBlaz can be made to automatically change its compression settings in
+/// order to enforce some L∞ error bound ... instead of relying on the user").
+///
+/// tune_for_linf() explores a lattice of candidate settings (block shapes
+/// adapted to the sample's dimensionality, index types, pruning fractions),
+/// evaluates each candidate's L∞ reconstruction error on the provided sample,
+/// and returns the candidate with the best compression ratio whose error
+/// respects the target.
+
+/// Options controlling the search.
+struct TuningOptions {
+  /// Float storage type to use for every candidate.
+  FloatType float_type = FloatType::kFloat32;
+
+  /// Transform to use for every candidate.
+  TransformKind transform = TransformKind::kDCT;
+
+  /// Judge candidates by the a-priori loose L∞ bound (§IV-D) instead of the
+  /// measured reconstruction error.  Guaranteed but very conservative.
+  bool use_guaranteed_bound = false;
+
+  /// Pruning fractions to try (fraction of coefficients kept).
+  std::vector<double> keep_fractions = {1.0, 0.5, 0.25};
+
+  /// Block side lengths to try (each becomes a hypercubic candidate, plus
+  /// flattened variants when the sample's first extent is much smaller than
+  /// the rest, mirroring the paper's non-hypercubic recommendation).
+  std::vector<index_t> block_sides = {4, 8, 16};
+};
+
+/// One evaluated candidate.
+struct TuningCandidate {
+  CompressorSettings settings;
+  double ratio = 0.0;        ///< formula_ratio for the sample's shape.
+  double linf_error = 0.0;   ///< Measured (or guaranteed) L∞ error.
+  bool feasible = false;     ///< linf_error <= target.
+};
+
+/// Search result: the best feasible candidate (nullopt if none met the
+/// target) plus every evaluated candidate for inspection.
+struct TuningResult {
+  std::optional<TuningCandidate> best;
+  std::vector<TuningCandidate> evaluated;
+};
+
+/// Find the highest-ratio settings whose L∞ reconstruction error on
+/// @p sample stays within @p target_linf.  The sample should be
+/// representative of the data the settings will be used for; like the
+/// compression ratio itself, the chosen settings then apply to any array of
+/// the same dimensionality.
+TuningResult tune_for_linf(const NDArray<double>& sample, double target_linf,
+                           const TuningOptions& options = {});
+
+}  // namespace pyblaz

@@ -1,0 +1,23 @@
+#include "core/dtypes/bfloat16.hpp"
+
+#include <bit>
+
+namespace pyblaz {
+
+std::uint16_t bfloat16::from_float(float value) {
+  std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  if (((f >> 23) & 0xFFu) == 0xFFu && (f & 0x007FFFFFu) != 0) {
+    // NaN: keep it a NaN after truncation.
+    return static_cast<std::uint16_t>((f >> 16) | 0x0040u);
+  }
+  // Round-to-nearest-even on the dropped 16 bits.
+  const std::uint32_t rounding = 0x7FFFu + ((f >> 16) & 1u);
+  f += rounding;
+  return static_cast<std::uint16_t>(f >> 16);
+}
+
+float bfloat16::to_float(std::uint16_t bits) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bits) << 16);
+}
+
+}  // namespace pyblaz

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+namespace pyblaz {
+
+/// Brain floating point value type (1 sign, 8 exponent, 7 significand bits).
+///
+/// bfloat16 shares float32's exponent range, so it never overflows where
+/// float32 would not — the paper's Fig. 5 discussion relies on exactly this
+/// (bfloat16 avoids the NaNs FP16 produces, at the cost of a shorter
+/// significand).  Conversion from float rounds to nearest-even.
+class bfloat16 {
+ public:
+  bfloat16() = default;
+
+  /// Convert from single precision with round-to-nearest-even.
+  explicit bfloat16(float value) : bits_(from_float(value)) {}
+
+  /// Convert from double precision (via float).
+  explicit bfloat16(double value) : bfloat16(static_cast<float>(value)) {}
+
+  /// Widen to single precision (exact).
+  explicit operator float() const { return to_float(bits_); }
+
+  /// Widen to double precision (exact).
+  explicit operator double() const { return static_cast<double>(to_float(bits_)); }
+
+  /// Raw bit pattern.
+  std::uint16_t bits() const { return bits_; }
+
+  /// Construct from a raw bit pattern.
+  static bfloat16 from_bits(std::uint16_t bits) {
+    bfloat16 b;
+    b.bits_ = bits;
+    return b;
+  }
+
+  /// Bit-exact float -> bfloat16 conversion (round-to-nearest-even).
+  static std::uint16_t from_float(float value);
+
+  /// Bit-exact bfloat16 -> float conversion (append 16 zero bits).
+  static float to_float(std::uint16_t bits);
+
+  friend bool operator==(bfloat16 a, bfloat16 b) {
+    return static_cast<float>(a) == static_cast<float>(b);
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+}  // namespace pyblaz

@@ -1,0 +1,83 @@
+#include "core/dtypes/float16.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace pyblaz {
+
+namespace {
+
+std::uint32_t float_bits(float value) { return std::bit_cast<std::uint32_t>(value); }
+float bits_float(std::uint32_t bits) { return std::bit_cast<float>(bits); }
+
+}  // namespace
+
+std::uint16_t float16::from_float(float value) {
+  const std::uint32_t f = float_bits(value);
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::uint32_t exponent = (f >> 23) & 0xFFu;
+  std::uint32_t mantissa = f & 0x007FFFFFu;
+
+  if (exponent == 0xFFu) {
+    // Inf or NaN.  Preserve NaN-ness by forcing a nonzero half mantissa.
+    if (mantissa != 0) return static_cast<std::uint16_t>(sign | 0x7C00u | 0x0200u);
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+
+  // Unbiased exponent; half bias is 15, float bias is 127.
+  const int e = static_cast<int>(exponent) - 127 + 15;
+
+  if (e >= 0x1F) {
+    // Overflow: round to infinity.
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+
+  if (e <= 0) {
+    // Subnormal half (or underflow to zero).  The implicit leading 1 joins
+    // the mantissa, which is then shifted right with round-to-nearest-even.
+    if (e < -10) return static_cast<std::uint16_t>(sign);  // Underflows to 0.
+    mantissa |= 0x00800000u;
+    const int shift = 14 - e;  // 14..24
+    const std::uint32_t kept = mantissa >> shift;
+    const std::uint32_t rounding = mantissa & ((1u << shift) - 1u);
+    const std::uint32_t half_point = 1u << (shift - 1);
+    std::uint32_t result = kept;
+    if (rounding > half_point || (rounding == half_point && (kept & 1u))) ++result;
+    return static_cast<std::uint16_t>(sign | result);
+  }
+
+  // Normal half.  Round the 23-bit mantissa to 10 bits, nearest-even.
+  std::uint32_t result = (static_cast<std::uint32_t>(e) << 10) | (mantissa >> 13);
+  const std::uint32_t rounding = mantissa & 0x1FFFu;
+  if (rounding > 0x1000u || (rounding == 0x1000u && (result & 1u))) ++result;
+  // A mantissa carry into the exponent is correct here: it rounds up to the
+  // next binade, and 0x7C00 (infinity) if the exponent was 0x1E.
+  return static_cast<std::uint16_t>(sign | result);
+}
+
+float float16::to_float(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exponent = (bits >> 10) & 0x1Fu;
+  std::uint32_t mantissa = bits & 0x03FFu;
+
+  if (exponent == 0x1Fu) {
+    // Inf/NaN.
+    return bits_float(sign | 0x7F800000u | (mantissa << 13));
+  }
+  if (exponent == 0) {
+    if (mantissa == 0) return bits_float(sign);  // Signed zero.
+    // Subnormal: normalize.
+    int e = -1;
+    do {
+      ++e;
+      mantissa <<= 1;
+    } while ((mantissa & 0x0400u) == 0);
+    mantissa &= 0x03FFu;
+    const std::uint32_t exp32 = static_cast<std::uint32_t>(127 - 15 - e);
+    return bits_float(sign | (exp32 << 23) | (mantissa << 13));
+  }
+  const std::uint32_t exp32 = exponent - 15 + 127;
+  return bits_float(sign | (exp32 << 23) | (mantissa << 13));
+}
+
+}  // namespace pyblaz

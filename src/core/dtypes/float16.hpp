@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+namespace pyblaz {
+
+/// IEEE 754 binary16 value type (1 sign, 5 exponent, 10 significand bits).
+///
+/// PyBlaz's data-type-conversion step can lower input arrays to FP16 before
+/// transforming; this type provides the bit-exact conversion semantics
+/// (round-to-nearest-even, subnormals, overflow to infinity) of that step.
+/// Arithmetic is performed by converting through float, matching how GPU
+/// frameworks evaluate half-precision expressions on hardware without native
+/// half ALUs.
+class float16 {
+ public:
+  float16() = default;
+
+  /// Convert from single precision with round-to-nearest-even.
+  explicit float16(float value) : bits_(from_float(value)) {}
+
+  /// Convert from double precision (via float; double -> float -> half).
+  explicit float16(double value) : float16(static_cast<float>(value)) {}
+
+  /// Widen to single precision (exact).
+  explicit operator float() const { return to_float(bits_); }
+
+  /// Widen to double precision (exact).
+  explicit operator double() const { return static_cast<double>(to_float(bits_)); }
+
+  /// Raw bit pattern.
+  std::uint16_t bits() const { return bits_; }
+
+  /// Construct from a raw bit pattern.
+  static float16 from_bits(std::uint16_t bits) {
+    float16 h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  /// Bit-exact float -> binary16 conversion (round-to-nearest-even).
+  static std::uint16_t from_float(float value);
+
+  /// Bit-exact binary16 -> float conversion.
+  static float to_float(std::uint16_t bits);
+
+  friend bool operator==(float16 a, float16 b) {
+    return static_cast<float>(a) == static_cast<float>(b);
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+}  // namespace pyblaz

@@ -1,0 +1,49 @@
+#include "core/dtypes/float_type.hpp"
+
+#include "core/dtypes/bfloat16.hpp"
+#include "core/dtypes/float16.hpp"
+
+namespace pyblaz {
+
+int bits(FloatType type) {
+  switch (type) {
+    case FloatType::kBFloat16:
+    case FloatType::kFloat16:
+      return 16;
+    case FloatType::kFloat32:
+      return 32;
+    case FloatType::kFloat64:
+      return 64;
+  }
+  return 64;
+}
+
+std::string name(FloatType type) {
+  switch (type) {
+    case FloatType::kBFloat16:
+      return "bfloat16";
+    case FloatType::kFloat16:
+      return "float16";
+    case FloatType::kFloat32:
+      return "float32";
+    case FloatType::kFloat64:
+      return "float64";
+  }
+  return "float64";
+}
+
+double quantize(double value, FloatType type) {
+  switch (type) {
+    case FloatType::kBFloat16:
+      return static_cast<double>(bfloat16(value));
+    case FloatType::kFloat16:
+      return static_cast<double>(float16(value));
+    case FloatType::kFloat32:
+      return static_cast<double>(static_cast<float>(value));
+    case FloatType::kFloat64:
+      return value;
+  }
+  return value;
+}
+
+}  // namespace pyblaz

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pyblaz {
+
+/// Floating-point storage type of a compressed array (§III-A "data type
+/// conversion").  Determines (a) how many bits each stored biggest-coefficient
+/// N_k occupies and (b) the precision through which input data is rounded
+/// before the orthonormal transform.
+enum class FloatType : std::uint8_t {
+  kBFloat16 = 0,
+  kFloat16 = 1,
+  kFloat32 = 2,
+  kFloat64 = 3,
+};
+
+/// Bits per stored floating-point element (the `f` of the §IV-C ratio formula).
+int bits(FloatType type);
+
+/// Human-readable name ("bfloat16", "float16", "float32", "float64").
+std::string name(FloatType type);
+
+/// Round @p value through the storage type: the result is the double that the
+/// stored representation decodes back to.  For kFloat64 this is the identity.
+/// Overflow behaves like the underlying type (FP16 -> inf, bfloat16 keeps
+/// float32's range).
+double quantize(double value, FloatType type);
+
+/// All supported float types, in enum order (used by parameter sweeps).
+inline constexpr FloatType kAllFloatTypes[] = {
+    FloatType::kBFloat16, FloatType::kFloat16, FloatType::kFloat32,
+    FloatType::kFloat64};
+
+}  // namespace pyblaz

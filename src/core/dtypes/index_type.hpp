@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pyblaz {
+
+/// Integer bin-index type of a compressed array (§III-A "binning").  The
+/// number of usable bins is 2r + 1 where r = 2^(b-1) - 1 is the index-type
+/// radius, so wider types give finer coefficient rounding at the cost of
+/// storage.
+enum class IndexType : std::uint8_t {
+  kInt8 = 0,
+  kInt16 = 1,
+  kInt32 = 2,
+  kInt64 = 3,
+};
+
+/// Bits per stored bin index (the `i` of the §IV-C ratio formula).
+int bits(IndexType type);
+
+/// The index-type radius r = 2^(b-1) - 1; bin indices span [-r, r].
+std::int64_t radius(IndexType type);
+
+/// The radius used in binning arithmetic: min(radius, 2^53).  Coefficients
+/// are IEEE doubles with 53 significand bits, so int64's nominal radius of
+/// 2^63 - 1 cannot be exercised (r * C / N would overflow the double
+/// representation and the int64 cast); capping at 2^53 already puts binning
+/// error at the rounding floor of the coefficients themselves.  Identical to
+/// radius() for int8/int16/int32.
+std::int64_t arithmetic_radius(IndexType type);
+
+/// Human-readable name ("int8", ..., "int64").
+std::string name(IndexType type);
+
+/// All supported index types, in enum order (used by parameter sweeps).
+inline constexpr IndexType kAllIndexTypes[] = {IndexType::kInt8, IndexType::kInt16,
+                                               IndexType::kInt32, IndexType::kInt64};
+
+}  // namespace pyblaz

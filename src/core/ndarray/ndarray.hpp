@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "core/ndarray/shape.hpp"
+
+namespace pyblaz {
+
+/// Dense row-major N-dimensional array.
+///
+/// The storage type T is usually double (PyBlaz evaluates transforms in a
+/// working precision and lowers storage precision separately via
+/// FloatType::quantize), but the container is generic so masks (uint8_t) and
+/// simulators reuse it.
+template <typename T>
+class NDArray {
+ public:
+  NDArray() = default;
+
+  /// Allocate an array of the given shape filled with @p fill.
+  explicit NDArray(Shape shape, T fill = T{})
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.volume()), fill) {}
+
+  /// Wrap an existing buffer; its size must equal the shape's volume.
+  NDArray(Shape shape, std::vector<T> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    assert(static_cast<index_t>(data_.size()) == shape_.volume());
+  }
+
+  const Shape& shape() const { return shape_; }
+  index_t size() const { return static_cast<index_t>(data_.size()); }
+
+  /// Flat row-major element access.
+  T& operator[](index_t offset) { return data_[static_cast<std::size_t>(offset)]; }
+  const T& operator[](index_t offset) const {
+    return data_[static_cast<std::size_t>(offset)];
+  }
+
+  /// Multi-index element access.
+  T& at(const std::vector<index_t>& indices) {
+    return data_[static_cast<std::size_t>(shape_.offset_of(indices))];
+  }
+  const T& at(const std::vector<index_t>& indices) const {
+    return data_[static_cast<std::size_t>(shape_.offset_of(indices))];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  std::vector<T>& vector() { return data_; }
+  const std::vector<T>& vector() const { return data_; }
+
+  /// Apply @p fn to every element in place.
+  template <typename Fn>
+  void map_inplace(Fn&& fn) {
+    for (auto& v : data_) v = fn(v);
+  }
+
+  friend bool operator==(const NDArray& a, const NDArray& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+}  // namespace pyblaz

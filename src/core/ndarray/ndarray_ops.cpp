@@ -1,0 +1,133 @@
+#include "core/ndarray/ndarray_ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace pyblaz {
+
+NDArray<double> add(const NDArray<double>& x, const NDArray<double>& y) {
+  assert(x.shape() == y.shape());
+  NDArray<double> out(x.shape());
+  for (index_t k = 0; k < x.size(); ++k) out[k] = x[k] + y[k];
+  return out;
+}
+
+NDArray<double> subtract(const NDArray<double>& x, const NDArray<double>& y) {
+  assert(x.shape() == y.shape());
+  NDArray<double> out(x.shape());
+  for (index_t k = 0; k < x.size(); ++k) out[k] = x[k] - y[k];
+  return out;
+}
+
+NDArray<double> multiply(const NDArray<double>& x, const NDArray<double>& y) {
+  assert(x.shape() == y.shape());
+  NDArray<double> out(x.shape());
+  for (index_t k = 0; k < x.size(); ++k) out[k] = x[k] * y[k];
+  return out;
+}
+
+NDArray<double> scale(const NDArray<double>& x, double factor) {
+  NDArray<double> out(x.shape());
+  for (index_t k = 0; k < x.size(); ++k) out[k] = x[k] * factor;
+  return out;
+}
+
+NDArray<double> add_scalar(const NDArray<double>& x, double value) {
+  NDArray<double> out(x.shape());
+  for (index_t k = 0; k < x.size(); ++k) out[k] = x[k] + value;
+  return out;
+}
+
+double sum(const NDArray<double>& x) {
+  double total = 0.0;
+  for (index_t k = 0; k < x.size(); ++k) total += x[k];
+  return total;
+}
+
+double max_abs(const NDArray<double>& x) {
+  double m = 0.0;
+  for (index_t k = 0; k < x.size(); ++k) m = std::max(m, std::fabs(x[k]));
+  return m;
+}
+
+double max(const NDArray<double>& x) {
+  assert(x.size() > 0);
+  double m = x[0];
+  for (index_t k = 1; k < x.size(); ++k) m = std::max(m, x[k]);
+  return m;
+}
+
+double min(const NDArray<double>& x) {
+  assert(x.size() > 0);
+  double m = x[0];
+  for (index_t k = 1; k < x.size(); ++k) m = std::min(m, x[k]);
+  return m;
+}
+
+NDArray<double> quantized(const NDArray<double>& x, FloatType type) {
+  NDArray<double> out(x.shape());
+  for (index_t k = 0; k < x.size(); ++k) out[k] = quantize(x[k], type);
+  return out;
+}
+
+NDArray<double> gradient_array(const Shape& shape) {
+  NDArray<double> out(shape);
+  index_t denom = 0;
+  for (int axis = 0; axis < shape.ndim(); ++axis) denom += shape[axis] - 1;
+  if (denom == 0) denom = 1;
+  index_t offset = 0;
+  for_each_index(shape, [&](const std::vector<index_t>& idx) {
+    index_t numer = 0;
+    for (index_t i : idx) numer += i;
+    out[offset++] = static_cast<double>(numer) / static_cast<double>(denom);
+  });
+  return out;
+}
+
+NDArray<double> random_uniform(const Shape& shape, Rng& rng, double lo, double hi) {
+  NDArray<double> out(shape);
+  for (index_t k = 0; k < out.size(); ++k) out[k] = rng.uniform(lo, hi);
+  return out;
+}
+
+NDArray<double> random_normal(const Shape& shape, Rng& rng, double mean,
+                              double stddev) {
+  NDArray<double> out(shape);
+  for (index_t k = 0; k < out.size(); ++k) out[k] = rng.normal(mean, stddev);
+  return out;
+}
+
+NDArray<double> random_smooth(const Shape& shape, Rng& rng, int modes) {
+  const int d = shape.ndim();
+  NDArray<double> out(shape, 0.0);
+  for (int m = 0; m < modes; ++m) {
+    std::vector<double> freq(static_cast<std::size_t>(d));
+    std::vector<double> phase(static_cast<std::size_t>(d));
+    double max_freq = 1.0;
+    for (int axis = 0; axis < d; ++axis) {
+      freq[static_cast<std::size_t>(axis)] = rng.uniform(0.5, 6.0);
+      phase[static_cast<std::size_t>(axis)] = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      max_freq = std::max(max_freq, freq[static_cast<std::size_t>(axis)]);
+    }
+    const double amplitude = rng.uniform(0.3, 1.0) / max_freq;
+    index_t offset = 0;
+    for_each_index(shape, [&](const std::vector<index_t>& idx) {
+      double v = amplitude;
+      for (int axis = 0; axis < d; ++axis) {
+        const double t =
+            shape[axis] > 1
+                ? static_cast<double>(idx[static_cast<std::size_t>(axis)]) /
+                      static_cast<double>(shape[axis] - 1)
+                : 0.0;
+        v *= std::cos(freq[static_cast<std::size_t>(axis)] * std::numbers::pi * t +
+                      phase[static_cast<std::size_t>(axis)]);
+      }
+      out[offset++] += v;
+    });
+  }
+  return out;
+}
+
+}  // namespace pyblaz

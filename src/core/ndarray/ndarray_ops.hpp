@@ -1,0 +1,59 @@
+#pragma once
+
+#include "core/dtypes/float_type.hpp"
+#include "core/ndarray/ndarray.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+
+/// Element-wise sum X + Y (shapes must match).
+NDArray<double> add(const NDArray<double>& x, const NDArray<double>& y);
+
+/// Element-wise difference X - Y (shapes must match).
+NDArray<double> subtract(const NDArray<double>& x, const NDArray<double>& y);
+
+/// Element-wise (Hadamard) product X ⊙ Y (shapes must match).
+NDArray<double> multiply(const NDArray<double>& x, const NDArray<double>& y);
+
+/// Array scaled by a scalar.
+NDArray<double> scale(const NDArray<double>& x, double factor);
+
+/// Array with a scalar added to every element.
+NDArray<double> add_scalar(const NDArray<double>& x, double value);
+
+/// Sum of all elements, Σ X.
+double sum(const NDArray<double>& x);
+
+/// Largest absolute element, ‖X‖∞.
+double max_abs(const NDArray<double>& x);
+
+/// Largest element.
+double max(const NDArray<double>& x);
+
+/// Smallest element.
+double min(const NDArray<double>& x);
+
+/// Every element rounded through the given storage float type
+/// (the §III-A data-type-conversion step).
+NDArray<double> quantized(const NDArray<double>& x, FloatType type);
+
+/// The §IV-E benchmark array: elements ranging 0..1 in a constant gradient
+/// from the lowest indices to the highest, X_x = Σ(x) / Σ(s - 1)
+/// (0-based indices; the all-zero corner maps to 0, the far corner to 1).
+NDArray<double> gradient_array(const Shape& shape);
+
+/// Uniform random array in [lo, hi), deterministic given @p rng.
+NDArray<double> random_uniform(const Shape& shape, Rng& rng, double lo = 0.0,
+                               double hi = 1.0);
+
+/// Normal random array, deterministic given @p rng.
+NDArray<double> random_normal(const Shape& shape, Rng& rng, double mean = 0.0,
+                              double stddev = 1.0);
+
+/// A smooth random field: sum of @p modes random separable cosine modes with
+/// 1/frequency amplitude decay.  Produces the band-limited, spatially
+/// correlated structure typical of scientific data, which DCT-based
+/// compressors exploit.
+NDArray<double> random_smooth(const Shape& shape, Rng& rng, int modes = 12);
+
+}  // namespace pyblaz

@@ -1,0 +1,80 @@
+#include "core/ndarray/shape.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace pyblaz {
+
+index_t Shape::volume() const {
+  index_t v = 1;
+  for (index_t d : dims_) v *= d;
+  return v;
+}
+
+std::vector<index_t> Shape::strides() const {
+  std::vector<index_t> s(dims_.size(), 1);
+  for (int axis = ndim() - 2; axis >= 0; --axis) {
+    s[static_cast<std::size_t>(axis)] =
+        s[static_cast<std::size_t>(axis + 1)] * dims_[static_cast<std::size_t>(axis + 1)];
+  }
+  return s;
+}
+
+index_t Shape::offset_of(const std::vector<index_t>& indices) const {
+  assert(indices.size() == dims_.size());
+  index_t offset = 0;
+  for (int axis = 0; axis < ndim(); ++axis) {
+    assert(indices[static_cast<std::size_t>(axis)] >= 0 &&
+           indices[static_cast<std::size_t>(axis)] < (*this)[axis]);
+    offset = offset * (*this)[axis] + indices[static_cast<std::size_t>(axis)];
+  }
+  return offset;
+}
+
+std::vector<index_t> Shape::indices_of(index_t offset) const {
+  std::vector<index_t> idx(dims_.size());
+  for (int axis = ndim() - 1; axis >= 0; --axis) {
+    idx[static_cast<std::size_t>(axis)] = offset % (*this)[axis];
+    offset /= (*this)[axis];
+  }
+  return idx;
+}
+
+Shape Shape::ceil_div(const Shape& s, const Shape& i) {
+  assert(s.ndim() == i.ndim());
+  std::vector<index_t> out(static_cast<std::size_t>(s.ndim()));
+  for (int axis = 0; axis < s.ndim(); ++axis) {
+    assert(i[axis] > 0);
+    out[static_cast<std::size_t>(axis)] = (s[axis] + i[axis] - 1) / i[axis];
+  }
+  return Shape(std::move(out));
+}
+
+Shape Shape::mul(const Shape& a, const Shape& b) {
+  assert(a.ndim() == b.ndim());
+  std::vector<index_t> out(static_cast<std::size_t>(a.ndim()));
+  for (int axis = 0; axis < a.ndim(); ++axis)
+    out[static_cast<std::size_t>(axis)] = a[axis] * b[axis];
+  return Shape(std::move(out));
+}
+
+bool Shape::all_powers_of_two() const {
+  for (index_t d : dims_) {
+    if (d <= 0) return false;
+    if ((d & (d - 1)) != 0) return false;
+  }
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream out;
+  out << '(';
+  for (std::size_t k = 0; k < dims_.size(); ++k) {
+    if (k) out << ", ";
+    out << dims_[k];
+  }
+  out << ')';
+  return out.str();
+}
+
+}  // namespace pyblaz

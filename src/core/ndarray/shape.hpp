@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace pyblaz {
+
+using index_t = std::int64_t;
+
+/// Array shape: the length of an array in each direction (§II-B notation).
+/// Also used for block shapes `i` and block-arrangement shapes `b`.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<index_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<index_t> dims) : dims_(std::move(dims)) {}
+
+  /// Dimensionality d = |s|.
+  int ndim() const { return static_cast<int>(dims_.size()); }
+
+  /// Length in direction @p axis.
+  index_t operator[](int axis) const { return dims_[static_cast<std::size_t>(axis)]; }
+  index_t& operator[](int axis) { return dims_[static_cast<std::size_t>(axis)]; }
+
+  /// Total number of elements, prod(s).  The empty shape has volume 1
+  /// (a scalar), matching NumPy semantics.
+  index_t volume() const;
+
+  /// Row-major strides (stride of the last axis is 1).
+  std::vector<index_t> strides() const;
+
+  /// Flat row-major offset of a multi-index.
+  index_t offset_of(const std::vector<index_t>& indices) const;
+
+  /// Multi-index of a flat row-major offset.
+  std::vector<index_t> indices_of(index_t offset) const;
+
+  /// Element-wise ceiling division: ceil(s ⊘ i).  Shapes must have equal ndim.
+  static Shape ceil_div(const Shape& s, const Shape& i);
+
+  /// Element-wise product: the reshaped array shape b ⊙ i of §III-A.
+  static Shape mul(const Shape& a, const Shape& b);
+
+  /// True if every extent is a (positive) power of two.
+  bool all_powers_of_two() const;
+
+  /// Render as e.g. "(3, 224, 224)".
+  std::string to_string() const;
+
+  const std::vector<index_t>& dims() const { return dims_; }
+
+  friend bool operator==(const Shape& a, const Shape& b) { return a.dims_ == b.dims_; }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+ private:
+  std::vector<index_t> dims_;
+};
+
+/// Iterate all multi-indices of @p shape in row-major order, invoking
+/// @p fn(indices) for each.  Convenience for tests and generators; hot paths
+/// use flat offsets instead.
+template <typename Fn>
+void for_each_index(const Shape& shape, Fn&& fn) {
+  const int d = shape.ndim();
+  std::vector<index_t> idx(static_cast<std::size_t>(d), 0);
+  const index_t total = shape.volume();
+  for (index_t count = 0; count < total; ++count) {
+    fn(idx);
+    for (int axis = d - 1; axis >= 0; --axis) {
+      if (++idx[static_cast<std::size_t>(axis)] < shape[axis]) break;
+      idx[static_cast<std::size_t>(axis)] = 0;
+    }
+  }
+}
+
+}  // namespace pyblaz

@@ -1,0 +1,177 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/ops/ops.hpp"
+#include "core/ops/ops_internal.hpp"
+#include "core/transform/block_transform.hpp"
+
+namespace pyblaz::ops {
+
+CompressedArray linear_combination(double alpha, const CompressedArray& a,
+                                   double beta, const CompressedArray& b) {
+  a.require_layout_match(b);
+  const index_t num_blocks = a.num_blocks();
+  const index_t kept = a.kept_per_block();
+  const double r = static_cast<double>(a.radius());
+
+  CompressedArray out = a;
+  out.indices = BinIndices(a.index_type, a.indices.size());
+
+  a.indices.visit([&](const auto* f1_data) {
+    b.indices.visit([&](const auto* f2_data) {
+      out.indices.visit_mutable([&](auto* out_data) {
+#pragma omp parallel
+        {
+          std::vector<double> coeffs(static_cast<std::size_t>(kept));
+#pragma omp for
+          for (index_t kb = 0; kb < num_blocks; ++kb) {
+            const double s1 = alpha * a.biggest[static_cast<std::size_t>(kb)] / r;
+            const double s2 = beta * b.biggest[static_cast<std::size_t>(kb)] / r;
+            const auto* f1 = f1_data + kb * kept;
+            const auto* f2 = f2_data + kb * kept;
+            double biggest = 0.0;
+            for (index_t slot = 0; slot < kept; ++slot) {
+              const double c = s1 * static_cast<double>(f1[slot]) +
+                               s2 * static_cast<double>(f2[slot]);
+              coeffs[static_cast<std::size_t>(slot)] = c;
+              biggest = std::max(biggest, std::fabs(c));
+            }
+            biggest = quantize(biggest, a.float_type);
+            out.biggest[static_cast<std::size_t>(kb)] = biggest;
+
+            auto* f = out_data + kb * kept;
+            using BinT = std::remove_reference_t<decltype(f[0])>;
+            if (biggest == 0.0) {
+              std::fill(f, f + kept, BinT{0});
+            } else {
+              const double inv = r / biggest;
+              for (index_t slot = 0; slot < kept; ++slot) {
+                const double scaled = std::clamp(
+                    std::round(coeffs[static_cast<std::size_t>(slot)] * inv), -r, r);
+                f[slot] = static_cast<BinT>(scaled);
+              }
+            }
+          }
+        }
+      });
+    });
+  });
+  return out;
+}
+
+double mean_squared_error(const CompressedArray& a, const CompressedArray& b) {
+  a.require_layout_match(b);
+  // ‖A - B‖² = <A,A> - 2<A,B> + <B,B>, evaluated from the inner products
+  // directly so identical operands cancel exactly.
+  const double squared = dot(a, a) - 2.0 * dot(a, b) + dot(b, b);
+  // Guard tiny negative residue from floating-point cancellation.
+  return std::max(squared, 0.0) / static_cast<double>(a.shape.volume());
+}
+
+double psnr(const CompressedArray& a, const CompressedArray& b, double peak) {
+  const double mse = mean_squared_error(a, b);
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(peak * peak / mse);
+}
+
+double pearson_correlation(const CompressedArray& a, const CompressedArray& b) {
+  const double cov = covariance_unpadded(a, b);
+  const double sigma = std::sqrt(variance_unpadded(a) * variance_unpadded(b));
+  return cov / sigma;
+}
+
+NDArray<double> blockwise_l2_norm(const CompressedArray& a) {
+  const index_t num_blocks = a.num_blocks();
+  const index_t kept = a.kept_per_block();
+  const double r = static_cast<double>(a.radius());
+  NDArray<double> out(a.block_grid());
+  a.indices.visit([&](const auto* fdata) {
+#pragma omp parallel for
+    for (index_t kb = 0; kb < num_blocks; ++kb) {
+      const double scale = a.biggest[static_cast<std::size_t>(kb)] / r;
+      const auto* f = fdata + kb * kept;
+      double squares = 0.0;
+      for (index_t slot = 0; slot < kept; ++slot) {
+        const double c = scale * static_cast<double>(f[slot]);
+        squares += c * c;
+      }
+      out[kb] = std::sqrt(squares);
+    }
+  });
+  return out;
+}
+
+double dot(const CompressedArray& a, const NDArray<double>& y) {
+  if (y.shape() != a.shape)
+    throw std::invalid_argument("mixed-domain dot: shape mismatch");
+
+  // Transform y's blocks on the fly and contract with A's specified
+  // coefficients: <A, y> = <Ĉ_A, Ĉ_y> by orthonormality.  Reuses the
+  // compressor's gather path via block_array for clarity; the per-block cost
+  // matches one forward transform of y.
+  BlockTransform transform(a.transform, a.block_shape);
+  const index_t num_blocks = a.num_blocks();
+  const index_t kept = a.kept_per_block();
+  const index_t block_volume = a.block_shape.volume();
+  const auto& kept_offsets = a.mask.kept_offsets();
+  const double r = static_cast<double>(a.radius());
+  const Shape grid = a.block_grid();
+  const std::vector<index_t> strides = y.shape().strides();
+  const int d = y.shape().ndim();
+
+  double total = 0.0;
+  a.indices.visit([&](const auto* fdata) {
+#pragma omp parallel
+    {
+      std::vector<double> block(static_cast<std::size_t>(block_volume));
+      std::vector<double> scratch(static_cast<std::size_t>(block_volume));
+      std::vector<index_t> block_coords(static_cast<std::size_t>(d));
+      std::vector<index_t> intra(static_cast<std::size_t>(d));
+#pragma omp for reduction(+ : total)
+      for (index_t kb = 0; kb < num_blocks; ++kb) {
+        // Gather block kb of y with zero padding.
+        {
+          index_t rem = kb;
+          for (int axis = d - 1; axis >= 0; --axis) {
+            block_coords[static_cast<std::size_t>(axis)] = rem % grid[axis];
+            rem /= grid[axis];
+          }
+        }
+        for (index_t j = 0; j < block_volume; ++j) {
+          index_t rem = j;
+          index_t src = 0;
+          bool inside = true;
+          for (int axis = d - 1; axis >= 0; --axis) {
+            const index_t c = rem % a.block_shape[axis];
+            rem /= a.block_shape[axis];
+            const index_t coord =
+                block_coords[static_cast<std::size_t>(axis)] * a.block_shape[axis] + c;
+            if (coord >= y.shape()[axis]) {
+              inside = false;
+              break;
+            }
+            src += coord * strides[static_cast<std::size_t>(axis)];
+          }
+          block[static_cast<std::size_t>(j)] = inside ? y[src] : 0.0;
+        }
+
+        transform.forward(block.data(), scratch.data());
+
+        const double scale = a.biggest[static_cast<std::size_t>(kb)] / r;
+        const auto* f = fdata + kb * kept;
+        double partial = 0.0;
+        for (index_t slot = 0; slot < kept; ++slot) {
+          partial += scale * static_cast<double>(f[slot]) *
+                     block[static_cast<std::size_t>(
+                         kept_offsets[static_cast<std::size_t>(slot)])];
+        }
+        total += partial;
+      }
+    }
+  });
+  return total;
+}
+
+}  // namespace pyblaz::ops

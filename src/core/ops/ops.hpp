@@ -1,0 +1,181 @@
+#pragma once
+
+#include <vector>
+
+#include "core/codec/compressed_array.hpp"
+#include "core/ndarray/ndarray.hpp"
+
+namespace pyblaz::ops {
+
+/// Compressed-space operations (§IV, Table I).  All operate directly on the
+/// compressed representation {s, i, N, F}; none decompresses.  Binary
+/// operations require both operands to share shape, block shape, types,
+/// transform, and pruning mask (they throw std::invalid_argument otherwise).
+///
+/// Error characteristics (Table I):
+///  - negation, scalar multiplication: no additional error,
+///  - element-wise addition, scalar addition: rebinning error only,
+///  - dot, mean, covariance, variance, L2 norm, cosine similarity, SSIM:
+///    no additional error beyond compression error,
+///  - Wasserstein distance: approximation error as a function of block size.
+
+/// Ĉ (Algorithm 3): the specified coefficients N ⊙ F ⊘ r, laid out as
+/// num_blocks() * kept_per_block() in block-major, kept-slot-minor order.
+std::vector<double> specified_coefficients(const CompressedArray& a);
+
+/// Algorithm 1: -A, by negating F.  Exact.
+CompressedArray negate(const CompressedArray& a);
+
+/// Algorithm 2: A + B element-wise.  Sums specified coefficients and rebins
+/// against the new per-block biggest coefficient (the only error source).
+CompressedArray add(const CompressedArray& a, const CompressedArray& b);
+
+/// A - B = A + (-B): the compressed-space "difference" used by the paper's
+/// shallow-water experiment (§V-A).
+CompressedArray subtract(const CompressedArray& a, const CompressedArray& b);
+
+/// Algorithm 4: A + x for scalar x, by shifting each block's first (DC)
+/// coefficient by x * sqrt(prod(i)) and rebinning.  Requires the DC
+/// coefficient to be unpruned.
+CompressedArray add_scalar(const CompressedArray& a, double x);
+
+/// Algorithm 5: A * x for scalar x, by scaling N by |x| and flipping F's sign
+/// if x < 0.  Exact (no rebinning).
+CompressedArray multiply_scalar(const CompressedArray& a, double x);
+
+/// Algorithm 6: the dot product Σ(Ĉ1 ⊙ Ĉ2), equal to the uncompressed dot
+/// product because the orthonormal transform preserves dot products.
+double dot(const CompressedArray& a, const CompressedArray& b);
+
+/// Algorithm 7: the array mean, mean(Ĉ...1) / sqrt(prod(i)).  Exact when the
+/// array shape is a multiple of the block shape; the zero padding of ragged
+/// edges otherwise leaks into the blockwise means (the compressed form cannot
+/// distinguish stored zeros from padding).
+double mean(const CompressedArray& a);
+
+/// Algorithm 8: the (population) covariance of A and B, via centered
+/// coefficients.
+double covariance(const CompressedArray& a, const CompressedArray& b);
+
+/// Algorithm 9: the (population) variance, Covariance(A, A).
+double variance(const CompressedArray& a);
+
+/// sqrt(variance).
+double standard_deviation(const CompressedArray& a);
+
+/// Algorithm 10: ‖A‖₂ = ‖Ĉ‖₂ (orthonormality).
+double l2_norm(const CompressedArray& a);
+
+/// Algorithm 11: cosine similarity dot(A,B) / (‖A‖₂ ‖B‖₂).
+double cosine_similarity(const CompressedArray& a, const CompressedArray& b);
+
+/// Parameters of Algorithm 12 (SSIM).  Defaults follow the SSIM convention
+/// C1 = (0.01 L)², C2 = (0.03 L)² for data range L = 1.
+struct SsimParams {
+  double luminance_stabilizer = 1e-4;   ///< s_l.
+  double contrast_stabilizer = 9e-4;    ///< s_c (the structure term uses s_c/2).
+  double luminance_weight = 1.0;        ///< w_l.
+  double contrast_weight = 1.0;         ///< w_c.
+  double structure_weight = 1.0;        ///< w_s.
+};
+
+/// Algorithm 12: global structural similarity l^wl * c^wc * s^ws built from
+/// compressed-space mean/variance/covariance.
+double structural_similarity(const CompressedArray& a, const CompressedArray& b,
+                             const SsimParams& params = {});
+
+/// Spatially resolved SSIM (extension): Algorithm 12 evaluated per block from
+/// the blockwise mean/variance/covariance, yielding an array shaped
+/// ceil(s ⊘ i) — the compressed-space analog of the windowed SSIM map used
+/// in image quality assessment, with the block shape as the window.  Values
+/// near 1 mean the corresponding region is unchanged; the map localizes
+/// degradation the global score averages away.
+NDArray<double> structural_similarity_map(const CompressedArray& a,
+                                          const CompressedArray& b,
+                                          const SsimParams& params = {});
+
+/// Algorithm 13: approximate p-order Wasserstein distance between the
+/// blockwise-mean approximations of A and B.  Arrays that do not already sum
+/// to 1 are pushed through softmax first.  @p stable selects a log-domain
+/// evaluation that survives large p (p ≳ 40 underflows the naive form —
+/// matching the paper's observation that all peaks vanish for p ≥ 80);
+/// stable = false reproduces the naive arithmetic.
+double wasserstein_distance(const CompressedArray& a, const CompressedArray& b,
+                            double p, bool stable = true);
+
+/// Block-wise mean (§IV-A 6): an array shaped ceil(s ⊘ i) of block means,
+/// Ĉ...1 / sqrt(prod(i)).  This is the coarse proxy Algorithm 13 is built on.
+NDArray<double> blockwise_mean(const CompressedArray& a);
+
+/// Block-wise (population) variance (§IV-A 8), computed from each block's
+/// centered coefficients.
+NDArray<double> blockwise_variance(const CompressedArray& a);
+
+/// Block-wise standard deviation: sqrt of blockwise_variance.
+NDArray<double> blockwise_standard_deviation(const CompressedArray& a);
+
+/// Block-wise covariance of A and B (§IV-A 7).
+NDArray<double> blockwise_covariance(const CompressedArray& a,
+                                     const CompressedArray& b);
+
+// ---------------------------------------------------------------------------
+// Extensions beyond the paper: padding-corrected statistics.
+//
+// The paper's mean/covariance (Algorithms 7 and 8) average over the *padded*
+// array, so ragged shapes bias them (§IV-A).  But two quantities are immune
+// to zero padding: the element sum (padding contributes zero to every block's
+// DC coefficient) and the dot product (zero times anything is zero).  The
+// operations below rebuild the statistics from those, so they converge to the
+// true values for any shape — still entirely in compressed space.
+// ---------------------------------------------------------------------------
+
+/// Σ A over the true (uncropped) elements: sqrt(prod(i)) * Σ DC_k.  Exact
+/// under padding; requires the DC coefficient.
+double sum(const CompressedArray& a);
+
+/// Padding-corrected mean: sum / prod(s).  Coincides with mean() on
+/// divisible shapes.
+double mean_unpadded(const CompressedArray& a);
+
+/// Padding-corrected covariance: dot(A, B)/prod(s) - mean(A) mean(B).
+double covariance_unpadded(const CompressedArray& a, const CompressedArray& b);
+
+/// Padding-corrected variance: dot(A, A)/prod(s) - mean(A)^2.
+double variance_unpadded(const CompressedArray& a);
+
+// ---------------------------------------------------------------------------
+// Extensions beyond the paper: derived metrics and mixed-domain operations.
+// All are compositions of the Table I primitives, so they inherit the same
+// error characteristics.
+// ---------------------------------------------------------------------------
+
+/// α A + β B in one fused pass (generalizes Algorithm 2; rebinning is the
+/// only error source).  Layouts must match.
+CompressedArray linear_combination(double alpha, const CompressedArray& a,
+                                   double beta, const CompressedArray& b);
+
+/// Mean squared error between A and B over the true element count:
+/// (‖A‖² - 2<A,B> + ‖B‖²) / prod(s).  No additional error beyond compression.
+double mean_squared_error(const CompressedArray& a, const CompressedArray& b);
+
+/// Peak signal-to-noise ratio, 10 log10(peak² / MSE), in dB.  @p peak is the
+/// data range (1.0 for normalized data).  Returns +inf for identical arrays.
+double psnr(const CompressedArray& a, const CompressedArray& b,
+            double peak = 1.0);
+
+/// Pearson correlation coefficient: covariance / (σ_A σ_B) (padding-corrected
+/// statistics, so it is meaningful on ragged shapes too).
+double pearson_correlation(const CompressedArray& a, const CompressedArray& b);
+
+/// Block-wise L2 norms: an array shaped ceil(s ⊘ i) whose entry k is the L2
+/// norm of block k, sqrt(Σ Ĉ_k²) (orthonormality per block).
+NDArray<double> blockwise_l2_norm(const CompressedArray& a);
+
+/// Mixed-domain dot product: <A, y> where A is compressed and y is a raw
+/// array of the same shape.  Blocks of y are transformed on the fly and
+/// contracted with A's specified coefficients — no decompression of A, no
+/// compression of y.  Useful for applying fixed analysis weights (quadrature
+/// rules, filters) to compressed data.
+double dot(const CompressedArray& a, const NDArray<double>& y);
+
+}  // namespace pyblaz::ops

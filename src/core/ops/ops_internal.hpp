@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/codec/compressed_array.hpp"
+
+namespace pyblaz::ops::internal {
+
+/// Throws unless the DC (first) coefficient survives pruning; operations on
+/// block means cannot work without it.
+inline void require_dc(const CompressedArray& a, const char* operation) {
+  if (a.dc_slot() != 0)
+    throw std::invalid_argument(std::string(operation) +
+                                " requires the first (DC) coefficient to be "
+                                "kept by the pruning mask");
+}
+
+/// sqrt(prod(i)): the factor c relating a block's mean to its DC coefficient.
+inline double dc_scale(const Shape& block_shape) {
+  return std::sqrt(static_cast<double>(block_shape.volume()));
+}
+
+/// Re-bin specified coefficients into (N, F): per block, N_k = max |Ĉ_k|
+/// rounded through the float type, F = round(r Ĉ / N) clamped to [-r, r].
+/// This is the final step of Algorithms 2 and 4 and the only place binary
+/// compressed-space arithmetic introduces error.
+void rebin(const std::vector<double>& coefficients, index_t num_blocks,
+           index_t kept, FloatType float_type, IndexType index_type,
+           std::vector<double>& biggest_out, BinIndices& indices_out);
+
+/// The blockwise means A' of Algorithm 13: DC coefficients / sqrt(prod(i)).
+std::vector<double> blockwise_mean_vector(const CompressedArray& a);
+
+}  // namespace pyblaz::ops::internal

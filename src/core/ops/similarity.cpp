@@ -1,0 +1,66 @@
+#include <cmath>
+
+#include "core/ops/ops.hpp"
+#include "core/ops/ops_internal.hpp"
+
+namespace pyblaz::ops {
+
+double structural_similarity(const CompressedArray& a, const CompressedArray& b,
+                             const SsimParams& params) {
+  a.require_layout_match(b);
+  internal::require_dc(a, "SSIM");
+
+  const double mu_a = mean(a);
+  const double mu_b = mean(b);
+  const double var_a = variance(a);
+  const double var_b = variance(b);
+  const double sigma_a = std::sqrt(var_a);
+  const double sigma_b = std::sqrt(var_b);
+  const double sigma_ab = covariance(a, b);
+
+  const double sl = params.luminance_stabilizer;
+  const double sc = params.contrast_stabilizer;
+
+  const double luminance =
+      (2.0 * mu_a * mu_b + sl) / (mu_a * mu_a + mu_b * mu_b + sl);
+  const double contrast =
+      (2.0 * sigma_a * sigma_b + sc) / (var_a + var_b + sc);
+  const double structure =
+      (sigma_ab + sc / 2.0) / (sigma_a * sigma_b + sc / 2.0);
+
+  return std::pow(luminance, params.luminance_weight) *
+         std::pow(contrast, params.contrast_weight) *
+         std::pow(structure, params.structure_weight);
+}
+
+NDArray<double> structural_similarity_map(const CompressedArray& a,
+                                          const CompressedArray& b,
+                                          const SsimParams& params) {
+  a.require_layout_match(b);
+  internal::require_dc(a, "SSIM map");
+
+  const NDArray<double> mu_a = blockwise_mean(a);
+  const NDArray<double> mu_b = blockwise_mean(b);
+  const NDArray<double> var_a = blockwise_variance(a);
+  const NDArray<double> var_b = blockwise_variance(b);
+  const NDArray<double> cov_ab = blockwise_covariance(a, b);
+
+  const double sl = params.luminance_stabilizer;
+  const double sc = params.contrast_stabilizer;
+
+  NDArray<double> out(a.block_grid());
+  for (index_t k = 0; k < out.size(); ++k) {
+    const double ma = mu_a[k], mb = mu_b[k];
+    const double va = std::max(var_a[k], 0.0), vb = std::max(var_b[k], 0.0);
+    const double sa = std::sqrt(va), sb = std::sqrt(vb);
+    const double luminance = (2.0 * ma * mb + sl) / (ma * ma + mb * mb + sl);
+    const double contrast = (2.0 * sa * sb + sc) / (va + vb + sc);
+    const double structure = (cov_ab[k] + sc / 2.0) / (sa * sb + sc / 2.0);
+    out[k] = std::pow(luminance, params.luminance_weight) *
+             std::pow(contrast, params.contrast_weight) *
+             std::pow(structure, params.structure_weight);
+  }
+  return out;
+}
+
+}  // namespace pyblaz::ops

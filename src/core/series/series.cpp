@@ -1,0 +1,102 @@
+#include "core/series/series.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/codec/serialization.hpp"
+
+namespace pyblaz {
+
+void CompressedSeries::append(const NDArray<double>& snapshot) {
+  if (!frames_.empty() && snapshot.shape() != frames_.front().shape)
+    throw std::invalid_argument(
+        "CompressedSeries: snapshot shape " + snapshot.shape().to_string() +
+        " differs from the series shape " + frames_.front().shape.to_string());
+  frames_.push_back(compressor_.compress(snapshot));
+}
+
+void CompressedSeries::append(CompressedArray snapshot) {
+  if (!frames_.empty() && !frames_.front().layout_matches(snapshot))
+    throw std::invalid_argument(
+        "CompressedSeries: appended frame has a different compressed layout");
+  if (snapshot.block_shape != compressor_.settings().block_shape ||
+      snapshot.transform != compressor_.settings().transform)
+    throw std::invalid_argument(
+        "CompressedSeries: appended frame does not match the series compressor");
+  frames_.push_back(std::move(snapshot));
+}
+
+std::vector<double> CompressedSeries::adjacent_l2() const {
+  std::vector<double> curve;
+  if (frames_.size() < 2) return curve;
+  curve.reserve(frames_.size() - 1);
+  for (std::size_t k = 1; k < frames_.size(); ++k)
+    curve.push_back(ops::l2_norm(ops::subtract(frames_[k], frames_[k - 1])));
+  return curve;
+}
+
+std::vector<double> CompressedSeries::adjacent_wasserstein(double p) const {
+  std::vector<double> curve;
+  if (frames_.size() < 2) return curve;
+  curve.reserve(frames_.size() - 1);
+  for (std::size_t k = 1; k < frames_.size(); ++k)
+    curve.push_back(ops::wasserstein_distance(frames_[k], frames_[k - 1], p));
+  return curve;
+}
+
+std::vector<double> CompressedSeries::adjacent_mse() const {
+  std::vector<double> curve;
+  if (frames_.size() < 2) return curve;
+  curve.reserve(frames_.size() - 1);
+  for (std::size_t k = 1; k < frames_.size(); ++k)
+    curve.push_back(ops::mean_squared_error(frames_[k], frames_[k - 1]));
+  return curve;
+}
+
+std::size_t CompressedSeries::largest_change_pair() const {
+  const std::vector<double> curve = adjacent_l2();
+  if (curve.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(curve.begin(), curve.end()) - curve.begin());
+}
+
+std::vector<CompressedSeries::Peak> CompressedSeries::find_peaks(
+    const std::vector<double>& curve, double min_prominence) {
+  std::vector<Peak> peaks;
+  if (curve.size() < 2) return peaks;
+
+  for (std::size_t k = 0; k < curve.size(); ++k) {
+    const bool left_ok = k == 0 || curve[k] > curve[k - 1];
+    const bool right_ok = k + 1 == curve.size() || curve[k] > curve[k + 1];
+    if (!(left_ok && right_ok)) continue;
+
+    // Median of the other samples.
+    std::vector<double> rest;
+    rest.reserve(curve.size() - 1);
+    for (std::size_t j = 0; j < curve.size(); ++j)
+      if (j != k) rest.push_back(curve[j]);
+    std::nth_element(rest.begin(), rest.begin() + static_cast<std::ptrdiff_t>(rest.size() / 2),
+                     rest.end());
+    const double median = rest[rest.size() / 2];
+    const double prominence = median > 0.0 ? curve[k] / median
+                                           : (curve[k] > 0.0 ? 1e308 : 0.0);
+    if (prominence >= min_prominence)
+      peaks.push_back(Peak{.pair_index = k, .value = curve[k], .prominence = prominence});
+  }
+  std::sort(peaks.begin(), peaks.end(),
+            [](const Peak& a, const Peak& b) { return a.value > b.value; });
+  return peaks;
+}
+
+std::size_t CompressedSeries::compressed_bits() const {
+  std::size_t total = 0;
+  for (const CompressedArray& frame : frames_) total += paper_layout_bits(frame);
+  return total;
+}
+
+std::size_t CompressedSeries::uncompressed_bits() const {
+  if (frames_.empty()) return 0;
+  return frames_.size() * static_cast<std::size_t>(frames_.front().shape.volume()) * 64;
+}
+
+}  // namespace pyblaz

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/codec/compressor.hpp"
+#include "core/ops/ops.hpp"
+
+namespace pyblaz {
+
+/// A time series of equally-shaped snapshots kept entirely in compressed
+/// form — the paper's motivating use case (§I): store the "movies" of an
+/// evolving simulation compressed, amortizing compression cost over many
+/// compressed-space queries, and only ever decompress the frames you need.
+///
+/// All distance curves are computed with compressed-space operations (no
+/// frame is decompressed), so a CompressedSeries of T frames costs
+/// T / ratio of the raw storage while still answering "where did the data
+/// change" queries.
+class CompressedSeries {
+ public:
+  /// The compressor defines the layout every appended frame must share.
+  explicit CompressedSeries(Compressor compressor)
+      : compressor_(std::move(compressor)) {}
+
+  /// Compress and append a snapshot.  Every snapshot must have the same
+  /// shape as the first (throws std::invalid_argument otherwise).
+  void append(const NDArray<double>& snapshot);
+
+  /// Append an already-compressed snapshot (must match the series layout).
+  void append(CompressedArray snapshot);
+
+  /// Number of stored frames.
+  std::size_t size() const { return frames_.size(); }
+  bool empty() const { return frames_.empty(); }
+
+  /// Access frame @p k.
+  const CompressedArray& at(std::size_t k) const { return frames_.at(k); }
+
+  /// Decompress frame @p k (the only operation here that decompresses).
+  NDArray<double> decompress(std::size_t k) const {
+    return compressor_.decompress(frames_.at(k));
+  }
+
+  /// ‖frame[k+1] - frame[k]‖₂ for every adjacent pair (length size()-1),
+  /// via compressed-space subtract + L2 norm.
+  std::vector<double> adjacent_l2() const;
+
+  /// Approximate p-order Wasserstein distance for every adjacent pair.
+  std::vector<double> adjacent_wasserstein(double p) const;
+
+  /// Mean squared error for every adjacent pair.
+  std::vector<double> adjacent_mse() const;
+
+  /// Index k maximizing the adjacent-L2 curve: the change happened between
+  /// frames k and k+1.  Returns 0 for series with fewer than two frames.
+  std::size_t largest_change_pair() const;
+
+  /// A peak in a distance curve.
+  struct Peak {
+    std::size_t pair_index;  ///< Between frames pair_index and pair_index+1.
+    double value;            ///< Curve value at the peak.
+    double prominence;       ///< value / median of the rest of the curve.
+  };
+
+  /// Local maxima of @p curve whose prominence (value over the median of the
+  /// remaining samples) is at least @p min_prominence, sorted by descending
+  /// value.  The endpoints count as local maxima when they exceed their
+  /// single neighbor.
+  static std::vector<Peak> find_peaks(const std::vector<double>& curve,
+                                      double min_prominence = 2.0);
+
+  /// Total §IV-C layout bits across all frames (the storage the series
+  /// actually needs).
+  std::size_t compressed_bits() const;
+
+  /// Raw FP64 bits the uncompressed series would need.
+  std::size_t uncompressed_bits() const;
+
+  const Compressor& compressor() const { return compressor_; }
+
+ private:
+  Compressor compressor_;
+  std::vector<CompressedArray> frames_;
+};
+
+}  // namespace pyblaz

@@ -1,0 +1,147 @@
+#include "core/transform/block_transform.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/transform/dct.hpp"
+#include "core/transform/haar.hpp"
+
+namespace pyblaz {
+
+std::string name(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kDCT:
+      return "dct";
+    case TransformKind::kHaar:
+      return "haar";
+  }
+  return "dct";
+}
+
+BlockTransform::BlockTransform(TransformKind kind, Shape block_shape)
+    : kind_(kind), block_shape_(std::move(block_shape)) {
+  matrices_.reserve(static_cast<std::size_t>(block_shape_.ndim()));
+  for (int axis = 0; axis < block_shape_.ndim(); ++axis) {
+    const int n = static_cast<int>(block_shape_[axis]);
+    matrices_.push_back(kind == TransformKind::kDCT ? dct_matrix(n) : haar_matrix(n));
+  }
+}
+
+namespace {
+
+/// Contract one axis of a block with the basis matrix.  The block is viewed
+/// as (outer, n, inner); forward uses H[k][k2], inverse H[k2][k].  Templating
+/// on the axis length N gives the compiler compile-time trip counts for the
+/// hot loops; N == 0 is the dynamic fallback.
+template <index_t N>
+void apply_axis(const double* src, double* dst, const double* h, index_t n_dyn,
+                index_t outer, index_t inner, bool forward) {
+  const index_t n = N > 0 ? N : n_dyn;
+  if (inner == 1) {
+    // Lines are contiguous.  Forward: saxpy with contiguous matrix rows;
+    // inverse: dot products with contiguous matrix rows.
+    for (index_t o = 0; o < outer; ++o) {
+      const double* line = src + o * n;
+      double* out = dst + o * n;
+      if (forward) {
+        std::fill(out, out + n, 0.0);
+        for (index_t k = 0; k < n; ++k) {
+          const double v = line[k];
+          const double* hrow = h + k * n;
+          for (index_t k2 = 0; k2 < n; ++k2) out[k2] += v * hrow[k2];
+        }
+      } else {
+        for (index_t k2 = 0; k2 < n; ++k2) {
+          const double* hrow = h + k2 * n;
+          double total = 0.0;
+          for (index_t k = 0; k < n; ++k) total += line[k] * hrow[k];
+          out[k2] = total;
+        }
+      }
+    }
+  } else {
+    for (index_t o = 0; o < outer; ++o) {
+      const double* base = src + o * n * inner;
+      double* sbase = dst + o * n * inner;
+      std::fill(sbase, sbase + n * inner, 0.0);
+      for (index_t k = 0; k < n; ++k) {
+        const double* line = base + k * inner;
+        for (index_t k2 = 0; k2 < n; ++k2) {
+          const double w = forward ? h[k * n + k2] : h[k2 * n + k];
+          double* out = sbase + k2 * inner;
+          for (index_t in = 0; in < inner; ++in) out[in] += w * line[in];
+        }
+      }
+    }
+  }
+}
+
+void apply_axis_dispatch(const double* src, double* dst, const double* h,
+                         index_t n, index_t outer, index_t inner, bool forward) {
+  switch (n) {
+    case 1:
+      std::copy(src, src + outer * inner, dst);
+      return;
+    case 2:
+      apply_axis<2>(src, dst, h, n, outer, inner, forward);
+      return;
+    case 4:
+      apply_axis<4>(src, dst, h, n, outer, inner, forward);
+      return;
+    case 8:
+      apply_axis<8>(src, dst, h, n, outer, inner, forward);
+      return;
+    case 16:
+      apply_axis<16>(src, dst, h, n, outer, inner, forward);
+      return;
+    case 32:
+      apply_axis<32>(src, dst, h, n, outer, inner, forward);
+      return;
+    default:
+      apply_axis<0>(src, dst, h, n, outer, inner, forward);
+      return;
+  }
+}
+
+}  // namespace
+
+void BlockTransform::apply(double* block, double* scratch,
+                           Direction direction) const {
+  const int d = block_shape_.ndim();
+  const bool forward = direction == Direction::kForward;
+
+  // Ping-pong between the block buffer and the scratch buffer, one axis per
+  // pass, copying back only if the final result landed in scratch.
+  double* src = block;
+  double* dst = scratch;
+  for (int axis = 0; axis < d; ++axis) {
+    const index_t n = block_shape_[axis];
+    index_t outer = 1, inner = 1;
+    for (int a = 0; a < axis; ++a) outer *= block_shape_[a];
+    for (int a = axis + 1; a < d; ++a) inner *= block_shape_[a];
+    apply_axis_dispatch(src, dst, matrices_[static_cast<std::size_t>(axis)].data(),
+                        n, outer, inner, forward);
+    std::swap(src, dst);
+  }
+  if (src != block) std::copy(src, src + block_shape_.volume(), block);
+}
+
+void BlockTransform::forward(double* block, double* scratch) const {
+  apply(block, scratch, Direction::kForward);
+}
+
+void BlockTransform::inverse(double* block, double* scratch) const {
+  apply(block, scratch, Direction::kInverse);
+}
+
+void BlockTransform::forward(double* block) const {
+  std::vector<double> scratch(static_cast<std::size_t>(scratch_size()));
+  forward(block, scratch.data());
+}
+
+void BlockTransform::inverse(double* block) const {
+  std::vector<double> scratch(static_cast<std::size_t>(scratch_size()));
+  inverse(block, scratch.data());
+}
+
+}  // namespace pyblaz

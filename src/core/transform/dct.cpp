@@ -1,0 +1,25 @@
+#include "core/transform/dct.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace pyblaz {
+
+std::vector<double> dct_matrix(int n) {
+  assert(n >= 1);
+  std::vector<double> h(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  const double c0 = std::sqrt(1.0 / n);
+  const double ck = std::sqrt(2.0 / n);
+  for (int pos = 0; pos < n; ++pos) {
+    for (int freq = 0; freq < n; ++freq) {
+      const double scale = freq == 0 ? c0 : ck;
+      h[static_cast<std::size_t>(pos) * static_cast<std::size_t>(n) +
+        static_cast<std::size_t>(freq)] =
+          scale * std::cos(std::numbers::pi * (2.0 * pos + 1.0) * freq / (2.0 * n));
+    }
+  }
+  return h;
+}
+
+}  // namespace pyblaz

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <vector>
+
+namespace pyblaz {
+
+/// Orthonormal DCT-II basis matrix for block size @p n, row-major n x n.
+///
+/// Entry H[pos][freq] = c_freq * cos(pi * (2 pos + 1) * freq / (2 n)) with
+/// c_0 = sqrt(1/n) and c_freq = sqrt(2/n) otherwise (0-based indices).
+/// Columns are the sampled cosine basis vectors; a block row-vector B maps to
+/// coefficients C = B * H, matching the paper's §III-A formula up to its
+/// 1-based index typography.  Column 0 is the constant vector 1/sqrt(n), so
+/// the first coefficient is the block mean times sqrt(n).
+std::vector<double> dct_matrix(int n);
+
+}  // namespace pyblaz

@@ -1,0 +1,38 @@
+#include "core/transform/haar.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace pyblaz {
+
+std::vector<double> haar_matrix(int n) {
+  assert(n >= 1 && (n & (n - 1)) == 0 && "Haar blocks must be powers of two");
+  std::vector<double> h(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+  auto at = [&](int row, int col) -> double& {
+    return h[static_cast<std::size_t>(row) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(col)];
+  };
+
+  // Column 0: scaling function, constant 1/sqrt(n).
+  const double dc = 1.0 / std::sqrt(static_cast<double>(n));
+  for (int row = 0; row < n; ++row) at(row, 0) = dc;
+
+  // Columns 1..n-1: wavelet psi_{level,shift} supported on a dyadic interval
+  // of length n / 2^level, +amplitude on the first half, -amplitude on the
+  // second, with amplitude chosen for unit L2 norm.
+  int col = 1;
+  for (int level = 0; (1 << level) < n; ++level) {
+    const int translates = 1 << level;          // Wavelets at this scale.
+    const int support = n / translates;         // Samples per wavelet.
+    const double amp = std::sqrt(static_cast<double>(translates) / n);
+    for (int shift = 0; shift < translates; ++shift, ++col) {
+      const int start = shift * support;
+      for (int k = 0; k < support / 2; ++k) at(start + k, col) = amp;
+      for (int k = support / 2; k < support; ++k) at(start + k, col) = -amp;
+    }
+  }
+  assert(col == n);
+  return h;
+}
+
+}  // namespace pyblaz

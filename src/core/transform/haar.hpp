@@ -1,0 +1,16 @@
+#pragma once
+
+#include <vector>
+
+namespace pyblaz {
+
+/// Orthonormal Haar wavelet basis matrix for block size @p n (a power of
+/// two), row-major n x n, with basis vectors in columns.
+///
+/// Column 0 is the constant vector 1/sqrt(n) (so block means live in the
+/// first coefficient, like the DCT); subsequent columns are the standard
+/// dyadic Haar wavelets, normalized to unit length.  A block row-vector B
+/// maps to coefficients C = B * H.
+std::vector<double> haar_matrix(int n);
+
+}  // namespace pyblaz

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pyblaz {
+
+/// Which orthonormal transform the compressor applies per block (§III-A).
+/// Both options have orthonormal basis matrices whose first basis vector is
+/// constant, the two properties every compressed-space operation relies on:
+///   - orthonormality preserves dot products (Parseval), enabling dot/L2/
+///     covariance directly on coefficients, and
+///   - the constant first basis vector makes the first coefficient of each
+///     block the block mean scaled by sqrt(prod(block shape)).
+enum class TransformKind : std::uint8_t {
+  kDCT = 0,   ///< Orthonormal DCT-II (the PyBlaz default).
+  kHaar = 1,  ///< Orthonormal Haar wavelet (block sizes are powers of two).
+};
+
+/// Human-readable name ("dct" or "haar").
+std::string name(TransformKind kind);
+
+}  // namespace pyblaz

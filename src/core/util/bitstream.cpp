@@ -1,0 +1,46 @@
+#include "core/util/bitstream.hpp"
+
+#include <cassert>
+
+namespace pyblaz {
+
+void BitWriter::put_bits(std::uint64_t value, int nbits) {
+  assert(nbits >= 0 && nbits <= 64);
+  for (int i = 0; i < nbits; ++i) {
+    const std::size_t byte = bit_count_ >> 3;
+    const unsigned offset = static_cast<unsigned>(bit_count_ & 7);
+    if (byte >= bytes_.size()) bytes_.push_back(0);
+    if ((value >> i) & 1u) bytes_[byte] |= static_cast<std::uint8_t>(1u << offset);
+    ++bit_count_;
+  }
+}
+
+void BitWriter::align_to_byte() {
+  while (bit_count_ & 7) put_bit(0);
+}
+
+void BitWriter::pad_to(std::size_t nbits) {
+  assert(nbits >= bit_count_);
+  while (bit_count_ < nbits) put_bit(0);
+}
+
+std::uint64_t BitReader::get_bits(int nbits) {
+  assert(nbits >= 0 && nbits <= 64);
+  std::uint64_t value = 0;
+  for (int i = 0; i < nbits; ++i) {
+    if (cursor_ < size_bits_) {
+      const std::size_t byte = cursor_ >> 3;
+      const unsigned offset = static_cast<unsigned>(cursor_ & 7);
+      const std::uint64_t bit = (bytes_[byte] >> offset) & 1u;
+      value |= bit << i;
+    }
+    ++cursor_;
+  }
+  return value;
+}
+
+void BitReader::align_to_byte() {
+  cursor_ = (cursor_ + 7) & ~std::size_t{7};
+}
+
+}  // namespace pyblaz

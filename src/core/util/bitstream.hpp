@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace pyblaz {
+
+/// Append-only bit stream writer used by the PyBlaz and zfpx serializers.
+///
+/// Bits are packed LSB-first into bytes: the first bit written becomes bit 0
+/// of byte 0.  This matches the reader below; the layout is an internal
+/// convention, not part of any external format.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Append the low @p nbits bits of @p value (0 <= nbits <= 64).
+  void put_bits(std::uint64_t value, int nbits);
+
+  /// Append a single bit (any nonzero @p bit writes 1).
+  void put_bit(int bit) { put_bits(bit ? 1u : 0u, 1); }
+
+  /// Pad with zero bits until the stream is byte aligned.
+  void align_to_byte();
+
+  /// Pad with zero bits until exactly @p nbits total bits have been written.
+  /// @p nbits must be >= size_bits().
+  void pad_to(std::size_t nbits);
+
+  /// Number of bits written so far.
+  std::size_t size_bits() const { return bit_count_; }
+
+  /// Finished byte buffer (implicitly zero-padded to a byte boundary).
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+  /// Move the byte buffer out of the writer.
+  std::vector<std::uint8_t> take_bytes() && { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+/// Sequential bit stream reader matching BitWriter's packing.
+class BitReader {
+ public:
+  /// The reader aliases @p bytes; the buffer must outlive the reader.
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes.data()), size_bits_(bytes.size() * 8) {}
+
+  BitReader(const std::uint8_t* bytes, std::size_t nbytes)
+      : bytes_(bytes), size_bits_(nbytes * 8) {}
+
+  /// Read @p nbits bits (0 <= nbits <= 64) as an unsigned value.
+  /// Reading past the end yields zero bits.
+  std::uint64_t get_bits(int nbits);
+
+  /// Read a single bit.
+  int get_bit() { return static_cast<int>(get_bits(1)); }
+
+  /// Skip forward until the cursor is byte aligned.
+  void align_to_byte();
+
+  /// Move the cursor to an absolute bit position.
+  void seek(std::size_t bit_position) { cursor_ = bit_position; }
+
+  /// Current cursor position in bits.
+  std::size_t position() const { return cursor_; }
+
+  /// Total readable bits.
+  std::size_t size_bits() const { return size_bits_; }
+
+ private:
+  const std::uint8_t* bytes_;
+  std::size_t size_bits_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace pyblaz

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace pyblaz {
+
+/// Deterministic random source used throughout tests, benches, and the
+/// synthetic data generators.  A thin wrapper over std::mt19937_64 so every
+/// consumer seeds explicitly and runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Normal double with the given mean and standard deviation.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t integer(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Access the underlying engine for use with std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pyblaz

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pyblaz {
+
+/// Minimal fixed-width text table used by the benchmark harnesses to print
+/// paper-style rows, with an optional CSV mirror for downstream plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render as an aligned text table.
+  std::string to_text() const;
+
+  /// Render as CSV (headers first).
+  std::string to_csv() const;
+
+  /// Write the CSV rendering to @p path, creating parent directories is the
+  /// caller's responsibility.  Returns false if the file cannot be opened.
+  bool write_csv(const std::string& path) const;
+
+  /// Format helper: fixed-precision double -> string.
+  static std::string fmt(double value, int precision = 4);
+
+  /// Format helper: scientific-notation double -> string.
+  static std::string sci(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pyblaz

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <chrono>
+
+namespace pyblaz {
+
+/// Monotonic wall-clock timer for the benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the timer.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace pyblaz

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ndarray/ndarray.hpp"
+
+namespace sim {
+
+using pyblaz::index_t;
+using pyblaz::NDArray;
+using pyblaz::Shape;
+
+/// Synthetic plutonium neutron-density time series (§V-C substitution).
+///
+/// The paper's dataset samples spatial neutron densities on a 40 x 40 x 66
+/// grid at 15 time steps; nuclear scission (the topology change where the
+/// nucleus splits) happens between steps 690 and 692, and the L2-norm
+/// distance between adjacent steps additionally shows misleading noise peaks
+/// around 685–686 and 695–699.  This generator reproduces those structural
+/// features: two Gaussian lobes joined by a neck that stretches until it
+/// ruptures between 690 and 692, plus transient noise events at the steps
+/// where the paper reports noise peaks.
+struct FissionConfig {
+  Shape grid{40, 40, 66};    ///< Sampling grid (x, y, z with z the long axis).
+  double background = 1e-4;  ///< Density floor added before the log.
+  /// Amplitude of the standing small-scale ripple.  Its phases are constant
+  /// within a noise epoch and jump at the noise events (686, 699): a spatial
+  /// rearrangement with a near-identical value distribution, so L2 sees a
+  /// peak but the Wasserstein distance barely moves.
+  double noise_level = 2e-2;
+  std::uint64_t seed = 42;  ///< Base RNG seed (combined with the noise epoch).
+};
+
+/// The 15 sampled time steps of the dataset.
+const std::vector<int>& fission_time_steps();
+
+/// Steps at which the generator injects a transient noise event (the paper's
+/// misleading peaks near 685–686 and 695–699).
+const std::vector<int>& fission_noise_steps();
+
+/// Neutron density at @p time_step (raw, nonnegative).
+NDArray<double> neutron_density(int time_step, const FissionConfig& config = {});
+
+/// Negative-log-transformed density, -log(rho + background): the
+/// representation the paper compresses and compares.
+NDArray<double> negative_log_density(int time_step,
+                                     const FissionConfig& config = {});
+
+/// Nucleus geometry at @p time_step (exposed for tests): lobe separation and
+/// neck amplitude.  Scission is neck_amplitude == 0.
+struct NucleusGeometry {
+  double separation;      ///< Half-distance between lobe centers (grid units).
+  double neck_amplitude;  ///< Relative density of the connecting neck.
+};
+NucleusGeometry nucleus_geometry(int time_step);
+
+}  // namespace sim

@@ -1,0 +1,113 @@
+#include "sim/mri/mri.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/util/rng.hpp"
+
+namespace sim {
+
+namespace {
+
+/// A 3-D Gaussian blob with independent per-axis widths.
+struct Blob {
+  double cx, cy, cz;  // Center in normalized coordinates.
+  double sx, sy, sz;  // Widths.
+  double amplitude;
+};
+
+}  // namespace
+
+NDArray<double> flair_volume(const MriVolumeConfig& config) {
+  const index_t nd = config.depth;
+  const index_t nh = config.height;
+  const index_t nw = config.width;
+  pyblaz::Rng rng(config.seed);
+
+  // Brain ellipsoid: centered, slightly randomized radii.
+  const double rad_d = 0.40 + rng.uniform(-0.03, 0.03);
+  const double rad_h = 0.42 + rng.uniform(-0.03, 0.03);
+  const double rad_w = 0.38 + rng.uniform(-0.03, 0.03);
+
+  // Internal tissue texture: a handful of smooth blobs (gray/white matter
+  // structure) plus a few small bright ones (lesions, the LGG tumors).
+  std::vector<Blob> blobs;
+  const int texture_blobs = 14;
+  for (int b = 0; b < texture_blobs; ++b) {
+    blobs.push_back(Blob{
+        .cx = rng.uniform(-0.3, 0.3),
+        .cy = rng.uniform(-0.3, 0.3),
+        .cz = rng.uniform(-0.3, 0.3),
+        .sx = rng.uniform(0.10, 0.30),
+        .sy = rng.uniform(0.10, 0.30),
+        .sz = rng.uniform(0.10, 0.30),
+        .amplitude = rng.uniform(-0.10, 0.18),
+    });
+  }
+  const int lesions = static_cast<int>(rng.integer(1, 3));
+  for (int b = 0; b < lesions; ++b) {
+    blobs.push_back(Blob{
+        .cx = rng.uniform(-0.25, 0.25),
+        .cy = rng.uniform(-0.25, 0.25),
+        .cz = rng.uniform(-0.25, 0.25),
+        .sx = rng.uniform(0.04, 0.10),
+        .sy = rng.uniform(0.04, 0.10),
+        .sz = rng.uniform(0.04, 0.10),
+        .amplitude = rng.uniform(0.30, 0.55),
+    });
+  }
+
+  const double base_intensity = 0.22 + rng.uniform(-0.02, 0.02);
+  const double noise = 0.015;
+
+  NDArray<double> volume(Shape{nd, nh, nw});
+  index_t offset = 0;
+  for (index_t d = 0; d < nd; ++d) {
+    const double x = 2.0 * (static_cast<double>(d) + 0.5) / static_cast<double>(nd) - 1.0;
+    for (index_t h = 0; h < nh; ++h) {
+      const double y = 2.0 * (static_cast<double>(h) + 0.5) / static_cast<double>(nh) - 1.0;
+      for (index_t w = 0; w < nw; ++w, ++offset) {
+        const double z = 2.0 * (static_cast<double>(w) + 0.5) / static_cast<double>(nw) - 1.0;
+
+        // Ellipsoidal brain support with a soft edge.
+        const double ellipse = (x * x) / (4.0 * rad_d * rad_d) +
+                               (y * y) / (4.0 * rad_h * rad_h) +
+                               (z * z) / (4.0 * rad_w * rad_w);
+        const double support = 1.0 / (1.0 + std::exp(40.0 * (ellipse - 1.0)));
+
+        double intensity = base_intensity;
+        for (const Blob& blob : blobs) {
+          const double e = (x - blob.cx) * (x - blob.cx) / (2.0 * blob.sx * blob.sx) +
+                           (y - blob.cy) * (y - blob.cy) / (2.0 * blob.sy * blob.sy) +
+                           (z - blob.cz) * (z - blob.cz) / (2.0 * blob.sz * blob.sz);
+          if (e < 12.0) intensity += blob.amplitude * std::exp(-e);
+        }
+
+        double value = support * intensity + noise * rng.normal();
+        volume[offset] = std::clamp(value, 0.0, 1.0);
+      }
+    }
+  }
+  return volume;
+}
+
+std::vector<MriVolumeConfig> dataset_configs(const MriDatasetConfig& config) {
+  std::vector<MriVolumeConfig> out;
+  out.reserve(static_cast<std::size_t>(config.volumes));
+  pyblaz::Rng rng(config.seed);
+  for (int k = 0; k < config.volumes; ++k) {
+    // Right-skewed depth distribution over [20, 88]: 20 + 68 * u^3 has mean
+    // 37, close to the real dataset's 35.72.
+    const double u = rng.uniform();
+    const index_t depth = 20 + static_cast<index_t>(68.0 * u * u * u);
+    out.push_back(MriVolumeConfig{
+        .depth = std::min<index_t>(depth, 88),
+        .height = 256,
+        .width = 256,
+        .seed = config.seed * 1000003ULL + static_cast<std::uint64_t>(k),
+    });
+  }
+  return out;
+}
+
+}  // namespace sim

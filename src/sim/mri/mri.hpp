@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ndarray/ndarray.hpp"
+
+namespace sim {
+
+using pyblaz::index_t;
+using pyblaz::NDArray;
+using pyblaz::Shape;
+
+/// Synthetic FLAIR-like MRI volume generator (§V-B substitution for the LGG
+/// segmentation dataset).
+///
+/// The real dataset: 110 brain MRI volumes, first dimension (slices) varying
+/// from 20 to 88 with mean 35.72, the other dimensions constant at 256;
+/// values normalized to [0, 1] with FLAIR mean 0.0870 and standard deviation
+/// 0.1238.  The generator reproduces these statistics and the structural
+/// properties that matter for transform compression: a dark background, a
+/// smooth bright brain region with multi-scale internal texture, occasional
+/// bright lesions, and asymmetric resolution (coarse in the slice direction).
+struct MriVolumeConfig {
+  index_t depth = 36;    ///< First-dimension size (slice count).
+  index_t height = 256;  ///< Second-dimension size.
+  index_t width = 256;   ///< Third-dimension size.
+  std::uint64_t seed = 0;
+};
+
+/// Configuration for a whole synthetic dataset.
+struct MriDatasetConfig {
+  int volumes = 110;        ///< The LGG dataset has 110 examples.
+  std::uint64_t seed = 7;   ///< Master seed; volume k uses seed + k.
+};
+
+/// Generate one FLAIR-like volume shaped (depth, height, width), values in
+/// [0, 1].
+NDArray<double> flair_volume(const MriVolumeConfig& config);
+
+/// Per-volume configurations for a dataset: depths are drawn from a
+/// right-skewed distribution over [20, 88] (matching the real dataset's mean
+/// of ~36), seeds are distinct.
+std::vector<MriVolumeConfig> dataset_configs(const MriDatasetConfig& config);
+
+}  // namespace sim

@@ -1,0 +1,189 @@
+#include "sim/shallow_water/swe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/util/rng.hpp"
+
+namespace sim {
+
+namespace {
+
+/// Gaussian seamount centered in the basin.
+double seamount(double x, double y, const SweConfig& c) {
+  const double cx = 0.5 * c.lx;
+  const double cy = 0.5 * c.ly;
+  const double r2 = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+  return c.seamount_height * std::exp(-r2 / (2.0 * c.seamount_sigma * c.seamount_sigma));
+}
+
+/// Double-gyre zonal wind stress: tau_x(y) = -tau0 cos(2 pi y / Ly), the
+/// classic two-cell forcing of wind-driven circulation studies.
+double wind_tau_x(double y, const SweConfig& c) {
+  return -c.wind_stress * std::cos(2.0 * std::numbers::pi * y / c.ly);
+}
+
+}  // namespace
+
+ShallowWaterModel::ShallowWaterModel(const SweConfig& config)
+    : config_(config),
+      dx_(config.lx / static_cast<double>(config.nx)),
+      dy_(config.ly / static_cast<double>(config.ny)),
+      u_(Shape{config.nx + 1, config.ny}),
+      v_(Shape{config.nx, config.ny + 1}),
+      eta_(Shape{config.nx, config.ny}),
+      depth_field_(Shape{config.nx, config.ny}),
+      wind_u_(Shape{config.nx + 1, config.ny}) {
+  const index_t nx = config_.nx;
+  const index_t ny = config_.ny;
+
+  for (index_t i = 0; i < nx; ++i) {
+    for (index_t j = 0; j < ny; ++j) {
+      const double x = (static_cast<double>(i) + 0.5) * dx_;
+      const double y = (static_cast<double>(j) + 0.5) * dy_;
+      depth_field_[i * ny + j] = config_.depth - seamount(x, y, config_);
+    }
+  }
+
+  // Wind acceleration tau_x / (rho * H) evaluated at u points.
+  for (index_t i = 0; i <= nx; ++i) {
+    for (index_t j = 0; j < ny; ++j) {
+      const double y = (static_cast<double>(j) + 0.5) * dy_;
+      wind_u_[i * ny + j] = wind_tau_x(y, config_) / (config_.rho * config_.depth);
+    }
+  }
+
+  // Seed a smooth surface-height perturbation so precision differences have
+  // structure to act on from the first step.
+  pyblaz::Rng rng(config_.seed);
+  NDArray<double> bump = pyblaz::random_smooth(Shape{nx, ny}, rng, 10);
+  const double amp = 0.2 / std::max(1e-12, pyblaz::max_abs(bump));
+  for (index_t k = 0; k < eta_.size(); ++k) eta_[k] = amp * bump[k];
+  apply_precision();
+}
+
+void ShallowWaterModel::apply_precision() {
+  if (config_.precision == FloatType::kFloat64) return;
+  const FloatType p = config_.precision;
+  u_.map_inplace([p](double x) { return pyblaz::quantize(x, p); });
+  v_.map_inplace([p](double x) { return pyblaz::quantize(x, p); });
+  eta_.map_inplace([p](double x) { return pyblaz::quantize(x, p); });
+}
+
+void ShallowWaterModel::step() {
+  const index_t nx = config_.nx;
+  const index_t ny = config_.ny;
+  const double g = config_.gravity;
+  const double dt = config_.dt;
+  const double inv_dx = 1.0 / dx_;
+  const double inv_dy = 1.0 / dy_;
+  const double drag = config_.bottom_friction;
+  const double nu = config_.viscosity;
+
+  NDArray<double> u_new = u_;
+  NDArray<double> v_new = v_;
+
+  // --- Momentum step (forward): uses current eta. ---
+  // u update at interior u points (i = 1..nx-1).
+#pragma omp parallel for
+  for (index_t i = 1; i < nx; ++i) {
+    for (index_t j = 0; j < ny; ++j) {
+      const double y = (static_cast<double>(j) + 0.5) * dy_;
+      const double f = config_.coriolis_f0 + config_.coriolis_beta * (y - 0.5 * config_.ly);
+
+      // Average v to the u point (free-slip at y walls).
+      const double v_avg = 0.25 * (v_[(i - 1) * (ny + 1) + j] +
+                                   v_[(i - 1) * (ny + 1) + j + 1] +
+                                   v_[i * (ny + 1) + j] + v_[i * (ny + 1) + j + 1]);
+
+      const double deta_dx = (eta_[i * ny + j] - eta_[(i - 1) * ny + j]) * inv_dx;
+
+      // 5-point Laplacian of u (free-slip tangential walls).
+      const double u_c = u_[i * ny + j];
+      const double u_xm = u_[(i - 1) * ny + j];
+      const double u_xp = u_[(i + 1) * ny + j];
+      const double u_ym = j > 0 ? u_[i * ny + j - 1] : u_c;
+      const double u_yp = j < ny - 1 ? u_[i * ny + j + 1] : u_c;
+      const double lap = (u_xp - 2.0 * u_c + u_xm) * inv_dx * inv_dx +
+                         (u_yp - 2.0 * u_c + u_ym) * inv_dy * inv_dy;
+
+      u_new[i * ny + j] = u_c + dt * (f * v_avg - g * deta_dx - drag * u_c +
+                                      nu * lap + wind_u_[i * ny + j]);
+    }
+  }
+  // Closed walls: zero normal flow.
+  for (index_t j = 0; j < ny; ++j) {
+    u_new[0 * ny + j] = 0.0;
+    u_new[nx * ny + j] = 0.0;
+  }
+
+  // v update at interior v points (j = 1..ny-1).
+#pragma omp parallel for
+  for (index_t i = 0; i < nx; ++i) {
+    for (index_t j = 1; j < ny; ++j) {
+      const double y = static_cast<double>(j) * dy_;
+      const double f = config_.coriolis_f0 + config_.coriolis_beta * (y - 0.5 * config_.ly);
+
+      const double u_avg = 0.25 * (u_[i * ny + j - 1] + u_[i * ny + j] +
+                                   u_[(i + 1) * ny + j - 1] + u_[(i + 1) * ny + j]);
+
+      const double deta_dy = (eta_[i * ny + j] - eta_[i * ny + j - 1]) * inv_dy;
+
+      const double v_c = v_[i * (ny + 1) + j];
+      const double v_xm = i > 0 ? v_[(i - 1) * (ny + 1) + j] : v_c;
+      const double v_xp = i < nx - 1 ? v_[(i + 1) * (ny + 1) + j] : v_c;
+      const double v_ym = v_[i * (ny + 1) + j - 1];
+      const double v_yp = v_[i * (ny + 1) + j + 1];
+      const double lap = (v_xp - 2.0 * v_c + v_xm) * inv_dx * inv_dx +
+                         (v_yp - 2.0 * v_c + v_ym) * inv_dy * inv_dy;
+
+      v_new[i * (ny + 1) + j] =
+          v_c + dt * (-f * u_avg - g * deta_dy - drag * v_c + nu * lap);
+    }
+  }
+  for (index_t i = 0; i < nx; ++i) {
+    v_new[i * (ny + 1) + 0] = 0.0;
+    v_new[i * (ny + 1) + ny] = 0.0;
+  }
+
+  // --- Continuity step (backward): uses the new velocities. ---
+  // d(eta)/dt = -div(H u), with H interpolated to faces.
+#pragma omp parallel for
+  for (index_t i = 0; i < nx; ++i) {
+    for (index_t j = 0; j < ny; ++j) {
+      const double h_c = depth_field_[i * ny + j];
+      const double h_xm = i > 0 ? 0.5 * (h_c + depth_field_[(i - 1) * ny + j]) : h_c;
+      const double h_xp = i < nx - 1 ? 0.5 * (h_c + depth_field_[(i + 1) * ny + j]) : h_c;
+      const double h_ym = j > 0 ? 0.5 * (h_c + depth_field_[i * ny + j - 1]) : h_c;
+      const double h_yp = j < ny - 1 ? 0.5 * (h_c + depth_field_[i * ny + j + 1]) : h_c;
+
+      const double flux_x = (h_xp * u_new[(i + 1) * ny + j] - h_xm * u_new[i * ny + j]) * inv_dx;
+      const double flux_y = (h_yp * v_new[i * (ny + 1) + j + 1] - h_ym * v_new[i * (ny + 1) + j]) * inv_dy;
+
+      eta_[i * ny + j] -= dt * (flux_x + flux_y);
+    }
+  }
+
+  u_ = std::move(u_new);
+  v_ = std::move(v_new);
+  apply_precision();
+  ++steps_taken_;
+}
+
+void ShallowWaterModel::run(int steps) {
+  for (int k = 0; k < steps; ++k) step();
+}
+
+double ShallowWaterModel::total_height_anomaly() const {
+  double total = 0.0;
+  for (index_t k = 0; k < eta_.size(); ++k) total += eta_[k];
+  return total * dx_ * dy_;
+}
+
+double ShallowWaterModel::max_speed() const {
+  return std::max(pyblaz::max_abs(u_), pyblaz::max_abs(v_));
+}
+
+}  // namespace sim

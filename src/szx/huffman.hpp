@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/util/bitstream.hpp"
+
+namespace szx {
+
+/// Canonical Huffman coder over a dense symbol alphabet [0, alphabet_size),
+/// used by the SZ-style codec to entropy-code quantization bins (§II-A b:
+/// "quantizes the residuals using Huffman coding").
+///
+/// The code is canonical, so only the per-symbol code lengths need to be
+/// serialized; encoder and decoder rebuild identical codebooks from them.
+class HuffmanCoder {
+ public:
+  /// Build a code for the given symbol frequencies (zero-frequency symbols
+  /// get no code).  @p frequencies must be non-empty and contain at least one
+  /// nonzero entry.
+  explicit HuffmanCoder(const std::vector<std::uint64_t>& frequencies);
+
+  /// Rebuild a coder from serialized code lengths (the decoder side).
+  static HuffmanCoder from_code_lengths(std::vector<std::uint8_t> lengths);
+
+  /// Per-symbol code lengths (0 = symbol unused); what gets serialized.
+  const std::vector<std::uint8_t>& code_lengths() const { return lengths_; }
+
+  /// Append the code for @p symbol to the stream.  The symbol must have a
+  /// code (nonzero frequency at build time).
+  void encode(pyblaz::BitWriter& writer, int symbol) const;
+
+  /// Decode one symbol from the stream.  Returns -1 on malformed input.
+  int decode(pyblaz::BitReader& reader) const;
+
+  /// Number of symbols in the alphabet.
+  int alphabet_size() const { return static_cast<int>(lengths_.size()); }
+
+  /// Expected bits per symbol under the build-time frequencies.
+  double expected_bits(const std::vector<std::uint64_t>& frequencies) const;
+
+ private:
+  HuffmanCoder() = default;
+  void build_canonical_codes();
+
+  std::vector<std::uint8_t> lengths_;   // Per-symbol code length.
+  std::vector<std::uint32_t> codes_;    // Per-symbol canonical code (MSB first).
+
+  // Canonical decode tables, indexed by code length 1..kMaxCodeLength:
+  // first_code_[len] is the smallest code of that length, first_symbol_[len]
+  // the index into sorted_symbols_ of its symbol.
+  static constexpr int kMaxCodeLength = 32;
+  std::vector<std::uint32_t> first_code_;
+  std::vector<std::uint32_t> first_symbol_;
+  std::vector<std::uint32_t> count_by_length_;
+  std::vector<int> sorted_symbols_;
+};
+
+}  // namespace szx

@@ -1,0 +1,233 @@
+#include "szx/szx.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/util/bitstream.hpp"
+#include "szx/huffman.hpp"
+
+namespace szx {
+
+namespace {
+
+using pyblaz::BitReader;
+using pyblaz::BitWriter;
+
+/// Lorenzo prediction from already-reconstructed neighbors.  The encoder and
+/// decoder both predict from *reconstructed* values, which is what makes the
+/// per-element error bound hold under accumulation.
+class LorenzoPredictor {
+ public:
+  LorenzoPredictor(const Shape& shape, const std::vector<double>& reconstructed)
+      : shape_(shape),
+        strides_(shape.strides()),
+        d_(shape.ndim()),
+        values_(reconstructed) {}
+
+  double predict(const std::vector<index_t>& idx, index_t offset) const {
+    switch (d_) {
+      case 1:
+        return idx[0] > 0 ? values_[static_cast<std::size_t>(offset - 1)] : 0.0;
+      case 2: {
+        const double left = idx[1] > 0 ? at(offset - strides_[1]) : 0.0;
+        const double top = idx[0] > 0 ? at(offset - strides_[0]) : 0.0;
+        const double diag =
+            idx[0] > 0 && idx[1] > 0 ? at(offset - strides_[0] - strides_[1]) : 0.0;
+        return left + top - diag;
+      }
+      case 3: {
+        const bool i = idx[0] > 0, j = idx[1] > 0, k = idx[2] > 0;
+        const index_t si = strides_[0], sj = strides_[1], sk = strides_[2];
+        double p = 0.0;
+        if (i) p += at(offset - si);
+        if (j) p += at(offset - sj);
+        if (k) p += at(offset - sk);
+        if (i && j) p -= at(offset - si - sj);
+        if (i && k) p -= at(offset - si - sk);
+        if (j && k) p -= at(offset - sj - sk);
+        if (i && j && k) p += at(offset - si - sj - sk);
+        return p;
+      }
+      default:
+        return 0.0;
+    }
+  }
+
+ private:
+  double at(index_t offset) const { return values_[static_cast<std::size_t>(offset)]; }
+
+  const Shape& shape_;
+  std::vector<index_t> strides_;
+  int d_;
+  const std::vector<double>& values_;
+};
+
+}  // namespace
+
+Compressed compress(const NDArray<double>& array, const Settings& settings) {
+  const int d = array.shape().ndim();
+  if (d < 1 || d > 3)
+    throw std::invalid_argument("szx supports 1 to 3 dimensions");
+  if (settings.error_bound <= 0.0)
+    throw std::invalid_argument("szx error bound must be positive");
+  if (settings.quantization_radius < 1)
+    throw std::invalid_argument("szx quantization radius must be >= 1");
+
+  const index_t total = array.size();
+  const int radius = settings.quantization_radius;
+  const int alphabet = 2 * radius + 2;  // Codes plus the outlier marker.
+  const int outlier_symbol = alphabet - 1;
+  const double bound = settings.error_bound;
+  const double bin_width = 2.0 * bound;
+
+  // Pass 1: quantize against reconstructed values, collecting symbols.
+  std::vector<double> reconstructed(static_cast<std::size_t>(total));
+  std::vector<std::int32_t> symbols(static_cast<std::size_t>(total));
+  LorenzoPredictor predictor(array.shape(), reconstructed);
+
+  std::vector<index_t> idx(static_cast<std::size_t>(d), 0);
+  for (index_t offset = 0; offset < total; ++offset) {
+    const double prediction = predictor.predict(idx, offset);
+    const double value = array[offset];
+    const double code_real = std::round((value - prediction) / bin_width);
+    bool outlier = !(std::fabs(code_real) <= static_cast<double>(radius)) ||
+                   !std::isfinite(value) || !std::isfinite(prediction);
+    double decoded = 0.0;
+    if (!outlier) {
+      decoded = prediction + code_real * bin_width;
+      // Guard against floating-point slop at bin boundaries: the bound must
+      // hold exactly or the element becomes an outlier.
+      outlier = !(std::fabs(decoded - value) <= bound);
+    }
+    if (outlier) {
+      symbols[static_cast<std::size_t>(offset)] = outlier_symbol;
+      reconstructed[static_cast<std::size_t>(offset)] = value;
+    } else {
+      symbols[static_cast<std::size_t>(offset)] =
+          static_cast<std::int32_t>(code_real) + radius;
+      reconstructed[static_cast<std::size_t>(offset)] = decoded;
+    }
+    for (int axis = d - 1; axis >= 0; --axis) {
+      if (++idx[static_cast<std::size_t>(axis)] < array.shape()[axis]) break;
+      idx[static_cast<std::size_t>(axis)] = 0;
+    }
+  }
+
+  // Build the Huffman code from symbol frequencies.
+  std::vector<std::uint64_t> frequencies(static_cast<std::size_t>(alphabet), 0);
+  for (std::int32_t s : symbols) ++frequencies[static_cast<std::size_t>(s)];
+  HuffmanCoder coder(frequencies);
+
+  // Pass 2: serialize.
+  BitWriter writer;
+  writer.put_bits(static_cast<std::uint64_t>(d), 8);
+  for (int axis = 0; axis < d; ++axis)
+    writer.put_bits(static_cast<std::uint64_t>(array.shape()[axis]), 64);
+  writer.put_bits(std::bit_cast<std::uint64_t>(bound), 64);
+  writer.put_bits(static_cast<std::uint64_t>(radius), 32);
+
+  // Codebook: count of used symbols, then (symbol, length) pairs.
+  std::uint32_t used = 0;
+  for (std::uint8_t len : coder.code_lengths())
+    if (len > 0) ++used;
+  writer.put_bits(used, 32);
+  for (int s = 0; s < alphabet; ++s) {
+    const std::uint8_t len = coder.code_lengths()[static_cast<std::size_t>(s)];
+    if (len == 0) continue;
+    writer.put_bits(static_cast<std::uint64_t>(s), 32);
+    writer.put_bits(len, 6);
+  }
+
+  // Payload: Huffman codes, outliers followed by their raw bits.
+  for (index_t offset = 0; offset < total; ++offset) {
+    const int symbol = symbols[static_cast<std::size_t>(offset)];
+    coder.encode(writer, symbol);
+    if (symbol == outlier_symbol) {
+      writer.put_bits(std::bit_cast<std::uint64_t>(array[offset]), 64);
+    }
+  }
+  writer.align_to_byte();
+
+  Compressed out;
+  out.shape = array.shape();
+  out.error_bound = bound;
+  out.stream = std::move(writer).take_bytes();
+  return out;
+}
+
+NDArray<double> decompress(const Compressed& compressed) {
+  BitReader reader(compressed.stream);
+  const int d = static_cast<int>(reader.get_bits(8));
+  if (d < 1 || d > 3) throw std::invalid_argument("szx: corrupt stream (dims)");
+  std::vector<index_t> dims(static_cast<std::size_t>(d));
+  index_t volume = 1;
+  for (auto& extent : dims) {
+    extent = static_cast<index_t>(reader.get_bits(64));
+    // Reject corrupted size fields before they drive allocations; each
+    // decoded element consumes at least one stream bit, so the volume can
+    // never exceed the stream's bit count.
+    if (extent <= 0 || extent > (index_t{1} << 40))
+      throw std::invalid_argument("szx: corrupt stream (shape)");
+    volume *= extent;
+    if (volume > static_cast<index_t>(reader.size_bits()))
+      throw std::invalid_argument("szx: corrupt stream (shape too big)");
+  }
+  const Shape shape(std::move(dims));
+  const double bound = std::bit_cast<double>(reader.get_bits(64));
+  if (!(bound > 0.0) || !std::isfinite(bound))
+    throw std::invalid_argument("szx: corrupt stream (bound)");
+  const int radius = static_cast<int>(reader.get_bits(32));
+  if (radius < 1 || radius > (1 << 24))
+    throw std::invalid_argument("szx: corrupt stream (radius)");
+  const int alphabet = 2 * radius + 2;
+  const int outlier_symbol = alphabet - 1;
+  const double bin_width = 2.0 * bound;
+
+  const std::uint32_t used = static_cast<std::uint32_t>(reader.get_bits(32));
+  if (used > static_cast<std::uint32_t>(alphabet) ||
+      static_cast<std::size_t>(used) * 38 >
+          reader.size_bits() - reader.position())
+    throw std::invalid_argument("szx: corrupt stream (codebook size)");
+  std::vector<std::uint8_t> lengths(static_cast<std::size_t>(alphabet), 0);
+  bool any_used = false;
+  for (std::uint32_t k = 0; k < used; ++k) {
+    const std::uint32_t symbol = static_cast<std::uint32_t>(reader.get_bits(32));
+    if (symbol >= static_cast<std::uint32_t>(alphabet))
+      throw std::invalid_argument("szx: corrupt stream (codebook)");
+    lengths[symbol] = static_cast<std::uint8_t>(reader.get_bits(6));
+    any_used |= lengths[symbol] > 0;
+  }
+  if (!any_used) throw std::invalid_argument("szx: corrupt stream (empty codebook)");
+  HuffmanCoder coder = HuffmanCoder::from_code_lengths(std::move(lengths));
+
+  const index_t total = shape.volume();
+  std::vector<double> values(static_cast<std::size_t>(total));
+  LorenzoPredictor predictor(shape, values);
+  std::vector<index_t> idx(static_cast<std::size_t>(d), 0);
+  for (index_t offset = 0; offset < total; ++offset) {
+    const int symbol = coder.decode(reader);
+    if (symbol < 0 || reader.position() > reader.size_bits())
+      throw std::invalid_argument("szx: corrupt or truncated stream");
+    if (symbol == outlier_symbol) {
+      values[static_cast<std::size_t>(offset)] =
+          std::bit_cast<double>(reader.get_bits(64));
+    } else {
+      const double prediction = predictor.predict(idx, offset);
+      values[static_cast<std::size_t>(offset)] =
+          prediction + static_cast<double>(symbol - radius) * bin_width;
+    }
+    for (int axis = d - 1; axis >= 0; --axis) {
+      if (++idx[static_cast<std::size_t>(axis)] < shape[axis]) break;
+      idx[static_cast<std::size_t>(axis)] = 0;
+    }
+  }
+  return NDArray<double>(shape, std::move(values));
+}
+
+double ratio(const Compressed& compressed) {
+  return 64.0 * static_cast<double>(compressed.shape.volume()) /
+         static_cast<double>(compressed.size_bits());
+}
+
+}  // namespace szx

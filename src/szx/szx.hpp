@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ndarray/ndarray.hpp"
+
+/// szx: an SZ-style error-bounded predictive compressor (§II-A b) for 1- to
+/// 3-dimensional FP64 arrays: a Lorenzo predictor describes each element
+/// relative to its already-decoded neighbors, residuals are quantized into
+/// 2R+1 bins of width 2*error_bound, bin codes are Huffman coded, and
+/// unpredictable elements are stored verbatim.
+///
+/// This is the paper's "closest related compressor" baseline: it achieves
+/// error-bounded compression with data-dependent ratios, but its predictive
+/// coding destroys the linear structure PyBlaz preserves, so no
+/// compressed-space operations are possible — exactly the trade-off §II
+/// positions PyBlaz against.
+namespace szx {
+
+using pyblaz::index_t;
+using pyblaz::NDArray;
+using pyblaz::Shape;
+
+/// Compressor configuration.
+struct Settings {
+  /// Absolute error bound: every reconstructed element is within this of the
+  /// original (the SZ guarantee).
+  double error_bound = 1e-3;
+
+  /// Quantization radius R: residuals within R bins of zero are quantized;
+  /// anything farther is stored verbatim as an outlier.
+  int quantization_radius = 32767;
+};
+
+/// A compressed array (opaque byte stream plus the shape needed to decode).
+struct Compressed {
+  Shape shape;
+  double error_bound = 0.0;
+  std::vector<std::uint8_t> stream;
+
+  /// Total compressed size in bits (stream plus the shape/bound header the
+  /// ratio accounting charges).
+  std::size_t size_bits() const { return 8 * stream.size(); }
+};
+
+/// Compress @p array (1-3 dimensions) with the given settings.
+Compressed compress(const NDArray<double>& array, const Settings& settings = {});
+
+/// Decompress.  Every element satisfies |x - x'| <= error_bound.
+NDArray<double> decompress(const Compressed& compressed);
+
+/// Compression ratio against FP64 input.
+double ratio(const Compressed& compressed);
+
+}  // namespace szx

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/util/bitstream.hpp"
+
+/// zfpx: a fixed-rate transform codec implementing the published ZFP block
+/// algorithm (Lindstrom 2014) for 1-, 2-, and 3-dimensional FP64 data:
+/// 4^d blocks -> block-floating-point (common exponent) -> the ZFP lifted
+/// near-orthogonal integer transform -> sequency reordering -> negabinary ->
+/// embedded group-tested bit-plane coding, truncated at a fixed per-block bit
+/// budget.  It is the Fig. 3 comparison substrate standing in for the ZFP
+/// library.
+namespace zfpx {
+
+/// Side length of every block (fixed by the algorithm).
+inline constexpr int kBlockSide = 4;
+
+/// Number of values in a d-dimensional block: 4^d.
+constexpr int block_values(int dims) {
+  int n = 1;
+  for (int k = 0; k < dims; ++k) n *= kBlockSide;
+  return n;
+}
+
+/// Bits used to store a nonzero block's common exponent.
+inline constexpr int kExponentBits = 12;
+
+/// Exponent bias (covers the full double exponent range incl. subnormals).
+inline constexpr int kExponentBias = 1074;
+
+/// Encode one block of 4^d doubles into @p writer using exactly
+/// @p budget_bits bits (zero-padded if the encoder runs out of planes).
+/// The common-exponent header is paid out of the same budget, as in ZFP.
+void encode_block(pyblaz::BitWriter& writer, const double* values, int dims,
+                  int budget_bits);
+
+/// Decode one block of 4^d doubles, consuming exactly @p budget_bits bits.
+void decode_block(pyblaz::BitReader& reader, double* values, int dims,
+                  int budget_bits);
+
+/// The sequency-order permutation for d dimensions: position j of the result
+/// is the row-major block offset holding the j-th lowest-sequency
+/// coefficient.  Exposed for tests.
+const std::vector<int>& sequency_permutation(int dims);
+
+}  // namespace zfpx

@@ -1,0 +1,139 @@
+#include "zfpx/zfpx.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace zfpx {
+
+namespace {
+
+/// Gather one 4^d block from the array, clamping reads at the edges
+/// (replicating border values for partial blocks, as ZFP does).
+void gather_block(const NDArray<double>& array, const Shape& grid,
+                  index_t block_index, double* values, int dims) {
+  const Shape& shape = array.shape();
+  const std::vector<index_t> strides = shape.strides();
+  std::vector<index_t> block_coords = grid.indices_of(block_index);
+
+  const int n = block_values(dims);
+  for (int j = 0; j < n; ++j) {
+    index_t offset = 0;
+    int rem = j;
+    for (int axis = dims - 1; axis >= 0; --axis) {
+      const index_t intra = rem % kBlockSide;
+      rem /= kBlockSide;
+      index_t coord =
+          block_coords[static_cast<std::size_t>(axis)] * kBlockSide + intra;
+      coord = std::min(coord, shape[axis] - 1);  // Edge replication.
+      offset += coord * strides[static_cast<std::size_t>(axis)];
+    }
+    values[j] = array[offset];
+  }
+}
+
+/// Scatter one block back, skipping positions past the array edge.
+void scatter_block(NDArray<double>& array, const Shape& grid,
+                   index_t block_index, const double* values, int dims) {
+  const Shape& shape = array.shape();
+  const std::vector<index_t> strides = shape.strides();
+  std::vector<index_t> block_coords = grid.indices_of(block_index);
+
+  const int n = block_values(dims);
+  for (int j = 0; j < n; ++j) {
+    index_t offset = 0;
+    int rem = j;
+    bool inside = true;
+    for (int axis = dims - 1; axis >= 0; --axis) {
+      const index_t intra = rem % kBlockSide;
+      rem /= kBlockSide;
+      const index_t coord =
+          block_coords[static_cast<std::size_t>(axis)] * kBlockSide + intra;
+      if (coord >= shape[axis]) {
+        inside = false;
+        break;
+      }
+      offset += coord * strides[static_cast<std::size_t>(axis)];
+    }
+    if (inside) array[offset] = values[j];
+  }
+}
+
+Shape block_grid_for(const Shape& shape) {
+  std::vector<index_t> dims(static_cast<std::size_t>(shape.ndim()));
+  for (int axis = 0; axis < shape.ndim(); ++axis)
+    dims[static_cast<std::size_t>(axis)] =
+        (shape[axis] + kBlockSide - 1) / kBlockSide;
+  return Shape(std::move(dims));
+}
+
+}  // namespace
+
+Codec::Codec(int dims, double rate_bits_per_value) : dims_(dims) {
+  if (dims < 1 || dims > 3)
+    throw std::invalid_argument("zfpx::Codec supports 1 to 3 dimensions");
+  if (rate_bits_per_value <= 0.0)
+    throw std::invalid_argument("zfpx::Codec rate must be positive");
+  const int raw_bits = static_cast<int>(
+      std::ceil(rate_bits_per_value * block_values(dims)));
+  // Round up to a byte multiple so fixed-rate blocks stay byte aligned and
+  // can be encoded/decoded in parallel.
+  block_bits_ = (raw_bits + 7) / 8 * 8;
+  // The budget must at least cover the block header.
+  block_bits_ = std::max(block_bits_, ((1 + kExponentBits) + 7) / 8 * 8);
+}
+
+std::size_t Codec::compressed_bytes(const Shape& shape) const {
+  const Shape grid = block_grid_for(shape);
+  return static_cast<std::size_t>(grid.volume()) *
+         static_cast<std::size_t>(block_bits_ / 8);
+}
+
+std::vector<std::uint8_t> Codec::compress(const NDArray<double>& array) const {
+  if (array.shape().ndim() != dims_)
+    throw std::invalid_argument("zfpx::compress: dimensionality mismatch");
+  const Shape grid = block_grid_for(array.shape());
+  const index_t num_blocks = grid.volume();
+  const std::size_t block_bytes = static_cast<std::size_t>(block_bits_ / 8);
+  std::vector<std::uint8_t> stream(static_cast<std::size_t>(num_blocks) *
+                                   block_bytes);
+
+#pragma omp parallel for
+  for (index_t kb = 0; kb < num_blocks; ++kb) {
+    double values[64];
+    gather_block(array, grid, kb, values, dims_);
+    pyblaz::BitWriter writer;
+    encode_block(writer, values, dims_, block_bits_);
+    const std::vector<std::uint8_t>& bytes = writer.bytes();
+    assert(bytes.size() == block_bytes);
+    std::copy(bytes.begin(), bytes.end(),
+              stream.begin() + static_cast<std::ptrdiff_t>(
+                                   static_cast<std::size_t>(kb) * block_bytes));
+  }
+  return stream;
+}
+
+NDArray<double> Codec::decompress(const std::vector<std::uint8_t>& stream,
+                                  const Shape& shape) const {
+  if (shape.ndim() != dims_)
+    throw std::invalid_argument("zfpx::decompress: dimensionality mismatch");
+  const Shape grid = block_grid_for(shape);
+  const index_t num_blocks = grid.volume();
+  const std::size_t block_bytes = static_cast<std::size_t>(block_bits_ / 8);
+  if (stream.size() < static_cast<std::size_t>(num_blocks) * block_bytes)
+    throw std::invalid_argument("zfpx::decompress: stream too short");
+
+  NDArray<double> out(shape);
+#pragma omp parallel for
+  for (index_t kb = 0; kb < num_blocks; ++kb) {
+    double values[64];
+    pyblaz::BitReader reader(
+        stream.data() + static_cast<std::size_t>(kb) * block_bytes, block_bytes);
+    decode_block(reader, values, dims_, block_bits_);
+    scatter_block(out, grid, kb, values, dims_);
+  }
+  return out;
+}
+
+}  // namespace zfpx

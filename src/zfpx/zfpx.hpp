@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ndarray/ndarray.hpp"
+#include "zfpx/block_codec.hpp"
+
+namespace zfpx {
+
+using pyblaz::index_t;
+using pyblaz::NDArray;
+using pyblaz::Shape;
+
+/// Fixed-rate ZFP-style codec for 1-, 2-, and 3-dimensional FP64 arrays.
+///
+/// Fixed-rate mode assigns every 4^d block exactly the same bit budget
+/// (rate * 4^d bits, rounded up to a whole byte so blocks stay byte aligned),
+/// which makes compressed offsets computable and both directions
+/// embarrassingly parallel — the property the paper's Fig. 3 exercises with
+/// ZFP's CUDA fixed-rate mode, reproduced here with OpenMP.
+class Codec {
+ public:
+  /// @param dims 1, 2, or 3.
+  /// @param rate_bits_per_value compressed bits per scalar (e.g. 8, 16, 32
+  ///        for ratios 8, 4, 2 against FP64 input).
+  Codec(int dims, double rate_bits_per_value);
+
+  /// Compress @p array (dimensionality must equal dims; ragged edges are
+  /// padded by edge replication).
+  std::vector<std::uint8_t> compress(const NDArray<double>& array) const;
+
+  /// Decompress a stream produced by compress() for an array of @p shape.
+  NDArray<double> decompress(const std::vector<std::uint8_t>& stream,
+                             const Shape& shape) const;
+
+  /// Exact bit budget per block (rate * 4^d rounded up to a byte multiple).
+  int block_bits() const { return block_bits_; }
+
+  /// Effective rate in bits per value after block alignment.
+  double effective_rate() const {
+    return static_cast<double>(block_bits_) / block_values(dims_);
+  }
+
+  /// Total compressed size in bytes for an array of @p shape.
+  std::size_t compressed_bytes(const Shape& shape) const;
+
+  int dims() const { return dims_; }
+
+ private:
+  int dims_;
+  int block_bits_;
+};
+
+}  // namespace zfpx

@@ -1,0 +1,233 @@
+/// Equational axioms for the compressed-space operations — the paper's §VI
+/// observes that "formal verification of compression, decompression, and
+/// compressed-space operations is almost a requirement ... by coming up with
+/// equational axioms pertaining to various operations."  This suite encodes
+/// those axioms as property tests, systematically swept over compression
+/// settings.
+///
+/// Exact axioms (hold bit-for-bit or to FP rounding):
+///   negate(negate(A)) = A                   scale(A, -1) = negate(A)
+///   scale(scale(A, a), b) = scale(A, ab)    add(A, B) = add(B, A)
+///   add(A, negate(A)) = 0                   dot(A, B) = dot(B, A)
+///   dot(A, A) = l2(A)^2                     cov(A, A) = var(A)
+///   cosine(A, A) = 1                        ssim(A, A) = 1
+///   l2(scale(A, c)) = |c| l2(A)             W(A, A, p) = 0
+///
+/// Approximate axioms (hold within rebinning tolerance):
+///   add(add(A, B), C) ≈ add(A, add(B, C))
+///   scale(add(A, B), c) ≈ add(scale(A, c), scale(B, c))
+///   mean(add_scalar(A, x)) ≈ mean(A) + x
+///   var(add_scalar(A, x)) ≈ var(A)
+///   |dot(A, B)| <= l2(A) l2(B)              (Cauchy-Schwarz)
+///   l2(add(A, B)) <= l2(A) + l2(B) + tol    (triangle inequality)
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/codec/compressor.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+struct AxiomCase {
+  Shape array_shape;
+  Shape block_shape;
+  FloatType float_type;
+  IndexType index_type;
+  TransformKind transform;
+};
+
+class Axioms : public ::testing::TestWithParam<AxiomCase> {
+ protected:
+  void SetUp() override {
+    const auto& p = GetParam();
+    compressor_ = std::make_unique<Compressor>(
+        CompressorSettings{.block_shape = p.block_shape,
+                           .float_type = p.float_type,
+                           .index_type = p.index_type,
+                           .transform = p.transform});
+    Rng rng(2027);
+    a_ = compressor_->compress(random_smooth(p.array_shape, rng));
+    b_ = compressor_->compress(random_smooth(p.array_shape, rng));
+    c_ = compressor_->compress(random_smooth(p.array_shape, rng));
+  }
+
+  /// Scale for additive tolerances: one loose L∞ bound of the operands.
+  double tolerance() const {
+    double n = 0.0;
+    for (double v : a_.biggest) n = std::max(n, v);
+    for (double v : b_.biggest) n = std::max(n, v);
+    return 8.0 * static_cast<double>(a_.block_shape.volume()) * n /
+           static_cast<double>(a_.radius());
+  }
+
+  std::unique_ptr<Compressor> compressor_;
+  CompressedArray a_, b_, c_;
+};
+
+TEST_P(Axioms, NegationIsInvolution) {
+  const CompressedArray back = ops::negate(ops::negate(a_));
+  EXPECT_EQ(back.indices, a_.indices);
+  EXPECT_EQ(back.biggest, a_.biggest);
+}
+
+TEST_P(Axioms, ScaleMinusOneIsNegation) {
+  const CompressedArray via_scale = ops::multiply_scalar(a_, -1.0);
+  const CompressedArray via_negate = ops::negate(a_);
+  EXPECT_EQ(via_scale.indices, via_negate.indices);
+  EXPECT_EQ(via_scale.biggest, via_negate.biggest);
+}
+
+TEST_P(Axioms, ScalingComposes) {
+  const CompressedArray twice =
+      ops::multiply_scalar(ops::multiply_scalar(a_, 2.0), -3.0);
+  const CompressedArray once = ops::multiply_scalar(a_, -6.0);
+  EXPECT_EQ(twice.indices, once.indices);
+  for (std::size_t k = 0; k < once.biggest.size(); ++k)
+    EXPECT_NEAR(twice.biggest[k], once.biggest[k],
+                1e-6 * once.biggest[k] + 1e-12);
+}
+
+TEST_P(Axioms, AdditionCommutes) {
+  const CompressedArray ab = ops::add(a_, b_);
+  const CompressedArray ba = ops::add(b_, a_);
+  EXPECT_EQ(ab.indices, ba.indices);
+  EXPECT_EQ(ab.biggest, ba.biggest);
+}
+
+TEST_P(Axioms, AdditiveInverse) {
+  NDArray<double> zero = compressor_->decompress(ops::add(a_, ops::negate(a_)));
+  for (index_t k = 0; k < zero.size(); ++k) ASSERT_EQ(zero[k], 0.0);
+}
+
+TEST_P(Axioms, AdditionAssociatesWithinRebinning) {
+  NDArray<double> left = compressor_->decompress(ops::add(ops::add(a_, b_), c_));
+  NDArray<double> right = compressor_->decompress(ops::add(a_, ops::add(b_, c_)));
+  EXPECT_LE(reference::linf_distance(left, right), tolerance());
+}
+
+TEST_P(Axioms, ScalingDistributesOverAddition) {
+  NDArray<double> left =
+      compressor_->decompress(ops::multiply_scalar(ops::add(a_, b_), 2.0));
+  NDArray<double> right = compressor_->decompress(
+      ops::add(ops::multiply_scalar(a_, 2.0), ops::multiply_scalar(b_, 2.0)));
+  EXPECT_LE(reference::linf_distance(left, right), 2.0 * tolerance());
+}
+
+TEST_P(Axioms, DotIsSymmetric) {
+  EXPECT_DOUBLE_EQ(ops::dot(a_, b_), ops::dot(b_, a_));
+}
+
+TEST_P(Axioms, DotWithSelfIsSquaredNorm) {
+  const double n = ops::l2_norm(a_);
+  EXPECT_NEAR(ops::dot(a_, a_), n * n, 1e-9 * n * n + 1e-12);
+}
+
+TEST_P(Axioms, DotIsBilinearInScaling) {
+  EXPECT_NEAR(ops::dot(ops::multiply_scalar(a_, 3.0), b_), 3.0 * ops::dot(a_, b_),
+              1e-6 * std::fabs(ops::dot(a_, b_)) + 1e-9);
+}
+
+TEST_P(Axioms, CauchySchwarz) {
+  EXPECT_LE(std::fabs(ops::dot(a_, b_)),
+            ops::l2_norm(a_) * ops::l2_norm(b_) * (1.0 + 1e-12));
+}
+
+TEST_P(Axioms, TriangleInequality) {
+  EXPECT_LE(ops::l2_norm(ops::add(a_, b_)),
+            ops::l2_norm(a_) + ops::l2_norm(b_) + tolerance());
+}
+
+TEST_P(Axioms, NormIsAbsolutelyHomogeneous) {
+  EXPECT_NEAR(ops::l2_norm(ops::multiply_scalar(a_, -2.5)),
+              2.5 * ops::l2_norm(a_), 1e-6 * ops::l2_norm(a_) + 1e-12);
+}
+
+TEST_P(Axioms, CovarianceWithSelfIsVariance) {
+  EXPECT_DOUBLE_EQ(ops::covariance(a_, a_), ops::variance(a_));
+}
+
+TEST_P(Axioms, CovarianceIsSymmetric) {
+  EXPECT_DOUBLE_EQ(ops::covariance(a_, b_), ops::covariance(b_, a_));
+}
+
+TEST_P(Axioms, VarianceIsNonNegative) {
+  EXPECT_GE(ops::variance(a_), -1e-12);
+}
+
+TEST_P(Axioms, MeanIsLinearUnderScaling) {
+  EXPECT_NEAR(ops::mean(ops::multiply_scalar(a_, 4.0)), 4.0 * ops::mean(a_),
+              1e-6 * std::fabs(ops::mean(a_)) + 1e-9);
+}
+
+TEST_P(Axioms, MeanShiftsUnderScalarAddition) {
+  EXPECT_NEAR(ops::mean(ops::add_scalar(a_, 1.5)), ops::mean(a_) + 1.5,
+              tolerance());
+}
+
+TEST_P(Axioms, VarianceIsShiftInvariant) {
+  EXPECT_NEAR(ops::variance(ops::add_scalar(a_, 3.0)), ops::variance(a_),
+              tolerance());
+}
+
+TEST_P(Axioms, CosineSelfIsOneAndBounded) {
+  EXPECT_NEAR(ops::cosine_similarity(a_, a_), 1.0, 1e-12);
+  const double cab = ops::cosine_similarity(a_, b_);
+  EXPECT_GE(cab, -1.0 - 1e-12);
+  EXPECT_LE(cab, 1.0 + 1e-12);
+}
+
+TEST_P(Axioms, CosineIsScaleInvariant) {
+  EXPECT_NEAR(ops::cosine_similarity(ops::multiply_scalar(a_, 5.0), b_),
+              ops::cosine_similarity(a_, b_), 1e-9);
+}
+
+TEST_P(Axioms, SsimSelfIsOneAndSymmetric) {
+  EXPECT_NEAR(ops::structural_similarity(a_, a_), 1.0, 1e-9);
+  EXPECT_NEAR(ops::structural_similarity(a_, b_),
+              ops::structural_similarity(b_, a_), 1e-12);
+}
+
+TEST_P(Axioms, WassersteinSelfIsZeroAndSymmetric) {
+  EXPECT_NEAR(ops::wasserstein_distance(a_, a_, 2.0), 0.0, 1e-12);
+  EXPECT_NEAR(ops::wasserstein_distance(a_, b_, 2.0),
+              ops::wasserstein_distance(b_, a_, 2.0), 1e-12);
+  EXPECT_GE(ops::wasserstein_distance(a_, b_, 2.0), 0.0);
+}
+
+TEST_P(Axioms, DecompressCompressIsIdempotent) {
+  // Compressing a decompressed array changes nothing further: the values
+  // already sit on representable lattice points.  (Up to the float type's
+  // rounding of re-derived block maxima.)
+  NDArray<double> once = compressor_->decompress(a_);
+  NDArray<double> twice = compressor_->decompress(compressor_->compress(once));
+  EXPECT_LE(reference::linf_distance(once, twice), tolerance());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SettingsSweep, Axioms,
+    ::testing::Values(
+        AxiomCase{Shape{32, 32}, Shape{8, 8}, FloatType::kFloat64,
+                  IndexType::kInt8, TransformKind::kDCT},
+        AxiomCase{Shape{32, 32}, Shape{8, 8}, FloatType::kFloat64,
+                  IndexType::kInt16, TransformKind::kDCT},
+        AxiomCase{Shape{32, 32}, Shape{8, 8}, FloatType::kFloat32,
+                  IndexType::kInt16, TransformKind::kDCT},
+        AxiomCase{Shape{30, 29}, Shape{8, 8}, FloatType::kFloat64,
+                  IndexType::kInt16, TransformKind::kDCT},
+        AxiomCase{Shape{32, 32}, Shape{8, 8}, FloatType::kFloat64,
+                  IndexType::kInt16, TransformKind::kHaar},
+        AxiomCase{Shape{16, 16, 16}, Shape{4, 4, 4}, FloatType::kFloat64,
+                  IndexType::kInt16, TransformKind::kDCT},
+        AxiomCase{Shape{12, 24, 24}, Shape{4, 8, 8}, FloatType::kFloat32,
+                  IndexType::kInt32, TransformKind::kDCT},
+        AxiomCase{Shape{64}, Shape{16}, FloatType::kFloat64, IndexType::kInt16,
+                  TransformKind::kDCT}));
+
+}  // namespace
+}  // namespace pyblaz

@@ -1,0 +1,133 @@
+#include "core/util/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace pyblaz {
+namespace {
+
+TEST(BitStream, SingleBitsRoundTrip) {
+  BitWriter writer;
+  const std::vector<int> pattern = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1};
+  for (int bit : pattern) writer.put_bit(bit);
+
+  BitReader reader(writer.bytes());
+  for (int bit : pattern) EXPECT_EQ(reader.get_bit(), bit);
+}
+
+TEST(BitStream, MultiBitValuesRoundTrip) {
+  BitWriter writer;
+  writer.put_bits(0x5u, 3);
+  writer.put_bits(0x1234u, 16);
+  writer.put_bits(0xDEADBEEFCAFEBABEull, 64);
+  writer.put_bits(0u, 0);  // Zero-width write is a no-op.
+  writer.put_bits(0x7Fu, 7);
+
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_bits(3), 0x5u);
+  EXPECT_EQ(reader.get_bits(16), 0x1234u);
+  EXPECT_EQ(reader.get_bits(64), 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(reader.get_bits(0), 0u);
+  EXPECT_EQ(reader.get_bits(7), 0x7Fu);
+}
+
+TEST(BitStream, SizeBitsTracksWrites) {
+  BitWriter writer;
+  EXPECT_EQ(writer.size_bits(), 0u);
+  writer.put_bits(1, 5);
+  EXPECT_EQ(writer.size_bits(), 5u);
+  writer.put_bits(0, 11);
+  EXPECT_EQ(writer.size_bits(), 16u);
+  EXPECT_EQ(writer.bytes().size(), 2u);
+}
+
+TEST(BitStream, OnlyLowBitsAreWritten) {
+  BitWriter writer;
+  writer.put_bits(0xFFu, 4);  // Only the low 4 bits.
+  writer.put_bits(0x0u, 4);
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_bits(8), 0x0Fu);
+}
+
+TEST(BitStream, AlignToByte) {
+  BitWriter writer;
+  writer.put_bits(1, 3);
+  writer.align_to_byte();
+  EXPECT_EQ(writer.size_bits(), 8u);
+  writer.put_bits(0xABu, 8);
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_bits(8), 0x01u);
+  EXPECT_EQ(reader.get_bits(8), 0xABu);
+}
+
+TEST(BitStream, AlignIsIdempotentWhenAligned) {
+  BitWriter writer;
+  writer.put_bits(0xFFu, 8);
+  writer.align_to_byte();
+  EXPECT_EQ(writer.size_bits(), 8u);
+}
+
+TEST(BitStream, PadToExactLength) {
+  BitWriter writer;
+  writer.put_bits(0b101u, 3);
+  writer.pad_to(20);
+  EXPECT_EQ(writer.size_bits(), 20u);
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_bits(3), 0b101u);
+  EXPECT_EQ(reader.get_bits(17), 0u);  // Padding is all zeros.
+}
+
+TEST(BitStream, ReaderSeekAndPosition) {
+  BitWriter writer;
+  writer.put_bits(0xAAAAu, 16);
+  writer.put_bits(0x5555u, 16);
+  BitReader reader(writer.bytes());
+  reader.seek(16);
+  EXPECT_EQ(reader.position(), 16u);
+  EXPECT_EQ(reader.get_bits(16), 0x5555u);
+  reader.seek(0);
+  EXPECT_EQ(reader.get_bits(16), 0xAAAAu);
+}
+
+TEST(BitStream, ReadPastEndYieldsZeros) {
+  BitWriter writer;
+  writer.put_bits(0xFFu, 8);
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_bits(8), 0xFFu);
+  EXPECT_EQ(reader.get_bits(16), 0u);
+  EXPECT_EQ(reader.position(), 24u);
+}
+
+TEST(BitStream, ReaderAlignToByte) {
+  BitWriter writer;
+  writer.put_bits(0b1u, 1);
+  writer.align_to_byte();
+  writer.put_bits(0x42u, 8);
+  BitReader reader(writer.bytes());
+  reader.get_bits(1);
+  reader.align_to_byte();
+  EXPECT_EQ(reader.get_bits(8), 0x42u);
+}
+
+TEST(BitStream, RandomizedRoundTrip) {
+  std::mt19937_64 rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitWriter writer;
+    std::vector<std::pair<std::uint64_t, int>> writes;
+    for (int k = 0; k < 200; ++k) {
+      const int nbits = static_cast<int>(rng() % 65);
+      const std::uint64_t value =
+          nbits == 64 ? rng() : (rng() & ((std::uint64_t{1} << nbits) - 1));
+      writes.emplace_back(value, nbits);
+      writer.put_bits(value, nbits);
+    }
+    BitReader reader(writer.bytes());
+    for (const auto& [value, nbits] : writes)
+      ASSERT_EQ(reader.get_bits(nbits), value);
+  }
+}
+
+}  // namespace
+}  // namespace pyblaz

@@ -1,0 +1,115 @@
+#include "blaz/blaz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/rng.hpp"
+
+namespace {
+
+using blaz::CompressedMatrix;
+using pyblaz::index_t;
+using pyblaz::NDArray;
+using pyblaz::Rng;
+using pyblaz::Shape;
+
+TEST(Blaz, RoundTripSmoothDataSmallError) {
+  Rng rng(701);
+  NDArray<double> matrix = pyblaz::random_smooth(Shape{64, 64}, rng);
+  CompressedMatrix compressed = blaz::compress(matrix);
+  NDArray<double> restored = blaz::decompress(compressed);
+  ASSERT_EQ(restored.shape(), matrix.shape());
+  const double scale = pyblaz::max_abs(matrix);
+  EXPECT_LT(pyblaz::reference::linf_distance(matrix, restored), 0.25 * scale);
+  EXPECT_LT(pyblaz::reference::mean_absolute_error(matrix, restored), 0.05 * scale);
+}
+
+TEST(Blaz, BlockAccountingAndSizes) {
+  Rng rng(703);
+  NDArray<double> matrix = pyblaz::random_smooth(Shape{20, 33}, rng);
+  CompressedMatrix compressed = blaz::compress(matrix);
+  EXPECT_EQ(compressed.block_rows, 3);  // ceil(20/8)
+  EXPECT_EQ(compressed.block_cols, 5);  // ceil(33/8)
+  EXPECT_EQ(compressed.num_blocks(), 15);
+  EXPECT_EQ(compressed.first.size(), 15u);
+  EXPECT_EQ(compressed.biggest.size(), 15u);
+  EXPECT_EQ(compressed.bins.size(), 15u * 28u);
+}
+
+TEST(Blaz, CompressedBitsFormula) {
+  Rng rng(707);
+  NDArray<double> matrix = pyblaz::random_smooth(Shape{16, 16}, rng);
+  CompressedMatrix compressed = blaz::compress(matrix);
+  // 4 blocks: 2*64 shape + 4*(64+64) + 4*28*8.
+  EXPECT_EQ(compressed.compressed_bits(), 128u + 4u * 128u + 4u * 224u);
+}
+
+TEST(Blaz, ConstantMatrixIsExact) {
+  NDArray<double> matrix(Shape{16, 16}, 5.5);
+  NDArray<double> restored = blaz::decompress(blaz::compress(matrix));
+  for (index_t k = 0; k < matrix.size(); ++k)
+    EXPECT_NEAR(restored[k], 5.5, 1e-10);
+}
+
+TEST(Blaz, SmoothDataCompressesBetterThanNoise) {
+  // Differentiation + DCT + corner pruning exploit smoothness: a band-limited
+  // field must round-trip with far less error than white noise of the same
+  // scale.
+  Rng rng(705);
+  NDArray<double> smooth = pyblaz::random_smooth(Shape{64, 64}, rng);
+  NDArray<double> noise = pyblaz::random_uniform(
+      Shape{64, 64}, rng, -pyblaz::max_abs(smooth), pyblaz::max_abs(smooth));
+  const double smooth_err = pyblaz::reference::mean_absolute_error(
+      smooth, blaz::decompress(blaz::compress(smooth)));
+  const double noise_err = pyblaz::reference::mean_absolute_error(
+      noise, blaz::decompress(blaz::compress(noise)));
+  EXPECT_LT(smooth_err, 0.5 * noise_err);
+}
+
+TEST(Blaz, RaggedShapesRoundTrip) {
+  Rng rng(709);
+  NDArray<double> matrix = pyblaz::random_smooth(Shape{13, 27}, rng);
+  NDArray<double> restored = blaz::decompress(blaz::compress(matrix));
+  EXPECT_EQ(restored.shape(), matrix.shape());
+  EXPECT_LT(pyblaz::reference::mean_absolute_error(matrix, restored),
+            0.1 * pyblaz::max_abs(matrix) + 1e-6);
+}
+
+TEST(Blaz, AddMatchesUncompressedSum) {
+  Rng rng(711);
+  NDArray<double> x = pyblaz::random_smooth(Shape{32, 32}, rng);
+  NDArray<double> y = pyblaz::random_smooth(Shape{32, 32}, rng);
+  CompressedMatrix sum = blaz::add(blaz::compress(x), blaz::compress(y));
+  NDArray<double> restored = blaz::decompress(sum);
+  NDArray<double> truth = pyblaz::add(x, y);
+  EXPECT_LT(pyblaz::reference::mean_absolute_error(truth, restored),
+            0.08 * pyblaz::max_abs(truth));
+}
+
+TEST(Blaz, AddThrowsOnShapeMismatch) {
+  Rng rng(713);
+  NDArray<double> x = pyblaz::random_smooth(Shape{16, 16}, rng);
+  NDArray<double> y = pyblaz::random_smooth(Shape{16, 24}, rng);
+  EXPECT_THROW(blaz::add(blaz::compress(x), blaz::compress(y)),
+               std::invalid_argument);
+}
+
+TEST(Blaz, MultiplyScalarIsExactOnRepresentation) {
+  Rng rng(717);
+  NDArray<double> x = pyblaz::random_smooth(Shape{24, 24}, rng);
+  CompressedMatrix a = blaz::compress(x);
+  NDArray<double> direct = blaz::decompress(a);
+  NDArray<double> scaled = blaz::decompress(blaz::multiply_scalar(a, -2.5));
+  for (index_t k = 0; k < direct.size(); ++k)
+    EXPECT_NEAR(scaled[k], -2.5 * direct[k], 1e-10);
+}
+
+TEST(Blaz, CompressRejectsNon2D) {
+  NDArray<double> cube(Shape{4, 4, 4}, 1.0);
+  EXPECT_THROW(blaz::compress(cube), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,93 @@
+#include "core/blocking/blocking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+struct BlockingCase {
+  Shape array_shape;
+  Shape block_shape;
+};
+
+class BlockingCases : public ::testing::TestWithParam<BlockingCase> {};
+
+TEST_P(BlockingCases, RoundTripIsExact) {
+  // Blocking is the only exactly invertible compression step (§III-A).
+  const auto& param = GetParam();
+  Rng rng(5);
+  NDArray<double> array = random_normal(param.array_shape, rng);
+  Blocked blocked = block_array(array, param.block_shape);
+  NDArray<double> restored = unblock_array(blocked);
+  EXPECT_EQ(restored, array);
+}
+
+TEST_P(BlockingCases, GridAndSizes) {
+  const auto& param = GetParam();
+  Rng rng(6);
+  NDArray<double> array = random_normal(param.array_shape, rng);
+  Blocked blocked = block_array(array, param.block_shape);
+  EXPECT_EQ(blocked.block_grid,
+            Shape::ceil_div(param.array_shape, param.block_shape));
+  EXPECT_EQ(static_cast<index_t>(blocked.data.size()),
+            blocked.num_blocks() * blocked.block_volume());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockingCases,
+    ::testing::Values(BlockingCase{Shape{16}, Shape{4}},          // 1D exact.
+                      BlockingCase{Shape{17}, Shape{4}},          // 1D ragged.
+                      BlockingCase{Shape{16, 16}, Shape{8, 8}},   // 2D exact.
+                      BlockingCase{Shape{15, 17}, Shape{8, 8}},   // 2D ragged.
+                      BlockingCase{Shape{8, 8}, Shape{16, 16}},   // Block > array.
+                      BlockingCase{Shape{3, 224, 224}, Shape{4, 4, 4}},  // Paper.
+                      BlockingCase{Shape{20, 256, 256}, Shape{4, 16, 16}},
+                      BlockingCase{Shape{5, 6, 7, 8}, Shape{2, 2, 2, 2}}));
+
+TEST(Blocking, PaperExampleReshape) {
+  // (3, 224, 224) with (4, 4, 4) blocks -> grid (1, 56, 56) (§III-A b).
+  NDArray<double> array(Shape{3, 224, 224}, 1.0);
+  Blocked blocked = block_array(array, Shape{4, 4, 4});
+  EXPECT_EQ(blocked.block_grid, Shape({1, 56, 56}));
+  EXPECT_EQ(blocked.num_blocks(), 3136);
+  EXPECT_EQ(blocked.block_volume(), 64);
+}
+
+TEST(Blocking, PaddingIsZero) {
+  // A 3-element 1D array in 4-blocks: the 4th slot must be zero.
+  NDArray<double> array(Shape{3}, {5.0, 6.0, 7.0});
+  Blocked blocked = block_array(array, Shape{4});
+  EXPECT_EQ(blocked.data[0], 5.0);
+  EXPECT_EQ(blocked.data[1], 6.0);
+  EXPECT_EQ(blocked.data[2], 7.0);
+  EXPECT_EQ(blocked.data[3], 0.0);
+}
+
+TEST(Blocking, BlockContentsAreContiguousAndCorrect) {
+  // 4x4 array, 2x2 blocks: block (1,0) holds rows 2-3, cols 0-1.
+  NDArray<double> array(Shape{4, 4});
+  for (index_t k = 0; k < 16; ++k) array[k] = static_cast<double>(k);
+  Blocked blocked = block_array(array, Shape{2, 2});
+  ASSERT_EQ(blocked.num_blocks(), 4);
+  const double* block10 = blocked.block(2);  // Grid (2,2), row-major index 2.
+  EXPECT_EQ(block10[0], 8.0);   // array[2][0]
+  EXPECT_EQ(block10[1], 9.0);   // array[2][1]
+  EXPECT_EQ(block10[2], 12.0);  // array[3][0]
+  EXPECT_EQ(block10[3], 13.0);  // array[3][1]
+}
+
+TEST(Blocking, SingleElementBlocks) {
+  // 1-element blocks: blocked layout equals the flat array (the Wasserstein
+  // exactness limit of §IV-B).
+  Rng rng(8);
+  NDArray<double> array = random_normal(Shape{5, 3}, rng);
+  Blocked blocked = block_array(array, Shape{1, 1});
+  EXPECT_EQ(blocked.num_blocks(), 15);
+  for (index_t k = 0; k < 15; ++k) EXPECT_EQ(blocked.data[static_cast<std::size_t>(k)], array[k]);
+}
+
+}  // namespace
+}  // namespace pyblaz

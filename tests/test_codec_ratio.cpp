@@ -1,0 +1,147 @@
+#include "core/codec/ratio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/codec/compressor.hpp"
+#include "core/codec/serialization.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+TEST(Ratio, PaperExampleInt16NoPruning) {
+  // §IV-C: shape (3,224,224), blocks (4,4,4), FP32, int16, no pruning
+  // -> ratio ≈ 2.91.
+  CompressorSettings settings{.block_shape = Shape{4, 4, 4},
+                              .float_type = FloatType::kFloat32,
+                              .index_type = IndexType::kInt16};
+  const double ratio = formula_ratio(settings, Shape{3, 224, 224}, 64);
+  EXPECT_NEAR(ratio, 2.91, 0.005);
+}
+
+TEST(Ratio, PaperExampleInt8HalfPruned) {
+  // §IV-C: same shape, int8 + half the indices pruned -> ratio ≈ 10.66.
+  CompressorSettings settings{.block_shape = Shape{4, 4, 4},
+                              .float_type = FloatType::kFloat32,
+                              .index_type = IndexType::kInt8};
+  settings.mask = PruningMask::keep_fraction(Shape{4, 4, 4}, 0.5);
+  const double ratio = formula_ratio(settings, Shape{3, 224, 224}, 64);
+  EXPECT_NEAR(ratio, 10.66, 0.01);
+}
+
+TEST(Ratio, AsymptoticIsLimitOfFormula) {
+  CompressorSettings settings{.block_shape = Shape{8, 8},
+                              .float_type = FloatType::kFloat32,
+                              .index_type = IndexType::kInt8};
+  const double limit = asymptotic_ratio(settings, 64);
+  // Evaluate the finite formula at increasingly large divisible shapes.
+  const double at_big = formula_ratio(settings, Shape{4096, 4096}, 64);
+  EXPECT_NEAR(at_big, limit, 1e-9);
+  // Ragged shapes waste some of a block: never above the limit.
+  const double at_ragged = formula_ratio(settings, Shape{4097, 4095}, 64);
+  EXPECT_LE(at_ragged, limit);
+}
+
+TEST(Ratio, AsymptoticClosedForm) {
+  // u * prod(i) / (f + i * ΣP): 64 * 64 / (32 + 8 * 64) = 4096 / 544.
+  CompressorSettings settings{.block_shape = Shape{8, 8},
+                              .float_type = FloatType::kFloat32,
+                              .index_type = IndexType::kInt8};
+  EXPECT_DOUBLE_EQ(asymptotic_ratio(settings, 64), 4096.0 / 544.0);
+}
+
+TEST(Ratio, RatioIsDataIndependent) {
+  // Unlike SZ, PyBlaz's ratio depends only on the settings (§III).
+  CompressorSettings settings{.block_shape = Shape{8, 8},
+                              .float_type = FloatType::kFloat32,
+                              .index_type = IndexType::kInt8};
+  Compressor compressor(settings);
+  Rng rng(61);
+  NDArray<double> smooth = random_smooth(Shape{40, 56}, rng);
+  NDArray<double> noise = random_normal(Shape{40, 56}, rng);
+  const auto size_smooth = serialize(compressor.compress(smooth)).size();
+  const auto size_noise = serialize(compressor.compress(noise)).size();
+  EXPECT_EQ(size_smooth, size_noise);
+}
+
+TEST(Ratio, LayoutBitsMatchesSerializedArray) {
+  CompressorSettings settings{.block_shape = Shape{4, 8},
+                              .float_type = FloatType::kFloat16,
+                              .index_type = IndexType::kInt16};
+  settings.mask = PruningMask::keep_fraction(Shape{4, 8}, 0.4);
+  Compressor compressor(settings);
+  Rng rng(67);
+  NDArray<double> array = random_smooth(Shape{30, 41}, rng);
+  CompressedArray compressed = compressor.compress(array);
+  EXPECT_EQ(layout_bits(settings, array.shape()), paper_layout_bits(compressed));
+}
+
+TEST(Ratio, WiderTypesLowerTheRatio) {
+  const Shape shape{256, 256};
+  CompressorSettings base{.block_shape = Shape{8, 8},
+                          .float_type = FloatType::kFloat32,
+                          .index_type = IndexType::kInt8};
+  CompressorSettings wide_index = base;
+  wide_index.index_type = IndexType::kInt16;
+  CompressorSettings wide_float = base;
+  wide_float.float_type = FloatType::kFloat64;
+  EXPECT_GT(formula_ratio(base, shape), formula_ratio(wide_index, shape));
+  EXPECT_GT(formula_ratio(base, shape), formula_ratio(wide_float, shape));
+}
+
+TEST(Ratio, BiggerBlocksRaiseTheRatio) {
+  const Shape shape{256, 256};
+  CompressorSettings small{.block_shape = Shape{4, 4},
+                           .float_type = FloatType::kFloat32,
+                           .index_type = IndexType::kInt8};
+  CompressorSettings big{.block_shape = Shape{16, 16},
+                         .float_type = FloatType::kFloat32,
+                         .index_type = IndexType::kInt8};
+  // Bigger blocks amortize the per-block N over more elements.
+  EXPECT_GT(asymptotic_ratio(big), asymptotic_ratio(small));
+  EXPECT_GT(formula_ratio(big, shape), formula_ratio(small, shape));
+}
+
+TEST(Ratio, PruningRaisesTheRatioProportionally) {
+  CompressorSettings full{.block_shape = Shape{8, 8},
+                          .float_type = FloatType::kFloat32,
+                          .index_type = IndexType::kInt8};
+  CompressorSettings half = full;
+  half.mask = PruningMask::keep_fraction(Shape{8, 8}, 0.5);
+  // (f + i*64) / (f + i*32) = 544/288 ≈ 1.89x improvement.
+  EXPECT_NEAR(asymptotic_ratio(half) / asymptotic_ratio(full), 544.0 / 288.0,
+              1e-12);
+}
+
+TEST(Ratio, ExactRatioSlightlyBelowFormulaRatio) {
+  // The exact layout adds the header/shape/mask terms the formula ignores.
+  CompressorSettings settings{.block_shape = Shape{4, 4, 4},
+                              .float_type = FloatType::kFloat32,
+                              .index_type = IndexType::kInt16};
+  const Shape shape{3, 224, 224};
+  EXPECT_LT(exact_ratio(settings, shape), formula_ratio(settings, shape));
+  EXPECT_NEAR(exact_ratio(settings, shape), formula_ratio(settings, shape), 0.01);
+}
+
+TEST(Ratio, NonHypercubicBlocksHelpShallowVolumes) {
+  // Fig. 5's observation: for volumes whose first dimension is much smaller,
+  // (4,16,16) blocks beat (8,8,8) and even (16,16,16) blocks on ratio,
+  // because tall blocks mostly pad.
+  const Shape mri{36, 256, 256};
+  CompressorSettings cubic8{.block_shape = Shape{8, 8, 8},
+                            .float_type = FloatType::kFloat32,
+                            .index_type = IndexType::kInt8};
+  CompressorSettings cubic16{.block_shape = Shape{16, 16, 16},
+                             .float_type = FloatType::kFloat32,
+                             .index_type = IndexType::kInt8};
+  CompressorSettings flat{.block_shape = Shape{4, 16, 16},
+                          .float_type = FloatType::kFloat32,
+                          .index_type = IndexType::kInt8};
+  EXPECT_GT(formula_ratio(flat, mri), formula_ratio(cubic8, mri));
+  const Shape shallow{20, 256, 256};
+  EXPECT_GT(formula_ratio(flat, shallow), formula_ratio(cubic16, shallow));
+}
+
+}  // namespace
+}  // namespace pyblaz

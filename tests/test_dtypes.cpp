@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "core/dtypes/bfloat16.hpp"
+#include "core/dtypes/float16.hpp"
+#include "core/dtypes/float_type.hpp"
+#include "core/dtypes/index_type.hpp"
+
+namespace pyblaz {
+namespace {
+
+// ---------------------------------------------------------------- float16
+
+TEST(Float16, ExactSmallValues) {
+  // Values exactly representable in binary16 survive the round trip.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_EQ(static_cast<float>(float16(v)), v) << "value " << v;
+  }
+}
+
+TEST(Float16, KnownBitPatterns) {
+  EXPECT_EQ(float16(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(float16(-2.0f).bits(), 0xC000u);
+  EXPECT_EQ(float16(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(float16(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(float16(65504.0f).bits(), 0x7BFFu);  // Largest finite half.
+}
+
+TEST(Float16, OverflowBecomesInfinity) {
+  EXPECT_TRUE(std::isinf(static_cast<float>(float16(70000.0f))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(float16(-1e20f))));
+  EXPECT_LT(static_cast<float>(float16(-1e20f)), 0.0f);
+}
+
+TEST(Float16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1 + 2^-10);
+  // nearest-even rounds down to 1.0.
+  EXPECT_EQ(static_cast<float>(float16(1.0f + 0x1p-11f)), 1.0f);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; nearest-even rounds up.
+  EXPECT_EQ(static_cast<float>(float16(1.0f + 3 * 0x1p-11f)), 1.0f + 0x1p-9f);
+  // Just above halfway rounds up.
+  EXPECT_EQ(static_cast<float>(float16(1.0f + 0x1.1p-11f)), 1.0f + 0x1p-10f);
+}
+
+TEST(Float16, SubnormalsRepresented) {
+  // Smallest positive subnormal half is 2^-24.
+  EXPECT_EQ(static_cast<float>(float16(0x1p-24f)), 0x1p-24f);
+  EXPECT_EQ(float16(0x1p-24f).bits(), 0x0001u);
+  // Smallest normal half is 2^-14.
+  EXPECT_EQ(static_cast<float>(float16(0x1p-14f)), 0x1p-14f);
+  EXPECT_EQ(float16(0x1p-14f).bits(), 0x0400u);
+}
+
+TEST(Float16, UnderflowToZero) {
+  EXPECT_EQ(static_cast<float>(float16(0x1p-26f)), 0.0f);
+  EXPECT_EQ(static_cast<float>(float16(1e-30f)), 0.0f);
+}
+
+TEST(Float16, NaNPropagates) {
+  EXPECT_TRUE(std::isnan(static_cast<float>(float16(std::nanf("")))));
+}
+
+TEST(Float16, InfinityPropagates) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(std::isinf(static_cast<float>(float16(inf))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(float16(-inf))));
+}
+
+TEST(Float16, RoundTripAllBitPatterns) {
+  // Every finite half value converts to float and back bit-exactly.
+  for (std::uint32_t bits = 0; bits < 0x10000u; ++bits) {
+    const auto h = float16::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = static_cast<float>(h);
+    if (std::isnan(f)) continue;  // NaN payloads need not round-trip.
+    EXPECT_EQ(float16(f).bits(), h.bits()) << "bits " << bits;
+  }
+}
+
+TEST(Float16, ErrorBoundedByHalfUlp) {
+  // Relative error of conversion is at most 2^-11 for normal values.
+  for (float v = 1.0f; v < 1000.0f; v *= 1.37f) {
+    const float back = static_cast<float>(float16(v));
+    EXPECT_LE(std::fabs(back - v) / v, 0x1p-11f) << "value " << v;
+  }
+}
+
+// ---------------------------------------------------------------- bfloat16
+
+TEST(BFloat16, ExactValues) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 256.0f, -3.0f}) {
+    EXPECT_EQ(static_cast<float>(bfloat16(v)), v) << "value " << v;
+  }
+}
+
+TEST(BFloat16, KeepsFloat32Range) {
+  // bfloat16 shares float32's exponent: huge values stay finite.
+  EXPECT_FALSE(std::isinf(static_cast<float>(bfloat16(1e38f))));
+  EXPECT_FALSE(std::isinf(static_cast<float>(bfloat16(-1e38f))));
+  // ... which is exactly where float16 overflows.
+  EXPECT_TRUE(std::isinf(static_cast<float>(float16(1e38f))));
+}
+
+TEST(BFloat16, CoarserThanFloat16ForMidRangeValues) {
+  // bfloat16 has 7 significand bits vs float16's 10: for values where both
+  // are in range, float16 is at least as accurate.
+  for (float v = 1.001f; v < 100.0f; v *= 1.618f) {
+    const float bf_err = std::fabs(static_cast<float>(bfloat16(v)) - v);
+    const float hf_err = std::fabs(static_cast<float>(float16(v)) - v);
+    EXPECT_LE(hf_err, bf_err + 1e-12f) << "value " << v;
+  }
+}
+
+TEST(BFloat16, RoundToNearestEven) {
+  // 1 + 2^-8 is halfway between 1.0 and 1 + 2^-7; nearest-even rounds to 1.
+  EXPECT_EQ(static_cast<float>(bfloat16(1.0f + 0x1p-8f)), 1.0f);
+  EXPECT_EQ(static_cast<float>(bfloat16(1.0f + 3 * 0x1p-8f)), 1.0f + 0x1p-6f);
+}
+
+TEST(BFloat16, NaNPropagates) {
+  EXPECT_TRUE(std::isnan(static_cast<float>(bfloat16(std::nanf("")))));
+}
+
+TEST(BFloat16, RoundTripAllBitPatterns) {
+  for (std::uint32_t bits = 0; bits < 0x10000u; ++bits) {
+    const auto b = bfloat16::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = static_cast<float>(b);
+    if (std::isnan(f)) continue;
+    EXPECT_EQ(bfloat16(f).bits(), b.bits()) << "bits " << bits;
+  }
+}
+
+// ------------------------------------------------------------- FloatType
+
+TEST(FloatType, Bits) {
+  EXPECT_EQ(bits(FloatType::kBFloat16), 16);
+  EXPECT_EQ(bits(FloatType::kFloat16), 16);
+  EXPECT_EQ(bits(FloatType::kFloat32), 32);
+  EXPECT_EQ(bits(FloatType::kFloat64), 64);
+}
+
+TEST(FloatType, Names) {
+  EXPECT_EQ(name(FloatType::kBFloat16), "bfloat16");
+  EXPECT_EQ(name(FloatType::kFloat16), "float16");
+  EXPECT_EQ(name(FloatType::kFloat32), "float32");
+  EXPECT_EQ(name(FloatType::kFloat64), "float64");
+}
+
+TEST(FloatType, QuantizeIsIdentityForFloat64) {
+  const double v = 0.1234567890123456789;
+  EXPECT_EQ(quantize(v, FloatType::kFloat64), v);
+}
+
+TEST(FloatType, QuantizeIsIdempotent) {
+  for (FloatType t : kAllFloatTypes) {
+    const double q = quantize(0.7853981633974483, t);
+    EXPECT_EQ(quantize(q, t), q) << name(t);
+  }
+}
+
+TEST(FloatType, QuantizeErrorOrdering) {
+  // More significand bits -> no larger error.
+  const double v = 2.718281828459045;
+  const double e16 = std::fabs(quantize(v, FloatType::kFloat16) - v);
+  const double e32 = std::fabs(quantize(v, FloatType::kFloat32) - v);
+  const double e64 = std::fabs(quantize(v, FloatType::kFloat64) - v);
+  const double ebf = std::fabs(quantize(v, FloatType::kBFloat16) - v);
+  EXPECT_LE(e32, e16);
+  EXPECT_LE(e64, e32);
+  EXPECT_LE(e16, ebf);
+  EXPECT_EQ(e64, 0.0);
+}
+
+// ------------------------------------------------------------- IndexType
+
+TEST(IndexType, Bits) {
+  EXPECT_EQ(bits(IndexType::kInt8), 8);
+  EXPECT_EQ(bits(IndexType::kInt16), 16);
+  EXPECT_EQ(bits(IndexType::kInt32), 32);
+  EXPECT_EQ(bits(IndexType::kInt64), 64);
+}
+
+TEST(IndexType, Radius) {
+  // r = 2^(b-1) - 1 (§III-A d).
+  EXPECT_EQ(radius(IndexType::kInt8), 127);
+  EXPECT_EQ(radius(IndexType::kInt16), 32767);
+  EXPECT_EQ(radius(IndexType::kInt32), 2147483647);
+  EXPECT_EQ(radius(IndexType::kInt64), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(IndexType, Names) {
+  EXPECT_EQ(name(IndexType::kInt8), "int8");
+  EXPECT_EQ(name(IndexType::kInt16), "int16");
+  EXPECT_EQ(name(IndexType::kInt32), "int32");
+  EXPECT_EQ(name(IndexType::kInt64), "int64");
+}
+
+}  // namespace
+}  // namespace pyblaz

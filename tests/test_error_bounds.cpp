@@ -1,0 +1,140 @@
+#include "core/codec/error_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/blocking/blocking.hpp"
+#include "core/codec/compressor.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+TEST(ErrorBounds, BinWidthFormula) {
+  // Bin width = 2N / (2r + 1) (§IV-D); the guaranteed per-coefficient bound
+  // is half the decodable spacing, N / (2r).
+  EXPECT_DOUBLE_EQ(bin_width(1.0, IndexType::kInt8), 2.0 / 255.0);
+  EXPECT_DOUBLE_EQ(bin_width(10.0, IndexType::kInt16), 20.0 / 65535.0);
+  EXPECT_DOUBLE_EQ(max_binning_coefficient_error(1.0, IndexType::kInt8),
+                   1.0 / 254.0);
+  EXPECT_DOUBLE_EQ(max_binning_coefficient_error(2.0, IndexType::kInt16),
+                   2.0 / 65534.0);
+}
+
+TEST(ErrorBounds, LooseLinfScalesWithBlockVolume) {
+  const double per_coeff = max_binning_coefficient_error(2.0, IndexType::kInt8);
+  EXPECT_DOUBLE_EQ(loose_linf_bound(2.0, IndexType::kInt8, Shape{4, 4}),
+                   16.0 * per_coeff);
+  EXPECT_DOUBLE_EQ(loose_linf_bound(2.0, IndexType::kInt8, Shape{8, 8}),
+                   64.0 * per_coeff);
+}
+
+TEST(ErrorBounds, PerCoefficientBinningErrorRespected) {
+  // Measured coefficient error after binning stays within N/(2r+1) per
+  // coefficient (§IV-D), checked directly against transform coefficients.
+  CompressorSettings settings{.block_shape = Shape{8, 8},
+                              .float_type = FloatType::kFloat64,
+                              .index_type = IndexType::kInt8};
+  Compressor compressor(settings);
+  Rng rng(89);
+  NDArray<double> array = random_smooth(Shape{32, 32}, rng);
+  CompressedArray compressed = compressor.compress(array);
+
+  // Recompute the true coefficients.
+  Blocked blocked = block_array(array, settings.block_shape);
+  const BlockTransform& transform = compressor.transform();
+  const double r = static_cast<double>(radius(settings.index_type));
+  for (index_t kb = 0; kb < blocked.num_blocks(); ++kb) {
+    transform.forward(blocked.block(kb));
+    const double n = compressed.biggest[static_cast<std::size_t>(kb)];
+    const double bound = max_binning_coefficient_error(n, settings.index_type);
+    for (index_t j = 0; j < blocked.block_volume(); ++j) {
+      const double truth = blocked.block(kb)[j];
+      const double decoded =
+          n *
+          static_cast<double>(
+              compressed.indices.get(static_cast<std::size_t>(kb * 64 + j))) /
+          r;
+      EXPECT_LE(std::fabs(truth - decoded), bound * (1.0 + 1e-12))
+          << "block " << kb << " coeff " << j;
+    }
+  }
+}
+
+TEST(ErrorBounds, BlockL2EqualsMeasuredBlockError) {
+  // Orthonormality: per-block decompressed L2 error == L2 of coefficient
+  // errors, measured exactly (no pruning, float64 so no rounding).
+  CompressorSettings settings{.block_shape = Shape{4, 4},
+                              .float_type = FloatType::kFloat64,
+                              .index_type = IndexType::kInt8};
+  Compressor compressor(settings);
+  Rng rng(97);
+  NDArray<double> array = random_smooth(Shape{16, 16}, rng);
+
+  CompressionDiagnostics diag;
+  CompressedArray compressed = compressor.compress(array, &diag);
+  NDArray<double> restored = compressor.decompress(compressed);
+
+  Blocked b_orig = block_array(array, settings.block_shape);
+  Blocked b_rest = block_array(restored, settings.block_shape);
+  for (index_t kb = 0; kb < b_orig.num_blocks(); ++kb) {
+    double err_sq = 0.0;
+    for (index_t j = 0; j < b_orig.block_volume(); ++j) {
+      const double d = b_orig.block(kb)[j] - b_rest.block(kb)[j];
+      err_sq += d * d;
+    }
+    EXPECT_NEAR(std::sqrt(err_sq), diag.block_l2(kb), 1e-10)
+        << "block " << kb;
+  }
+}
+
+TEST(ErrorBounds, TotalL2MatchesWholeArrayError) {
+  CompressorSettings settings{.block_shape = Shape{8, 8},
+                              .float_type = FloatType::kFloat64,
+                              .index_type = IndexType::kInt16};
+  settings.mask = PruningMask::keep_fraction(Shape{8, 8}, 0.5);
+  Compressor compressor(settings);
+  Rng rng(101);
+  NDArray<double> array = random_smooth(Shape{64, 64}, rng);
+
+  CompressionDiagnostics diag;
+  CompressedArray compressed = compressor.compress(array, &diag);
+  NDArray<double> restored = compressor.decompress(compressed);
+  EXPECT_NEAR(reference::l2_distance(array, restored), diag.total_l2(),
+              1e-9 * (1.0 + diag.total_l2()));
+}
+
+TEST(ErrorBounds, LooseLinfBoundsVectorMatchesPerBlockFormula) {
+  Compressor compressor({.block_shape = Shape{4, 4},
+                         .float_type = FloatType::kFloat64,
+                         .index_type = IndexType::kInt8});
+  Rng rng(103);
+  NDArray<double> array = random_smooth(Shape{16, 16}, rng);
+  CompressedArray compressed = compressor.compress(array);
+  const std::vector<double> bounds = loose_linf_bounds(compressed);
+  ASSERT_EQ(bounds.size(), compressed.biggest.size());
+  for (std::size_t k = 0; k < bounds.size(); ++k) {
+    EXPECT_DOUBLE_EQ(bounds[k], loose_linf_bound(compressed.biggest[k],
+                                                 IndexType::kInt8, Shape{4, 4}));
+  }
+}
+
+TEST(ErrorBounds, DiagnosticsZeroForKeptInt64OnTinyValues) {
+  // With int64 indices the binning grid is astronomically fine: binning_l2
+  // is negligible relative to the data.
+  Compressor compressor({.block_shape = Shape{4, 4},
+                         .float_type = FloatType::kFloat64,
+                         .index_type = IndexType::kInt64});
+  Rng rng(107);
+  NDArray<double> array = random_smooth(Shape{16, 16}, rng);
+  CompressionDiagnostics diag;
+  compressor.compress(array, &diag);
+  for (double v : diag.binning_l2) EXPECT_LT(v, 1e-12);
+  for (double v : diag.pruning_l2) EXPECT_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace pyblaz

@@ -1,0 +1,122 @@
+#include "sim/fission/fission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/reference/reference.hpp"
+
+namespace {
+
+using pyblaz::index_t;
+using pyblaz::NDArray;
+using pyblaz::Shape;
+
+TEST(Fission, TimeStepsMatchTheDataset) {
+  const auto& steps = sim::fission_time_steps();
+  ASSERT_EQ(steps.size(), 15u);
+  EXPECT_EQ(steps.front(), 665);
+  EXPECT_EQ(steps.back(), 699);
+  EXPECT_TRUE(std::is_sorted(steps.begin(), steps.end()));
+  // The scission pair must be adjacent samples.
+  const auto it = std::find(steps.begin(), steps.end(), 690);
+  ASSERT_NE(it, steps.end());
+  EXPECT_EQ(*(it + 1), 692);
+}
+
+TEST(Fission, GridShape) {
+  NDArray<double> density = sim::neutron_density(665);
+  EXPECT_EQ(density.shape(), Shape({40, 40, 66}));
+}
+
+TEST(Fission, DensityIsNonnegativeAndFinite) {
+  for (int step : {665, 690, 692, 699}) {
+    NDArray<double> density = sim::neutron_density(step);
+    for (index_t k = 0; k < density.size(); ++k) {
+      ASSERT_GE(density[k], 0.0) << "step " << step;
+      ASSERT_TRUE(std::isfinite(density[k]));
+    }
+  }
+}
+
+TEST(Fission, GeometryEncodesScission) {
+  // Neck present before 690, gone at 692 (the topology change).
+  EXPECT_GT(sim::nucleus_geometry(690).neck_amplitude, 0.0);
+  EXPECT_EQ(sim::nucleus_geometry(692).neck_amplitude, 0.0);
+  // Fragments separate.
+  EXPECT_GT(sim::nucleus_geometry(692).separation,
+            sim::nucleus_geometry(690).separation);
+  // Elongation grows monotonically pre-scission.
+  EXPECT_LT(sim::nucleus_geometry(665).separation,
+            sim::nucleus_geometry(685).separation);
+}
+
+TEST(Fission, NeckDensityDropsAtScission) {
+  // Density at the grid center (the neck) collapses across 690 -> 692.
+  NDArray<double> before = sim::neutron_density(690);
+  NDArray<double> after = sim::neutron_density(692);
+  const double center_before = before.at({20, 20, 33});
+  const double center_after = after.at({20, 20, 33});
+  EXPECT_GT(center_before, 5.0 * std::max(center_after, 1e-6));
+}
+
+TEST(Fission, ScissionIsTheLargestAdjacentStepChange) {
+  // The headline property: ||D_t - D_{t+1}||_2 over the negative-log data
+  // peaks at the 690 -> 692 transition.
+  const auto& steps = sim::fission_time_steps();
+  double best = -1.0;
+  std::pair<int, int> best_pair{0, 0};
+  NDArray<double> previous = sim::negative_log_density(steps[0]);
+  for (std::size_t k = 1; k < steps.size(); ++k) {
+    NDArray<double> current = sim::negative_log_density(steps[k]);
+    const double distance = pyblaz::reference::l2_distance(previous, current);
+    if (distance > best) {
+      best = distance;
+      best_pair = {steps[k - 1], steps[k]};
+    }
+    previous = std::move(current);
+  }
+  EXPECT_EQ(best_pair, (std::pair<int, int>{690, 692}));
+}
+
+TEST(Fission, NoiseEventsCreateSecondaryPeaks) {
+  // Adjacent steps around a noise event differ more than a quiet pair.
+  NDArray<double> d685 = sim::negative_log_density(685);
+  NDArray<double> d686 = sim::negative_log_density(686);
+  NDArray<double> d687 = sim::negative_log_density(687);
+  NDArray<double> d688 = sim::negative_log_density(688);
+
+  const double noisy = pyblaz::reference::l2_distance(d685, d686);
+  const double quiet = pyblaz::reference::l2_distance(d687, d688);
+  EXPECT_GT(noisy, 1.5 * quiet);
+}
+
+TEST(Fission, NegativeLogTransformInvertsOrder) {
+  // -log is monotone decreasing: the density peak is the nlog minimum.
+  NDArray<double> density = sim::neutron_density(665);
+  NDArray<double> nlog = sim::negative_log_density(665);
+  index_t peak = 0;
+  for (index_t k = 1; k < density.size(); ++k)
+    if (density[k] > density[peak]) peak = k;
+  index_t trough = 0;
+  for (index_t k = 1; k < nlog.size(); ++k)
+    if (nlog[k] < nlog[trough]) trough = k;
+  EXPECT_EQ(peak, trough);
+}
+
+TEST(Fission, DeterministicPerStep) {
+  NDArray<double> a = sim::neutron_density(687);
+  NDArray<double> b = sim::neutron_density(687);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Fission, CustomGridIsRespected) {
+  sim::FissionConfig config;
+  config.grid = Shape{16, 16, 32};
+  NDArray<double> density = sim::neutron_density(690, config);
+  EXPECT_EQ(density.shape(), Shape({16, 16, 32}));
+}
+
+}  // namespace

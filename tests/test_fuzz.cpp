@@ -1,0 +1,134 @@
+/// Robustness fuzzing: deserializers must never crash or hang on corrupt
+/// input — they either throw std::invalid_argument or produce a structurally
+/// valid array.  §VI motivates this: "an off-by-one error might not cause a
+/// visible alarm until one inadvertently handles the wrong (and critical)
+/// data."
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/codec/compressor.hpp"
+#include "core/codec/serialization.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/util/rng.hpp"
+#include "szx/szx.hpp"
+#include "zfpx/zfpx.hpp"
+
+namespace pyblaz {
+namespace {
+
+std::vector<std::uint8_t> valid_pyblaz_stream() {
+  Compressor compressor({.block_shape = Shape{4, 4},
+                         .float_type = FloatType::kFloat32,
+                         .index_type = IndexType::kInt8});
+  Rng rng(1601);
+  return serialize(compressor.compress(random_smooth(Shape{16, 16}, rng)));
+}
+
+TEST(Fuzz, PyblazDeserializeSurvivesBitFlips) {
+  const std::vector<std::uint8_t> valid = valid_pyblaz_stream();
+  std::mt19937_64 rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> corrupted = valid;
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t byte = rng() % corrupted.size();
+      corrupted[byte] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+    }
+    try {
+      CompressedArray array = deserialize(corrupted);
+      // If it parsed, the structure must be self-consistent.
+      EXPECT_EQ(static_cast<index_t>(array.biggest.size()), array.num_blocks());
+      EXPECT_EQ(static_cast<index_t>(array.indices.size()),
+                array.num_blocks() * array.kept_per_block());
+    } catch (const std::invalid_argument&) {
+      // Rejecting corrupt input is the expected outcome.
+    }
+  }
+}
+
+TEST(Fuzz, PyblazDeserializeSurvivesTruncation) {
+  const std::vector<std::uint8_t> valid = valid_pyblaz_stream();
+  for (std::size_t keep = 0; keep < valid.size(); keep += 3) {
+    std::vector<std::uint8_t> truncated(valid.begin(),
+                                        valid.begin() + static_cast<std::ptrdiff_t>(keep));
+    try {
+      (void)deserialize(truncated);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(Fuzz, PyblazDeserializeSurvivesRandomBytes) {
+  std::mt19937_64 rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> garbage(rng() % 512);
+    for (auto& byte : garbage) byte = static_cast<std::uint8_t>(rng());
+    try {
+      (void)deserialize(garbage);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(Fuzz, SzxDecompressSurvivesBitFlips) {
+  Rng data_rng(1607);
+  szx::Compressed compressed =
+      szx::compress(random_smooth(Shape{24, 24}, data_rng), {.error_bound = 1e-3});
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    szx::Compressed corrupted = compressed;
+    const std::size_t byte = rng() % corrupted.stream.size();
+    corrupted.stream[byte] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+    try {
+      NDArray<double> array = szx::decompress(corrupted);
+      EXPECT_GT(array.size(), 0);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(Fuzz, ZfpxDecompressHandlesArbitraryPayloads) {
+  // zfpx's fixed-rate format has no structural metadata to violate: any
+  // stream of the right size decodes to *some* block values without fault.
+  zfpx::Codec codec(2, 16.0);
+  const Shape shape{16, 16};
+  std::mt19937_64 rng(4);
+  std::vector<std::uint8_t> stream(codec.compressed_bytes(shape));
+  for (int trial = 0; trial < 50; ++trial) {
+    for (auto& byte : stream) byte = static_cast<std::uint8_t>(rng());
+    NDArray<double> array = codec.decompress(stream, shape);
+    EXPECT_EQ(array.shape(), shape);
+  }
+}
+
+TEST(Fuzz, RoundTripAfterHarmlessCorruptionStaysBounded) {
+  // Flipping bits inside the F payload (past the header) must still yield a
+  // decompressible array whose values are bounded by the per-block loose
+  // L∞ bound — bin indices cannot escape [-r, r] by construction.
+  Compressor compressor({.block_shape = Shape{4, 4},
+                         .float_type = FloatType::kFloat32,
+                         .index_type = IndexType::kInt8});
+  Rng data_rng(1613);
+  NDArray<double> array = random_smooth(Shape{16, 16}, data_rng);
+  std::vector<std::uint8_t> stream = serialize(compressor.compress(array));
+
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> corrupted = stream;
+    // Only flip bits in the last quarter (deep inside F).
+    const std::size_t start = corrupted.size() * 3 / 4;
+    const std::size_t byte = start + rng() % (corrupted.size() - start);
+    corrupted[byte] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+    CompressedArray parsed = deserialize(corrupted);
+    NDArray<double> restored = compressor.decompress(parsed);
+    double worst = 0.0;
+    for (double n : parsed.biggest) worst = std::max(worst, n);
+    for (index_t k = 0; k < restored.size(); ++k)
+      ASSERT_LE(std::fabs(restored[k]), 16.0 * worst + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pyblaz

@@ -1,0 +1,100 @@
+#include "sim/mri/mri.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/reference/reference.hpp"
+
+namespace {
+
+using pyblaz::index_t;
+using pyblaz::NDArray;
+using pyblaz::Shape;
+
+TEST(Mri, VolumeShapeAndRange) {
+  sim::MriVolumeConfig config{.depth = 24, .seed = 1};
+  NDArray<double> volume = sim::flair_volume(config);
+  EXPECT_EQ(volume.shape(), Shape({24, 256, 256}));
+  for (index_t k = 0; k < volume.size(); ++k) {
+    ASSERT_GE(volume[k], 0.0);
+    ASSERT_LE(volume[k], 1.0);
+  }
+}
+
+TEST(Mri, StatisticsNearTheRealDataset) {
+  // The real FLAIR channel: mean 0.0870, standard deviation 0.1238 (§V-B).
+  // Average over a few volumes; per-volume variation is expected.
+  double mean_total = 0.0, std_total = 0.0;
+  const int volumes = 4;
+  for (int k = 0; k < volumes; ++k) {
+    sim::MriVolumeConfig config{.depth = 36, .seed = 100 + static_cast<std::uint64_t>(k)};
+    NDArray<double> volume = sim::flair_volume(config);
+    mean_total += pyblaz::reference::mean(volume);
+    std_total += pyblaz::reference::standard_deviation(volume);
+  }
+  EXPECT_NEAR(mean_total / volumes, 0.087, 0.05);
+  EXPECT_NEAR(std_total / volumes, 0.124, 0.06);
+}
+
+TEST(Mri, BackgroundIsDarkBrainIsBright) {
+  sim::MriVolumeConfig config{.depth = 32, .seed = 5};
+  NDArray<double> volume = sim::flair_volume(config);
+  // Corner voxel: outside the ellipsoid.
+  EXPECT_LT(volume.at({0, 0, 0}), 0.08);
+  // Center voxel: inside the brain.
+  EXPECT_GT(volume.at({16, 128, 128}), 0.08);
+}
+
+TEST(Mri, DeterministicGivenSeed) {
+  sim::MriVolumeConfig config{.depth = 20, .seed = 9};
+  EXPECT_EQ(sim::flair_volume(config), sim::flair_volume(config));
+}
+
+TEST(Mri, DifferentSeedsDiffer) {
+  sim::MriVolumeConfig a{.depth = 20, .seed = 1};
+  sim::MriVolumeConfig b{.depth = 20, .seed = 2};
+  EXPECT_FALSE(sim::flair_volume(a) == sim::flair_volume(b));
+}
+
+TEST(Mri, DatasetDepthsMatchTheRealDistribution) {
+  // First dimension varies in [20, 88] with mean ≈ 35.7 (§V-B).
+  sim::MriDatasetConfig config{.volumes = 110, .seed = 7};
+  const auto configs = sim::dataset_configs(config);
+  ASSERT_EQ(configs.size(), 110u);
+  double mean_depth = 0.0;
+  for (const auto& c : configs) {
+    EXPECT_GE(c.depth, 20);
+    EXPECT_LE(c.depth, 88);
+    EXPECT_EQ(c.height, 256);
+    EXPECT_EQ(c.width, 256);
+    mean_depth += static_cast<double>(c.depth);
+  }
+  mean_depth /= 110.0;
+  EXPECT_NEAR(mean_depth, 35.7, 6.0);
+}
+
+TEST(Mri, DatasetSeedsAreDistinct) {
+  const auto configs = sim::dataset_configs({.volumes = 20, .seed = 3});
+  for (std::size_t a = 0; a < configs.size(); ++a)
+    for (std::size_t b = a + 1; b < configs.size(); ++b)
+      EXPECT_NE(configs[a].seed, configs[b].seed);
+}
+
+TEST(Mri, VolumesAreSpatiallySmooth) {
+  // In-slice neighbor differences are small relative to the value range —
+  // the property that makes MRI a good transform-compression candidate.
+  sim::MriVolumeConfig config{.depth = 24, .seed = 11};
+  NDArray<double> volume = sim::flair_volume(config);
+  double total_diff = 0.0;
+  index_t count = 0;
+  for (index_t h = 0; h < 256; ++h)
+    for (index_t w = 0; w + 1 < 256; ++w) {
+      total_diff += std::fabs(volume.at({12, h, w + 1}) - volume.at({12, h, w}));
+      ++count;
+    }
+  EXPECT_LT(total_diff / static_cast<double>(count), 0.03);
+}
+
+}  // namespace

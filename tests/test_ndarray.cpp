@@ -1,0 +1,113 @@
+#include "core/ndarray/ndarray.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+TEST(NDArray, ConstructionAndFill) {
+  NDArray<double> a(Shape{2, 3}, 1.5);
+  EXPECT_EQ(a.size(), 6);
+  for (index_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], 1.5);
+}
+
+TEST(NDArray, MultiIndexAccess) {
+  NDArray<double> a(Shape{2, 3});
+  a.at({1, 2}) = 42.0;
+  EXPECT_EQ(a[5], 42.0);
+  EXPECT_EQ(a.at({1, 2}), 42.0);
+}
+
+TEST(NDArray, WrapExistingBuffer) {
+  NDArray<double> a(Shape{2, 2}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(a.at({0, 1}), 2.0);
+  EXPECT_EQ(a.at({1, 0}), 3.0);
+}
+
+TEST(NDArray, MapInplace) {
+  NDArray<double> a(Shape{4}, {1.0, 2.0, 3.0, 4.0});
+  a.map_inplace([](double v) { return v * v; });
+  EXPECT_EQ(a[3], 16.0);
+}
+
+TEST(NDArrayOps, ElementwiseArithmetic) {
+  NDArray<double> x(Shape{3}, {1.0, 2.0, 3.0});
+  NDArray<double> y(Shape{3}, {10.0, 20.0, 30.0});
+  EXPECT_EQ(add(x, y)[1], 22.0);
+  EXPECT_EQ(subtract(y, x)[2], 27.0);
+  EXPECT_EQ(multiply(x, y)[0], 10.0);
+  EXPECT_EQ(scale(x, -2.0)[2], -6.0);
+  EXPECT_EQ(add_scalar(x, 0.5)[0], 1.5);
+}
+
+TEST(NDArrayOps, Reductions) {
+  NDArray<double> x(Shape{4}, {1.0, -5.0, 3.0, 0.5});
+  EXPECT_EQ(sum(x), -0.5);
+  EXPECT_EQ(max_abs(x), 5.0);
+  EXPECT_EQ(max(x), 3.0);
+  EXPECT_EQ(min(x), -5.0);
+}
+
+TEST(NDArrayOps, QuantizedRoundsEveryElement) {
+  NDArray<double> x(Shape{2}, {1.0 / 3.0, 2.0 / 3.0});
+  NDArray<double> q = quantized(x, FloatType::kFloat32);
+  EXPECT_EQ(q[0], static_cast<double>(static_cast<float>(1.0 / 3.0)));
+  EXPECT_EQ(q[1], static_cast<double>(static_cast<float>(2.0 / 3.0)));
+}
+
+TEST(NDArrayOps, GradientArrayMatchesPaperDefinition) {
+  // X_x = Σ(x) / Σ(s - 1): 0 at the origin corner, 1 at the far corner,
+  // constant gradient along the diagonal (§IV-E).
+  const Shape s{4, 8};
+  NDArray<double> g = gradient_array(s);
+  EXPECT_EQ(g.at({0, 0}), 0.0);
+  EXPECT_EQ(g.at({3, 7}), 1.0);
+  EXPECT_DOUBLE_EQ(g.at({1, 2}), 3.0 / 10.0);
+  // Monotone along each axis.
+  EXPECT_LT(g.at({0, 3}), g.at({1, 3}));
+  EXPECT_LT(g.at({2, 3}), g.at({2, 4}));
+}
+
+TEST(NDArrayOps, GradientArrayHandlesSingletonShape) {
+  NDArray<double> g = gradient_array(Shape{1, 1});
+  EXPECT_EQ(g[0], 0.0);
+}
+
+TEST(NDArrayOps, RandomUniformInRange) {
+  Rng rng(99);
+  NDArray<double> r = random_uniform(Shape{100}, rng, -2.0, 3.0);
+  for (index_t k = 0; k < r.size(); ++k) {
+    EXPECT_GE(r[k], -2.0);
+    EXPECT_LT(r[k], 3.0);
+  }
+}
+
+TEST(NDArrayOps, RandomIsDeterministicGivenSeed) {
+  Rng rng1(7), rng2(7);
+  NDArray<double> a = random_normal(Shape{50}, rng1);
+  NDArray<double> b = random_normal(Shape{50}, rng2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(NDArrayOps, RandomSmoothIsSpatiallyCorrelated) {
+  // Neighboring samples of a band-limited field differ much less than the
+  // field's overall range.
+  Rng rng(3);
+  NDArray<double> f = random_smooth(Shape{64, 64}, rng);
+  double max_neighbor_diff = 0.0;
+  for (index_t i = 0; i < 64; ++i)
+    for (index_t j = 0; j + 1 < 64; ++j)
+      max_neighbor_diff = std::max(
+          max_neighbor_diff, std::fabs(f[i * 64 + j + 1] - f[i * 64 + j]));
+  const double range = max(f) - min(f);
+  EXPECT_GT(range, 0.0);
+  EXPECT_LT(max_neighbor_diff, 0.35 * range);
+}
+
+}  // namespace
+}  // namespace pyblaz

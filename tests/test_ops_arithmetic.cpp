@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/codec/compressor.hpp"
+#include "core/codec/error_bounds.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+CompressorSettings default_settings() {
+  return {.block_shape = Shape{8, 8},
+          .float_type = FloatType::kFloat64,
+          .index_type = IndexType::kInt8};
+}
+
+// ------------------------------------------------------------------ negation
+
+TEST(OpsNegate, DecompressesToExactNegation) {
+  // Table I: negation introduces no additional error — decompress(-A) is
+  // bit-for-bit -decompress(A).
+  Compressor compressor(default_settings());
+  Rng rng(201);
+  NDArray<double> array = random_smooth(Shape{32, 32}, rng);
+  CompressedArray a = compressor.compress(array);
+  NDArray<double> direct = compressor.decompress(a);
+  NDArray<double> negated = compressor.decompress(ops::negate(a));
+  for (index_t k = 0; k < direct.size(); ++k) EXPECT_EQ(negated[k], -direct[k]);
+}
+
+TEST(OpsNegate, IsInvolution) {
+  Compressor compressor(default_settings());
+  Rng rng(203);
+  CompressedArray a = compressor.compress(random_smooth(Shape{16, 24}, rng));
+  CompressedArray back = ops::negate(ops::negate(a));
+  EXPECT_EQ(back.indices, a.indices);
+  EXPECT_EQ(back.biggest, a.biggest);
+}
+
+// ------------------------------------------------------------------ addition
+
+TEST(OpsAdd, MatchesUncompressedSumWithinRebinningBound) {
+  Compressor compressor(default_settings());
+  Rng rng(207);
+  NDArray<double> x = random_smooth(Shape{32, 32}, rng);
+  NDArray<double> y = random_smooth(Shape{32, 32}, rng);
+
+  CompressedArray sum_c = ops::add(compressor.compress(x), compressor.compress(y));
+  NDArray<double> sum_d = compressor.decompress(sum_c);
+  NDArray<double> truth = add(x, y);
+
+  // Total error = both operands' compression errors + one rebinning, each
+  // bounded by the loose L∞ bound of the result's biggest coefficients.
+  const double bound =
+      3.0 * loose_linf_bound(max_abs(NDArray<double>(Shape{1}, {max_abs(truth) * 8.0})),
+                             IndexType::kInt8, Shape{8, 8});
+  EXPECT_LE(reference::linf_distance(truth, sum_d), bound);
+  // And in practice far smaller for smooth data.
+  EXPECT_LT(reference::mean_absolute_error(truth, sum_d), 0.05 * max_abs(truth));
+}
+
+TEST(OpsAdd, IsCommutative) {
+  Compressor compressor(default_settings());
+  Rng rng(211);
+  CompressedArray a = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  CompressedArray b = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  CompressedArray ab = ops::add(a, b);
+  CompressedArray ba = ops::add(b, a);
+  EXPECT_EQ(ab.indices, ba.indices);
+  EXPECT_EQ(ab.biggest, ba.biggest);
+}
+
+TEST(OpsAdd, APlusNegAIsZero) {
+  // A + (-A) must rebin to exactly zero (coefficients cancel exactly).
+  Compressor compressor(default_settings());
+  Rng rng(213);
+  CompressedArray a = compressor.compress(random_smooth(Shape{24, 24}, rng));
+  CompressedArray zero = ops::add(a, ops::negate(a));
+  NDArray<double> decompressed = compressor.decompress(zero);
+  for (index_t k = 0; k < decompressed.size(); ++k) EXPECT_EQ(decompressed[k], 0.0);
+}
+
+TEST(OpsAdd, SubtractMatchesAddNegate) {
+  Compressor compressor(default_settings());
+  Rng rng(217);
+  CompressedArray a = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  CompressedArray b = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  CompressedArray diff = ops::subtract(a, b);
+  CompressedArray manual = ops::add(a, ops::negate(b));
+  EXPECT_EQ(diff.indices, manual.indices);
+  EXPECT_EQ(diff.biggest, manual.biggest);
+}
+
+TEST(OpsAdd, CapturesDifferenceBetweenPerturbedFields) {
+  // The Fig. 4 use case: the compressed-space difference localizes a
+  // perturbation.
+  Compressor compressor({.block_shape = Shape{16, 16},
+                         .float_type = FloatType::kFloat32,
+                         .index_type = IndexType::kInt8});
+  Rng rng(219);
+  NDArray<double> base = random_smooth(Shape{64, 64}, rng);
+  NDArray<double> perturbed = base;
+  // Perturb one region.
+  for (index_t i = 40; i < 56; ++i)
+    for (index_t j = 8; j < 24; ++j) perturbed[i * 64 + j] += 0.5;
+
+  CompressedArray diff =
+      ops::subtract(compressor.compress(perturbed), compressor.compress(base));
+  NDArray<double> d = compressor.decompress(diff);
+
+  // Energy concentrates in the perturbed region.
+  double inside = 0.0, outside = 0.0;
+  for (index_t i = 0; i < 64; ++i)
+    for (index_t j = 0; j < 64; ++j) {
+      const double v = d[i * 64 + j] * d[i * 64 + j];
+      if (i >= 40 && i < 56 && j >= 8 && j < 24)
+        inside += v;
+      else
+        outside += v;
+    }
+  EXPECT_GT(inside, 10.0 * outside);
+}
+
+TEST(OpsAdd, ThrowsOnLayoutMismatch) {
+  Compressor c1(default_settings());
+  Compressor c2({.block_shape = Shape{4, 4},
+                 .float_type = FloatType::kFloat64,
+                 .index_type = IndexType::kInt8});
+  Rng rng(223);
+  NDArray<double> array = random_smooth(Shape{16, 16}, rng);
+  EXPECT_THROW(ops::add(c1.compress(array), c2.compress(array)),
+               std::invalid_argument);
+}
+
+TEST(OpsAdd, ThrowsOnShapeMismatch) {
+  Compressor compressor(default_settings());
+  Rng rng(227);
+  CompressedArray a = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  CompressedArray b = compressor.compress(random_smooth(Shape{24, 16}, rng));
+  EXPECT_THROW(ops::add(a, b), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ scalar addition
+
+TEST(OpsAddScalar, ShiftsMeanExactly) {
+  Compressor compressor({.block_shape = Shape{8, 8},
+                         .float_type = FloatType::kFloat64,
+                         .index_type = IndexType::kInt16});
+  Rng rng(229);
+  // Divisible shape: the compressed mean is exact.
+  NDArray<double> array = random_smooth(Shape{32, 32}, rng);
+  CompressedArray a = compressor.compress(array);
+  const double mean_before = ops::mean(a);
+  CompressedArray shifted = ops::add_scalar(a, 2.5);
+  // Rebinning perturbs the DC coefficient by at most half a bin.
+  EXPECT_NEAR(ops::mean(shifted), mean_before + 2.5, 1e-3);
+}
+
+TEST(OpsAddScalar, MatchesDecompressedShift) {
+  Compressor compressor(default_settings());
+  Rng rng(233);
+  NDArray<double> array = random_smooth(Shape{32, 32}, rng);
+  CompressedArray a = compressor.compress(array);
+  NDArray<double> shifted_c = compressor.decompress(ops::add_scalar(a, -1.25));
+  NDArray<double> shifted_u = add_scalar(compressor.decompress(a), -1.25);
+  // Error source: rebinning only (Table I).
+  double bound = 0.0;
+  for (double n : compressor.compress(add_scalar(array, -1.25)).biggest)
+    bound = std::max(bound, loose_linf_bound(n, IndexType::kInt8, Shape{8, 8}));
+  EXPECT_LE(reference::linf_distance(shifted_c, shifted_u), 2.0 * bound + 1e-9);
+}
+
+TEST(OpsAddScalar, AddingZeroKeepsValuesWithinOneRebin) {
+  Compressor compressor(default_settings());
+  Rng rng(239);
+  NDArray<double> array = random_smooth(Shape{16, 16}, rng);
+  CompressedArray a = compressor.compress(array);
+  CompressedArray same = ops::add_scalar(a, 0.0);
+  // Re-binning against the same biggest coefficient reproduces the indices.
+  EXPECT_EQ(same.indices, a.indices);
+}
+
+TEST(OpsAddScalar, ThrowsWithoutDcCoefficient) {
+  CompressorSettings settings = default_settings();
+  std::vector<std::uint8_t> flags(64, 1);
+  flags[0] = 0;  // Drop the DC coefficient.
+  settings.mask = PruningMask::from_flags(Shape{8, 8}, flags);
+  Compressor compressor(settings);
+  Rng rng(241);
+  CompressedArray a = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  EXPECT_THROW(ops::add_scalar(a, 1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------- scalar multiplication
+
+TEST(OpsMultiplyScalar, ExactInCompressedSpace) {
+  // Table I: multiplication by a scalar has no error source — N scales, F
+  // flips sign at most.
+  Compressor compressor(default_settings());
+  Rng rng(243);
+  NDArray<double> array = random_smooth(Shape{32, 32}, rng);
+  CompressedArray a = compressor.compress(array);
+  NDArray<double> direct = compressor.decompress(a);
+
+  CompressedArray scaled = ops::multiply_scalar(a, -3.0);
+  NDArray<double> result = compressor.decompress(scaled);
+  for (index_t k = 0; k < direct.size(); ++k)
+    EXPECT_NEAR(result[k], -3.0 * direct[k], 1e-12);
+}
+
+TEST(OpsMultiplyScalar, Composes) {
+  Compressor compressor(default_settings());
+  Rng rng(247);
+  CompressedArray a = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  CompressedArray twice = ops::multiply_scalar(ops::multiply_scalar(a, 2.0), 3.0);
+  CompressedArray once = ops::multiply_scalar(a, 6.0);
+  EXPECT_EQ(twice.biggest, once.biggest);
+  EXPECT_EQ(twice.indices, once.indices);
+}
+
+TEST(OpsMultiplyScalar, MinusOneEqualsNegate) {
+  Compressor compressor(default_settings());
+  Rng rng(251);
+  CompressedArray a = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  CompressedArray m = ops::multiply_scalar(a, -1.0);
+  CompressedArray n = ops::negate(a);
+  EXPECT_EQ(m.indices, n.indices);
+  EXPECT_EQ(m.biggest, n.biggest);
+}
+
+TEST(OpsMultiplyScalar, ZeroGivesZeroArray) {
+  Compressor compressor(default_settings());
+  Rng rng(253);
+  CompressedArray a = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  NDArray<double> zero = compressor.decompress(ops::multiply_scalar(a, 0.0));
+  for (index_t k = 0; k < zero.size(); ++k) EXPECT_EQ(zero[k], 0.0);
+}
+
+TEST(OpsMultiplyScalar, DistributesOverAddWithinRebinning) {
+  // c*(A+B) ≈ c*A + c*B: scalar multiply is exact so the only discrepancy is
+  // the single rebinning in each add.
+  Compressor compressor({.block_shape = Shape{8, 8},
+                         .float_type = FloatType::kFloat64,
+                         .index_type = IndexType::kInt16});
+  Rng rng(257);
+  CompressedArray a = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  CompressedArray b = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  NDArray<double> lhs =
+      compressor.decompress(ops::multiply_scalar(ops::add(a, b), 2.0));
+  NDArray<double> rhs = compressor.decompress(
+      ops::add(ops::multiply_scalar(a, 2.0), ops::multiply_scalar(b, 2.0)));
+  EXPECT_LT(reference::linf_distance(lhs, rhs), 1e-3);
+}
+
+// ------------------------------------------------------ specified coefficients
+
+TEST(OpsSpecifiedCoefficients, RecoverDcAsScaledBlockMean) {
+  Compressor compressor({.block_shape = Shape{4, 4},
+                         .float_type = FloatType::kFloat64,
+                         .index_type = IndexType::kInt32});
+  NDArray<double> array(Shape{4, 4}, 1.5);  // One constant block.
+  CompressedArray a = compressor.compress(array);
+  const std::vector<double> coeffs = ops::specified_coefficients(a);
+  ASSERT_EQ(coeffs.size(), 16u);
+  EXPECT_NEAR(coeffs[0], 1.5 * 4.0, 1e-6);  // mean * sqrt(16).
+}
+
+}  // namespace
+}  // namespace pyblaz

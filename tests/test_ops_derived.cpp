@@ -1,0 +1,207 @@
+/// Tests for the derived compressed-space metrics (linear combination, MSE,
+/// PSNR, Pearson correlation, blockwise L2, mixed-domain dot).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/codec/compressor.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+CompressorSettings fine_settings(Shape block = Shape{8, 8}) {
+  return {.block_shape = std::move(block),
+          .float_type = FloatType::kFloat64,
+          .index_type = IndexType::kInt32};
+}
+
+TEST(OpsLinearCombination, MatchesUncompressedCombination) {
+  Compressor compressor(fine_settings());
+  Rng rng(1201);
+  NDArray<double> x = random_smooth(Shape{32, 32}, rng);
+  NDArray<double> y = random_smooth(Shape{32, 32}, rng);
+  CompressedArray combo = ops::linear_combination(2.5, compressor.compress(x),
+                                                  -1.5, compressor.compress(y));
+  NDArray<double> truth = add(scale(x, 2.5), scale(y, -1.5));
+  EXPECT_LT(reference::mean_absolute_error(compressor.decompress(combo), truth),
+            1e-5 * max_abs(truth));
+}
+
+TEST(OpsLinearCombination, UnitCoefficientsEqualAdd) {
+  Compressor compressor(fine_settings());
+  Rng rng(1203);
+  CompressedArray a = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  CompressedArray b = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  CompressedArray combo = ops::linear_combination(1.0, a, 1.0, b);
+  CompressedArray added = ops::add(a, b);
+  EXPECT_EQ(combo.indices, added.indices);
+  EXPECT_EQ(combo.biggest, added.biggest);
+}
+
+TEST(OpsLinearCombination, CancellingCombinationIsZero) {
+  Compressor compressor(fine_settings());
+  Rng rng(1207);
+  CompressedArray a = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  NDArray<double> zero =
+      compressor.decompress(ops::linear_combination(3.0, a, -3.0, a));
+  for (index_t k = 0; k < zero.size(); ++k) EXPECT_EQ(zero[k], 0.0);
+}
+
+TEST(OpsMse, MatchesUncompressedMse) {
+  Compressor compressor(fine_settings());
+  Rng rng(1211);
+  NDArray<double> x = random_smooth(Shape{32, 32}, rng);
+  NDArray<double> y = random_smooth(Shape{32, 32}, rng);
+  const double truth =
+      reference::l2_distance(x, y) * reference::l2_distance(x, y) /
+      static_cast<double>(x.size());
+  EXPECT_NEAR(ops::mean_squared_error(compressor.compress(x), compressor.compress(y)),
+              truth, 1e-5 * truth + 1e-12);
+}
+
+TEST(OpsMse, ZeroForIdenticalArrays) {
+  Compressor compressor(fine_settings());
+  Rng rng(1213);
+  CompressedArray a = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  EXPECT_NEAR(ops::mean_squared_error(a, a), 0.0, 1e-15);
+}
+
+TEST(OpsPsnr, InfiniteForIdenticalFiniteForDifferent) {
+  Compressor compressor(fine_settings());
+  Rng rng(1217);
+  NDArray<double> x = random_smooth(Shape{16, 16}, rng);
+  CompressedArray a = compressor.compress(x);
+  EXPECT_TRUE(std::isinf(ops::psnr(a, a)));
+
+  NDArray<double> y = add_scalar(x, 0.1);
+  const double db = ops::psnr(a, compressor.compress(y));
+  EXPECT_TRUE(std::isfinite(db));
+  // MSE = 0.01, peak = 1 -> PSNR = 20 dB.
+  EXPECT_NEAR(db, 20.0, 0.1);
+}
+
+TEST(OpsPsnr, MorePerturbationLowerPsnr) {
+  Compressor compressor(fine_settings());
+  Rng rng(1219);
+  NDArray<double> x = random_smooth(Shape{32, 32}, rng);
+  CompressedArray a = compressor.compress(x);
+  double previous = std::numeric_limits<double>::infinity();
+  for (double amplitude : {0.01, 0.05, 0.25}) {
+    Rng noise_rng(1221);
+    NDArray<double> y = add(x, scale(random_normal(Shape{32, 32}, noise_rng), amplitude));
+    const double db = ops::psnr(a, compressor.compress(y));
+    EXPECT_LT(db, previous);
+    previous = db;
+  }
+}
+
+TEST(OpsPearson, MatchesUncompressedCorrelation) {
+  Compressor compressor(fine_settings());
+  Rng rng(1223);
+  NDArray<double> x = random_smooth(Shape{32, 32}, rng);
+  NDArray<double> y = add(scale(x, 0.7), scale(random_smooth(Shape{32, 32}, rng), 0.5));
+  const double truth = reference::covariance(x, y) /
+                       (reference::standard_deviation(x) *
+                        reference::standard_deviation(y));
+  EXPECT_NEAR(ops::pearson_correlation(compressor.compress(x), compressor.compress(y)),
+              truth, 1e-4);
+}
+
+TEST(OpsPearson, PerfectAndAntiCorrelation) {
+  Compressor compressor(fine_settings());
+  Rng rng(1227);
+  NDArray<double> x = random_smooth(Shape{16, 16}, rng);
+  CompressedArray a = compressor.compress(x);
+  EXPECT_NEAR(ops::pearson_correlation(a, a), 1.0, 1e-9);
+  EXPECT_NEAR(ops::pearson_correlation(a, ops::negate(a)), -1.0, 1e-9);
+}
+
+TEST(OpsPearson, CorrectOnRaggedShapes) {
+  // Uses padding-corrected statistics underneath.
+  Compressor compressor(fine_settings());
+  Rng rng(1229);
+  NDArray<double> x = add_scalar(random_smooth(Shape{30, 29}, rng), 1.0);
+  NDArray<double> y = add_scalar(random_smooth(Shape{30, 29}, rng), -2.0);
+  const double truth = reference::covariance(x, y) /
+                       (reference::standard_deviation(x) *
+                        reference::standard_deviation(y));
+  EXPECT_NEAR(ops::pearson_correlation(compressor.compress(x), compressor.compress(y)),
+              truth, 1e-3);
+}
+
+TEST(OpsBlockwiseL2, MatchesPerBlockNorms) {
+  Compressor compressor(fine_settings(Shape{4, 4}));
+  Rng rng(1231);
+  NDArray<double> x = random_smooth(Shape{8, 8}, rng);
+  NDArray<double> norms = ops::blockwise_l2_norm(compressor.compress(x));
+  ASSERT_EQ(norms.shape(), Shape({2, 2}));
+  for (index_t bi = 0; bi < 2; ++bi)
+    for (index_t bj = 0; bj < 2; ++bj) {
+      double squares = 0.0;
+      for (index_t i = 0; i < 4; ++i)
+        for (index_t j = 0; j < 4; ++j) {
+          const double v = x[(bi * 4 + i) * 8 + (bj * 4 + j)];
+          squares += v * v;
+        }
+      EXPECT_NEAR(norms[bi * 2 + bj], std::sqrt(squares), 1e-6);
+    }
+}
+
+TEST(OpsMixedDot, MatchesUncompressedDot) {
+  Compressor compressor(fine_settings());
+  Rng rng(1233);
+  NDArray<double> x = random_smooth(Shape{32, 32}, rng);
+  NDArray<double> weights = random_smooth(Shape{32, 32}, rng);
+  EXPECT_NEAR(ops::dot(compressor.compress(x), weights), reference::dot(x, weights),
+              1e-5 * std::fabs(reference::dot(x, weights)) + 1e-8);
+}
+
+TEST(OpsMixedDot, AgreesWithCompressedDotUpToBinning) {
+  Compressor compressor(fine_settings());
+  Rng rng(1237);
+  NDArray<double> x = random_smooth(Shape{32, 32}, rng);
+  NDArray<double> y = random_smooth(Shape{32, 32}, rng);
+  CompressedArray a = compressor.compress(x);
+  EXPECT_NEAR(ops::dot(a, y), ops::dot(a, compressor.compress(y)),
+              1e-5 * std::fabs(reference::dot(x, y)) + 1e-8);
+}
+
+TEST(OpsMixedDot, HandlesRaggedShapes) {
+  Compressor compressor(fine_settings());
+  Rng rng(1239);
+  NDArray<double> x = random_smooth(Shape{30, 29}, rng);
+  NDArray<double> w = random_smooth(Shape{30, 29}, rng);
+  EXPECT_NEAR(ops::dot(compressor.compress(x), w), reference::dot(x, w),
+              1e-5 * std::fabs(reference::dot(x, w)) + 1e-8);
+}
+
+TEST(OpsMixedDot, ThrowsOnShapeMismatch) {
+  Compressor compressor(fine_settings());
+  Rng rng(1241);
+  CompressedArray a = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  NDArray<double> wrong(Shape{8, 8}, 1.0);
+  EXPECT_THROW(ops::dot(a, wrong), std::invalid_argument);
+}
+
+TEST(OpsMixedDot, RespectsPruning) {
+  // With pruned high frequencies, the mixed dot sees only the kept
+  // coefficients — same as dotting against the decompressed array.
+  CompressorSettings settings = fine_settings();
+  settings.mask = PruningMask::keep_fraction(Shape{8, 8}, 0.25);
+  Compressor compressor(settings);
+  Rng rng(1243);
+  NDArray<double> x = random_smooth(Shape{32, 32}, rng);
+  NDArray<double> w = random_smooth(Shape{32, 32}, rng);
+  CompressedArray a = compressor.compress(x);
+  const double via_decompress = reference::dot(compressor.decompress(a), w);
+  EXPECT_NEAR(ops::dot(a, w), via_decompress,
+              1e-5 * std::fabs(via_decompress) + 1e-8);
+}
+
+}  // namespace
+}  // namespace pyblaz

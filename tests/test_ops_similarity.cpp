@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/codec/compressor.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+CompressorSettings fine_settings() {
+  return {.block_shape = Shape{8, 8},
+          .float_type = FloatType::kFloat64,
+          .index_type = IndexType::kInt32};
+}
+
+TEST(OpsSsim, SelfSimilarityIsOne) {
+  Compressor compressor(fine_settings());
+  Rng rng(401);
+  CompressedArray a = compressor.compress(random_smooth(Shape{32, 32}, rng));
+  EXPECT_NEAR(ops::structural_similarity(a, a), 1.0, 1e-9);
+}
+
+TEST(OpsSsim, SymmetricInArguments) {
+  Compressor compressor(fine_settings());
+  Rng rng(403);
+  CompressedArray a = compressor.compress(random_smooth(Shape{32, 32}, rng));
+  CompressedArray b = compressor.compress(random_smooth(Shape{32, 32}, rng));
+  EXPECT_NEAR(ops::structural_similarity(a, b), ops::structural_similarity(b, a),
+              1e-12);
+}
+
+TEST(OpsSsim, MatchesUncompressedReference) {
+  Compressor compressor(fine_settings());
+  Rng rng(407);
+  // Normalized-to-[0,1]-style data, as in the MRI experiment.
+  NDArray<double> x = random_smooth(Shape{32, 32}, rng);
+  x.map_inplace([](double v) { return 0.5 + 0.4 * v; });
+  NDArray<double> y = random_smooth(Shape{32, 32}, rng);
+  y.map_inplace([](double v) { return 0.5 + 0.4 * v; });
+
+  const double compressed =
+      ops::structural_similarity(compressor.compress(x), compressor.compress(y));
+  EXPECT_NEAR(compressed, reference::structural_similarity(x, y), 1e-4);
+}
+
+TEST(OpsSsim, DecreasesWithPerturbationStrength) {
+  Compressor compressor(fine_settings());
+  Rng rng(409);
+  NDArray<double> base = random_smooth(Shape{32, 32}, rng);
+  base.map_inplace([](double v) { return 0.5 + 0.3 * v; });
+  CompressedArray a = compressor.compress(base);
+
+  double previous = 1.1;
+  for (double amplitude : {0.02, 0.1, 0.3}) {
+    Rng noise_rng(411);
+    NDArray<double> perturbed =
+        add(base, scale(random_normal(Shape{32, 32}, noise_rng), amplitude));
+    const double ssim = ops::structural_similarity(a, compressor.compress(perturbed));
+    EXPECT_LT(ssim, previous) << "amplitude " << amplitude;
+    previous = ssim;
+  }
+}
+
+TEST(OpsSsim, InUnitInterval) {
+  Compressor compressor(fine_settings());
+  Rng rng(419);
+  NDArray<double> x = random_smooth(Shape{32, 32}, rng);
+  x.map_inplace([](double v) { return 0.5 + 0.3 * v; });
+  NDArray<double> y = random_smooth(Shape{32, 32}, rng);
+  y.map_inplace([](double v) { return 0.5 + 0.3 * v; });
+  const double s =
+      ops::structural_similarity(compressor.compress(x), compressor.compress(y));
+  EXPECT_GE(s, -1.0);  // The structure term can be negative in general...
+  EXPECT_LE(s, 1.0 + 1e-12);
+}
+
+TEST(OpsSsim, WeightsChangeTheScore) {
+  Compressor compressor(fine_settings());
+  Rng rng(421);
+  NDArray<double> x = random_smooth(Shape{32, 32}, rng);
+  x.map_inplace([](double v) { return 0.5 + 0.3 * v; });
+  NDArray<double> y = add_scalar(x, 0.2);  // Same structure, shifted luminance.
+  CompressedArray a = compressor.compress(x);
+  CompressedArray b = compressor.compress(y);
+
+  ops::SsimParams luminance_only{.contrast_weight = 0.0, .structure_weight = 0.0};
+  ops::SsimParams structure_only{.luminance_weight = 0.0, .contrast_weight = 0.0};
+
+  // A pure luminance shift should score poorly on luminance, perfectly on
+  // structure.
+  EXPECT_LT(ops::structural_similarity(a, b, luminance_only), 0.999);
+  EXPECT_NEAR(ops::structural_similarity(a, b, structure_only), 1.0, 1e-6);
+}
+
+TEST(OpsSsim, StabilizersPreventDivisionByZeroOnConstants) {
+  Compressor compressor(fine_settings());
+  NDArray<double> x(Shape{16, 16}, 0.0);
+  NDArray<double> y(Shape{16, 16}, 0.0);
+  const double s =
+      ops::structural_similarity(compressor.compress(x), compressor.compress(y));
+  EXPECT_TRUE(std::isfinite(s));
+  EXPECT_NEAR(s, 1.0, 1e-9);  // Identical constants are perfectly similar.
+}
+
+TEST(OpsSsimMap, AllOnesForIdenticalArrays) {
+  Compressor compressor(fine_settings());
+  Rng rng(433);
+  CompressedArray a = compressor.compress(random_smooth(Shape{32, 32}, rng));
+  NDArray<double> map = ops::structural_similarity_map(a, a);
+  EXPECT_EQ(map.shape(), Shape({4, 4}));
+  for (index_t k = 0; k < map.size(); ++k) EXPECT_NEAR(map[k], 1.0, 1e-9);
+}
+
+TEST(OpsSsimMap, LocalizesPerturbation) {
+  // Perturbing one block must drop that block's SSIM while leaving the rest
+  // near 1 — the spatial resolution the global score lacks.
+  Compressor compressor(fine_settings());
+  Rng rng(437);
+  NDArray<double> base = random_smooth(Shape{32, 32}, rng);
+  base.map_inplace([](double v) { return 0.5 + 0.3 * v; });
+  NDArray<double> perturbed = base;
+  Rng noise(439);
+  for (index_t i = 8; i < 16; ++i)
+    for (index_t j = 16; j < 24; ++j)
+      perturbed[i * 32 + j] += 0.3 * noise.normal();
+
+  NDArray<double> map = ops::structural_similarity_map(
+      compressor.compress(base), compressor.compress(perturbed));
+  // Block (1, 2) holds rows 8-15, cols 16-23 in the 8x8-block grid.
+  const double hit = map.at({1, 2});
+  for (index_t bi = 0; bi < 4; ++bi)
+    for (index_t bj = 0; bj < 4; ++bj) {
+      if (bi == 1 && bj == 2) continue;
+      EXPECT_GT(map.at({bi, bj}), 0.97) << bi << "," << bj;
+    }
+  EXPECT_LT(hit, 0.8);
+}
+
+TEST(OpsSsimMap, ConsistentWithBlockStatistics) {
+  // Spot-check one block entry against Algorithm 12 applied to that block's
+  // raw data.
+  Compressor compressor(fine_settings());
+  Rng rng(441);
+  NDArray<double> x = random_smooth(Shape{16, 16}, rng);
+  NDArray<double> y = random_smooth(Shape{16, 16}, rng);
+  x.map_inplace([](double v) { return 0.5 + 0.3 * v; });
+  y.map_inplace([](double v) { return 0.5 + 0.3 * v; });
+
+  NDArray<double> map = ops::structural_similarity_map(compressor.compress(x),
+                                                       compressor.compress(y));
+  // Extract block (0, 0) and compute its global SSIM directly.
+  NDArray<double> bx(Shape{8, 8}), by(Shape{8, 8});
+  for (index_t i = 0; i < 8; ++i)
+    for (index_t j = 0; j < 8; ++j) {
+      bx[i * 8 + j] = x[i * 16 + j];
+      by[i * 8 + j] = y[i * 16 + j];
+    }
+  EXPECT_NEAR(map.at({0, 0}), reference::structural_similarity(bx, by), 1e-3);
+}
+
+TEST(OpsSsim, ThrowsOnLayoutMismatch) {
+  Compressor c8(fine_settings());
+  Compressor c4({.block_shape = Shape{4, 4},
+                 .float_type = FloatType::kFloat64,
+                 .index_type = IndexType::kInt32});
+  Rng rng(431);
+  NDArray<double> x = random_smooth(Shape{16, 16}, rng);
+  EXPECT_THROW(ops::structural_similarity(c8.compress(x), c4.compress(x)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pyblaz

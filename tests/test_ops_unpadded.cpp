@@ -1,0 +1,125 @@
+/// Tests for the padding-corrected statistics (extensions beyond the paper
+/// fixing the §IV-A ragged-shape bias of mean/covariance).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/codec/compressor.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+CompressorSettings fine_settings() {
+  return {.block_shape = Shape{8, 8},
+          .float_type = FloatType::kFloat64,
+          .index_type = IndexType::kInt32};
+}
+
+TEST(OpsUnpadded, SumIsExactOnRaggedShapes) {
+  Compressor compressor(fine_settings());
+  Rng rng(1001);
+  // 30x29 with 8x8 blocks: heavily ragged.
+  NDArray<double> x = random_smooth(Shape{30, 29}, rng);
+  const double truth = sum(x);
+  EXPECT_NEAR(ops::sum(compressor.compress(x)), truth,
+              1e-6 * (std::fabs(truth) + 1.0));
+}
+
+TEST(OpsUnpadded, MeanFixesPaddingBias) {
+  // The canonical bias case: a constant array of ones with a ragged edge.
+  // Algorithm 7's mean is fill_fraction * 1; the corrected mean is 1.
+  Compressor compressor(fine_settings());
+  NDArray<double> x(Shape{12, 8}, 1.0);
+  CompressedArray a = compressor.compress(x);
+  EXPECT_NEAR(ops::mean(a), 0.75, 1e-6);           // Biased (paper behavior).
+  EXPECT_NEAR(ops::mean_unpadded(a), 1.0, 1e-6);   // Corrected.
+}
+
+TEST(OpsUnpadded, MeanMatchesPaperMeanOnDivisibleShapes) {
+  Compressor compressor(fine_settings());
+  Rng rng(1003);
+  NDArray<double> x = random_smooth(Shape{32, 32}, rng);
+  CompressedArray a = compressor.compress(x);
+  EXPECT_NEAR(ops::mean_unpadded(a), ops::mean(a), 1e-12);
+}
+
+TEST(OpsUnpadded, VarianceCorrectOnRaggedShapes) {
+  Compressor compressor(fine_settings());
+  Rng rng(1007);
+  NDArray<double> x = add_scalar(random_smooth(Shape{30, 29}, rng), 1.5);
+  CompressedArray a = compressor.compress(x);
+  const double truth = reference::variance(x);
+  // The paper variance is badly biased here (padding injects fake zeros)...
+  EXPECT_GT(std::fabs(ops::variance(a) - truth), 0.05 * truth);
+  // ...the corrected one is accurate.
+  EXPECT_NEAR(ops::variance_unpadded(a), truth, 1e-4 * (truth + 1.0));
+}
+
+TEST(OpsUnpadded, CovarianceCorrectOnRaggedShapes) {
+  Compressor compressor(fine_settings());
+  Rng rng(1009);
+  NDArray<double> x = add_scalar(random_smooth(Shape{30, 29}, rng), 0.7);
+  NDArray<double> y = add_scalar(random_smooth(Shape{30, 29}, rng), -0.4);
+  CompressedArray a = compressor.compress(x);
+  CompressedArray b = compressor.compress(y);
+  const double truth = reference::covariance(x, y);
+  EXPECT_NEAR(ops::covariance_unpadded(a, b), truth,
+              1e-4 * (std::fabs(truth) + 1.0));
+}
+
+TEST(OpsUnpadded, VarianceIsCovarianceWithSelf) {
+  Compressor compressor(fine_settings());
+  Rng rng(1013);
+  CompressedArray a = compressor.compress(random_smooth(Shape{30, 29}, rng));
+  EXPECT_DOUBLE_EQ(ops::variance_unpadded(a), ops::covariance_unpadded(a, a));
+}
+
+TEST(OpsUnpadded, RequiresDcCoefficient) {
+  CompressorSettings settings = fine_settings();
+  std::vector<std::uint8_t> flags(64, 1);
+  flags[0] = 0;
+  settings.mask = PruningMask::from_flags(Shape{8, 8}, flags);
+  Compressor compressor(settings);
+  Rng rng(1019);
+  CompressedArray a = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  EXPECT_THROW(ops::sum(a), std::invalid_argument);
+  EXPECT_THROW(ops::mean_unpadded(a), std::invalid_argument);
+}
+
+struct RaggedCase {
+  Shape array_shape;
+  Shape block_shape;
+};
+
+class UnpaddedSweep : public ::testing::TestWithParam<RaggedCase> {};
+
+TEST_P(UnpaddedSweep, MeanAndVarianceTrackTruth) {
+  const auto& p = GetParam();
+  Compressor compressor({.block_shape = p.block_shape,
+                         .float_type = FloatType::kFloat64,
+                         .index_type = IndexType::kInt32});
+  Rng rng(1021);
+  NDArray<double> x = add_scalar(random_smooth(p.array_shape, rng), 2.0);
+  CompressedArray a = compressor.compress(x);
+  EXPECT_NEAR(ops::mean_unpadded(a), reference::mean(x),
+              1e-4 * std::fabs(reference::mean(x)));
+  EXPECT_NEAR(ops::variance_unpadded(a), reference::variance(x),
+              1e-3 * (reference::variance(x) + 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RaggedShapes, UnpaddedSweep,
+    ::testing::Values(RaggedCase{Shape{7}, Shape{4}},
+                      RaggedCase{Shape{9, 13}, Shape{4, 4}},
+                      RaggedCase{Shape{30, 29}, Shape{8, 8}},
+                      RaggedCase{Shape{33, 65}, Shape{16, 16}},
+                      RaggedCase{Shape{5, 9, 17}, Shape{4, 4, 4}},
+                      RaggedCase{Shape{20, 30, 30}, Shape{4, 16, 16}}));
+
+}  // namespace
+}  // namespace pyblaz

@@ -1,0 +1,84 @@
+#include "core/codec/pruning.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pyblaz {
+namespace {
+
+TEST(PruningMask, KeepAll) {
+  PruningMask mask = PruningMask::keep_all(Shape{4, 4});
+  EXPECT_TRUE(mask.valid());
+  EXPECT_EQ(mask.kept_count(), 16);
+  EXPECT_TRUE(mask.keeps_dc());
+  for (index_t j = 0; j < 16; ++j) EXPECT_TRUE(mask.keeps(j));
+}
+
+TEST(PruningMask, DefaultConstructedIsInvalid) {
+  PruningMask mask;
+  EXPECT_FALSE(mask.valid());
+}
+
+TEST(PruningMask, KeepFractionHalf) {
+  // The §IV-C example: int8 + "pruning half the indices".
+  PruningMask mask = PruningMask::keep_fraction(Shape{4, 4, 4}, 0.5);
+  EXPECT_EQ(mask.kept_count(), 32);
+  EXPECT_TRUE(mask.keeps_dc());
+}
+
+TEST(PruningMask, KeepFractionPrefersLowSequency) {
+  PruningMask mask = PruningMask::keep_fraction(Shape{4, 4}, 0.25);
+  EXPECT_EQ(mask.kept_count(), 4);
+  // The 4 lowest-sequency offsets in a 4x4 block: (0,0) [seq 0], then
+  // (0,1), (1,0) [seq 1], then one of seq 2 — stable order picks (0,2).
+  EXPECT_TRUE(mask.keeps(0));
+  EXPECT_TRUE(mask.keeps(1));
+  EXPECT_TRUE(mask.keeps(4));
+  EXPECT_TRUE(mask.keeps(2));
+  EXPECT_FALSE(mask.keeps(15));  // Highest frequency dropped.
+}
+
+TEST(PruningMask, KeepFractionAlwaysKeepsAtLeastOne) {
+  PruningMask mask = PruningMask::keep_fraction(Shape{8, 8}, 0.001);
+  EXPECT_EQ(mask.kept_count(), 1);
+  EXPECT_TRUE(mask.keeps_dc());
+}
+
+TEST(PruningMask, KeptOffsetsAreSortedAscending) {
+  PruningMask mask = PruningMask::keep_fraction(Shape{4, 4}, 0.6);
+  const auto& offsets = mask.kept_offsets();
+  for (std::size_t k = 1; k < offsets.size(); ++k)
+    EXPECT_LT(offsets[k - 1], offsets[k]);
+}
+
+TEST(PruningMask, FromFlags) {
+  std::vector<std::uint8_t> flags = {1, 0, 0, 1};
+  PruningMask mask = PruningMask::from_flags(Shape{2, 2}, flags);
+  EXPECT_EQ(mask.kept_count(), 2);
+  EXPECT_TRUE(mask.keeps(0));
+  EXPECT_FALSE(mask.keeps(1));
+  EXPECT_FALSE(mask.keeps(2));
+  EXPECT_TRUE(mask.keeps(3));
+}
+
+TEST(PruningMask, FromFlagsNormalizesNonzero) {
+  std::vector<std::uint8_t> flags = {7, 0, 255, 0};
+  PruningMask mask = PruningMask::from_flags(Shape{4}, flags);
+  EXPECT_EQ(mask.flags()[0], 1);
+  EXPECT_EQ(mask.flags()[2], 1);
+}
+
+TEST(PruningMask, DcDroppable) {
+  std::vector<std::uint8_t> flags = {0, 1, 1, 1};
+  PruningMask mask = PruningMask::from_flags(Shape{4}, flags);
+  EXPECT_FALSE(mask.keeps_dc());
+  EXPECT_EQ(mask.kept_count(), 3);
+}
+
+TEST(PruningMask, Equality) {
+  EXPECT_EQ(PruningMask::keep_all(Shape{2, 2}), PruningMask::keep_all(Shape{2, 2}));
+  EXPECT_FALSE(PruningMask::keep_all(Shape{2, 2}) ==
+               PruningMask::keep_fraction(Shape{2, 2}, 0.5));
+}
+
+}  // namespace
+}  // namespace pyblaz

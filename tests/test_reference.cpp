@@ -1,0 +1,112 @@
+#include "core/reference/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+TEST(Reference, DotHandValues) {
+  NDArray<double> x(Shape{3}, {1.0, 2.0, 3.0});
+  NDArray<double> y(Shape{3}, {4.0, -5.0, 6.0});
+  EXPECT_DOUBLE_EQ(reference::dot(x, y), 4.0 - 10.0 + 18.0);
+}
+
+TEST(Reference, MeanHandValues) {
+  NDArray<double> x(Shape{4}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(reference::mean(x), 2.5);
+}
+
+TEST(Reference, VarianceIsPopulationVariance) {
+  NDArray<double> x(Shape{4}, {2.0, 4.0, 4.0, 6.0});
+  // mean = 4; squared deviations (4, 0, 0, 4); population variance = 2.
+  EXPECT_DOUBLE_EQ(reference::variance(x), 2.0);
+}
+
+TEST(Reference, CovarianceHandValues) {
+  NDArray<double> x(Shape{3}, {1.0, 2.0, 3.0});
+  NDArray<double> y(Shape{3}, {2.0, 4.0, 6.0});
+  // cov(x, 2x) = 2 var(x) = 2 * (2/3).
+  EXPECT_NEAR(reference::covariance(x, y), 4.0 / 3.0, 1e-14);
+}
+
+TEST(Reference, L2NormAndDistance) {
+  NDArray<double> x(Shape{2}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(reference::l2_norm(x), 5.0);
+  NDArray<double> y(Shape{2}, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(reference::l2_distance(x, y), 5.0);
+}
+
+TEST(Reference, LinfDistance) {
+  NDArray<double> x(Shape{3}, {1.0, -7.0, 2.0});
+  NDArray<double> y(Shape{3}, {1.5, 0.0, 2.0});
+  EXPECT_DOUBLE_EQ(reference::linf_distance(x, y), 7.0);
+}
+
+TEST(Reference, CosineOfParallelAndOrthogonal) {
+  NDArray<double> x(Shape{2}, {1.0, 0.0});
+  NDArray<double> y(Shape{2}, {0.0, 1.0});
+  NDArray<double> z(Shape{2}, {2.0, 0.0});
+  EXPECT_NEAR(reference::cosine_similarity(x, y), 0.0, 1e-15);
+  EXPECT_NEAR(reference::cosine_similarity(x, z), 1.0, 1e-15);
+}
+
+TEST(Reference, SsimIdenticalIsOne) {
+  Rng rng(601);
+  NDArray<double> x = random_smooth(Shape{16, 16}, rng);
+  EXPECT_NEAR(reference::structural_similarity(x, x), 1.0, 1e-12);
+}
+
+TEST(Reference, SsimSymmetric) {
+  Rng rng(603);
+  NDArray<double> x = random_smooth(Shape{16, 16}, rng);
+  NDArray<double> y = random_smooth(Shape{16, 16}, rng);
+  EXPECT_NEAR(reference::structural_similarity(x, y),
+              reference::structural_similarity(y, x), 1e-12);
+}
+
+TEST(Reference, MeanAbsoluteError) {
+  NDArray<double> x(Shape{2}, {1.0, 3.0});
+  NDArray<double> y(Shape{2}, {2.0, 1.0});
+  EXPECT_DOUBLE_EQ(reference::mean_absolute_error(x, y), 1.5);
+}
+
+TEST(Reference, WassersteinIdenticalIsZero) {
+  Rng rng(607);
+  NDArray<double> x = random_smooth(Shape{8, 8}, rng);
+  EXPECT_NEAR(reference::wasserstein_distance(x, x, 2.0), 0.0, 1e-12);
+}
+
+TEST(Reference, WassersteinOfKnownDistributions) {
+  // Two two-point distributions: {0.3, 0.7} vs {0.5, 0.5}.
+  // Sorted differences: |0.3-0.5| = 0.2, |0.7-0.5| = 0.2.
+  // W_1 = mean = 0.2; W_2 = sqrt(mean of 0.04) = 0.2.
+  NDArray<double> x(Shape{2}, {0.3, 0.7});
+  NDArray<double> y(Shape{2}, {0.5, 0.5});
+  EXPECT_NEAR(reference::wasserstein_distance(x, y, 1.0), 0.2, 1e-12);
+  EXPECT_NEAR(reference::wasserstein_distance(x, y, 2.0), 0.2, 1e-12);
+}
+
+TEST(Reference, WassersteinAppliesSoftmaxToNonDistributions) {
+  // Non-probability inputs are softmaxed first: equal inputs after softmax
+  // remain equal, so any two constant arrays are at distance zero.
+  NDArray<double> x(Shape{4}, {10.0, 10.0, 10.0, 10.0});
+  NDArray<double> y(Shape{4}, {-3.0, -3.0, -3.0, -3.0});
+  EXPECT_NEAR(reference::wasserstein_distance(x, y, 2.0), 0.0, 1e-12);
+}
+
+TEST(Reference, WassersteinStableMatchesNaiveAtModerateOrder) {
+  Rng rng(611);
+  NDArray<double> x = random_smooth(Shape{8, 8}, rng);
+  NDArray<double> y = random_smooth(Shape{8, 8}, rng);
+  const double stable = reference::wasserstein_distance(x, y, 4.0, true);
+  const double naive = reference::wasserstein_distance(x, y, 4.0, false);
+  EXPECT_NEAR(stable, naive, 1e-12 * (1.0 + naive));
+}
+
+}  // namespace
+}  // namespace pyblaz

@@ -1,0 +1,133 @@
+#include "core/codec/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/codec/compressor.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+struct SerializationCase {
+  Shape array_shape;
+  Shape block_shape;
+  FloatType float_type;
+  IndexType index_type;
+  TransformKind transform;
+  double keep_fraction;  // 1.0 = no pruning.
+};
+
+class Serialization : public ::testing::TestWithParam<SerializationCase> {};
+
+TEST_P(Serialization, RoundTripPreservesEverything) {
+  const auto& p = GetParam();
+  CompressorSettings settings{.block_shape = p.block_shape,
+                              .float_type = p.float_type,
+                              .index_type = p.index_type,
+                              .transform = p.transform};
+  if (p.keep_fraction < 1.0)
+    settings.mask = PruningMask::keep_fraction(p.block_shape, p.keep_fraction);
+  Compressor compressor(settings);
+  Rng rng(71);
+  NDArray<double> array = random_smooth(p.array_shape, rng);
+  CompressedArray original = compressor.compress(array);
+
+  const std::vector<std::uint8_t> bytes = serialize(original);
+  CompressedArray restored = deserialize(bytes);
+
+  EXPECT_EQ(restored.shape, original.shape);
+  EXPECT_EQ(restored.block_shape, original.block_shape);
+  EXPECT_EQ(restored.float_type, original.float_type);
+  EXPECT_EQ(restored.index_type, original.index_type);
+  EXPECT_EQ(restored.transform, original.transform);
+  EXPECT_EQ(restored.mask, original.mask);
+  EXPECT_EQ(restored.biggest, original.biggest);  // Bit-exact: N is stored
+                                                  // already quantized.
+  EXPECT_EQ(restored.indices, original.indices);
+}
+
+TEST_P(Serialization, DecompressionFromDeserializedMatches) {
+  const auto& p = GetParam();
+  CompressorSettings settings{.block_shape = p.block_shape,
+                              .float_type = p.float_type,
+                              .index_type = p.index_type,
+                              .transform = p.transform};
+  if (p.keep_fraction < 1.0)
+    settings.mask = PruningMask::keep_fraction(p.block_shape, p.keep_fraction);
+  Compressor compressor(settings);
+  Rng rng(73);
+  NDArray<double> array = random_smooth(p.array_shape, rng);
+  CompressedArray original = compressor.compress(array);
+  CompressedArray restored = deserialize(serialize(original));
+  EXPECT_EQ(compressor.decompress(restored), compressor.decompress(original));
+}
+
+TEST_P(Serialization, SizeMatchesPaperLayoutPlusHeaderPadding) {
+  const auto& p = GetParam();
+  CompressorSettings settings{.block_shape = p.block_shape,
+                              .float_type = p.float_type,
+                              .index_type = p.index_type,
+                              .transform = p.transform};
+  if (p.keep_fraction < 1.0)
+    settings.mask = PruningMask::keep_fraction(p.block_shape, p.keep_fraction);
+  Compressor compressor(settings);
+  Rng rng(79);
+  NDArray<double> array = random_smooth(p.array_shape, rng);
+  CompressedArray compressed = compressor.compress(array);
+
+  const std::size_t layout = paper_layout_bits(compressed);
+  const std::size_t actual = serialize(compressed).size() * 8;
+  // Actual = paper layout + our 4 extra transform/reserved bits, padded to a
+  // byte boundary.
+  EXPECT_GE(actual, layout + 4);
+  EXPECT_LT(actual, layout + 4 + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Serialization,
+    ::testing::Values(
+        SerializationCase{Shape{32}, Shape{8}, FloatType::kFloat64,
+                          IndexType::kInt8, TransformKind::kDCT, 1.0},
+        SerializationCase{Shape{33, 20}, Shape{8, 8}, FloatType::kFloat32,
+                          IndexType::kInt16, TransformKind::kDCT, 1.0},
+        SerializationCase{Shape{33, 20}, Shape{8, 8}, FloatType::kFloat16,
+                          IndexType::kInt8, TransformKind::kHaar, 0.5},
+        SerializationCase{Shape{10, 12, 14}, Shape{4, 4, 4},
+                          FloatType::kBFloat16, IndexType::kInt32,
+                          TransformKind::kDCT, 0.25},
+        SerializationCase{Shape{10, 12, 14}, Shape{2, 8, 4}, FloatType::kFloat64,
+                          IndexType::kInt64, TransformKind::kDCT, 1.0}));
+
+TEST(Serialization, RejectsTruncatedStream) {
+  Compressor compressor({.block_shape = Shape{4, 4}});
+  Rng rng(83);
+  NDArray<double> array = random_smooth(Shape{16, 16}, rng);
+  std::vector<std::uint8_t> bytes = serialize(compressor.compress(array));
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(deserialize(bytes), std::invalid_argument);
+}
+
+TEST(Serialization, RejectsGarbage) {
+  std::vector<std::uint8_t> garbage(64, 0xA5);
+  EXPECT_THROW(deserialize(garbage), std::invalid_argument);
+}
+
+TEST(Serialization, NegativeIndicesSurviveNarrowTypes) {
+  // int8 indices are stored in 8 bits; sign extension must recover them.
+  // A constant negative array has a negative DC coefficient in every block.
+  Compressor compressor({.block_shape = Shape{8},
+                         .float_type = FloatType::kFloat64,
+                         .index_type = IndexType::kInt8});
+  NDArray<double> array(Shape{8}, -1.0);
+  CompressedArray compressed = compressor.compress(array);
+  bool has_negative = false;
+  for (std::size_t k = 0; k < compressed.indices.size(); ++k)
+    has_negative |= compressed.indices.get(k) < 0;
+  ASSERT_TRUE(has_negative);
+  CompressedArray restored = deserialize(serialize(compressed));
+  EXPECT_EQ(restored.indices, compressed.indices);
+}
+
+}  // namespace
+}  // namespace pyblaz

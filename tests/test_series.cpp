@@ -1,0 +1,153 @@
+/// Tests for CompressedSeries: the compressed time-series store behind the
+/// paper's "keep the movies compressed, query without decompressing" use case.
+
+#include "core/series/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/rng.hpp"
+#include "sim/fission/fission.hpp"
+
+namespace pyblaz {
+namespace {
+
+Compressor series_compressor(Shape block = Shape{8, 8}) {
+  return Compressor({.block_shape = std::move(block),
+                     .float_type = FloatType::kFloat32,
+                     .index_type = IndexType::kInt16});
+}
+
+TEST(Series, AppendAndAccess) {
+  CompressedSeries series(series_compressor());
+  Rng rng(1301);
+  NDArray<double> frame = random_smooth(Shape{32, 32}, rng);
+  series.append(frame);
+  EXPECT_EQ(series.size(), 1u);
+  NDArray<double> restored = series.decompress(0);
+  EXPECT_LT(reference::mean_absolute_error(frame, restored), 1e-3);
+}
+
+TEST(Series, RejectsShapeMismatch) {
+  CompressedSeries series(series_compressor());
+  Rng rng(1303);
+  series.append(random_smooth(Shape{32, 32}, rng));
+  EXPECT_THROW(series.append(random_smooth(Shape{16, 16}, rng)),
+               std::invalid_argument);
+}
+
+TEST(Series, AppendPrecompressedFrame) {
+  Compressor compressor = series_compressor();
+  CompressedSeries series(compressor);
+  Rng rng(1307);
+  NDArray<double> frame = random_smooth(Shape{32, 32}, rng);
+  series.append(compressor.compress(frame));
+  EXPECT_EQ(series.size(), 1u);
+}
+
+TEST(Series, RejectsForeignLayoutFrame) {
+  CompressedSeries series(series_compressor(Shape{8, 8}));
+  Compressor other({.block_shape = Shape{4, 4},
+                    .float_type = FloatType::kFloat32,
+                    .index_type = IndexType::kInt16});
+  Rng rng(1309);
+  EXPECT_THROW(series.append(other.compress(random_smooth(Shape{32, 32}, rng))),
+               std::invalid_argument);
+}
+
+TEST(Series, AdjacentCurvesHaveRightLengths) {
+  CompressedSeries series(series_compressor());
+  Rng rng(1311);
+  for (int k = 0; k < 5; ++k) series.append(random_smooth(Shape{16, 16}, rng));
+  EXPECT_EQ(series.adjacent_l2().size(), 4u);
+  EXPECT_EQ(series.adjacent_wasserstein(2.0).size(), 4u);
+  EXPECT_EQ(series.adjacent_mse().size(), 4u);
+  CompressedSeries empty(series_compressor());
+  EXPECT_TRUE(empty.adjacent_l2().empty());
+}
+
+TEST(Series, AdjacentL2TracksTruth) {
+  Compressor compressor = series_compressor();
+  CompressedSeries series(compressor);
+  Rng rng(1313);
+  std::vector<NDArray<double>> frames;
+  NDArray<double> base = random_smooth(Shape{32, 32}, rng);
+  for (int k = 0; k < 4; ++k) {
+    frames.push_back(base);
+    series.append(base);
+    base = add(base, scale(random_smooth(Shape{32, 32}, rng), 0.1 * (k + 1)));
+  }
+  const std::vector<double> curve = series.adjacent_l2();
+  for (std::size_t k = 0; k + 1 < frames.size(); ++k) {
+    const double truth = reference::l2_distance(frames[k], frames[k + 1]);
+    EXPECT_NEAR(curve[k], truth, 0.05 * truth + 1e-6) << "pair " << k;
+  }
+  // Growing perturbations -> increasing curve.
+  EXPECT_LT(curve[0], curve[2]);
+}
+
+TEST(Series, LargestChangeFindsInjectedJump) {
+  CompressedSeries series(series_compressor());
+  Rng rng(1317);
+  NDArray<double> base = random_smooth(Shape{32, 32}, rng);
+  for (int k = 0; k < 6; ++k) {
+    NDArray<double> frame = base;
+    if (k >= 4) frame = add_scalar(frame, 5.0);  // Jump between frames 3 and 4.
+    // Small per-frame drift.
+    frame = add(frame, scale(random_smooth(Shape{32, 32}, rng), 0.01));
+    series.append(frame);
+  }
+  EXPECT_EQ(series.largest_change_pair(), 3u);
+}
+
+TEST(Series, FissionScissionViaSeries) {
+  // The fission experiment expressed through the series API.
+  Compressor compressor({.block_shape = Shape{16, 16, 16},
+                         .float_type = FloatType::kFloat32,
+                         .index_type = IndexType::kInt16});
+  CompressedSeries series(compressor);
+  sim::FissionConfig config;
+  config.grid = Shape{16, 16, 32};
+  for (int step : sim::fission_time_steps())
+    series.append(sim::negative_log_density(step, config));
+
+  const std::size_t pair = series.largest_change_pair();
+  EXPECT_EQ(sim::fission_time_steps()[pair], 690);
+  EXPECT_EQ(sim::fission_time_steps()[pair + 1], 692);
+}
+
+TEST(Series, FindPeaksIdentifiesProminentMaxima) {
+  const std::vector<double> curve = {1.0, 1.1, 8.0, 1.0, 0.9, 4.0, 1.0};
+  const auto peaks = CompressedSeries::find_peaks(curve, 2.0);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].pair_index, 2u);  // Sorted by value: 8.0 first.
+  EXPECT_EQ(peaks[1].pair_index, 5u);
+  EXPECT_GT(peaks[0].prominence, peaks[1].prominence);
+}
+
+TEST(Series, FindPeaksRespectsProminenceThreshold) {
+  const std::vector<double> curve = {1.0, 1.2, 1.0, 1.1, 1.0};
+  EXPECT_TRUE(CompressedSeries::find_peaks(curve, 2.0).empty());
+  EXPECT_FALSE(CompressedSeries::find_peaks(curve, 1.05).empty());
+}
+
+TEST(Series, FindPeaksHandlesEndpoints) {
+  const std::vector<double> curve = {9.0, 1.0, 1.0, 1.0};
+  const auto peaks = CompressedSeries::find_peaks(curve, 2.0);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].pair_index, 0u);
+}
+
+TEST(Series, StorageAccounting) {
+  CompressedSeries series(series_compressor());
+  Rng rng(1319);
+  for (int k = 0; k < 3; ++k) series.append(random_smooth(Shape{64, 64}, rng));
+  EXPECT_GT(series.compressed_bits(), 0u);
+  EXPECT_EQ(series.uncompressed_bits(), 3u * 64u * 64u * 64u);
+  // fp32 + int16 at 8x8 blocks: ratio ~3.76, so compressed is much smaller.
+  EXPECT_LT(series.compressed_bits(), series.uncompressed_bits() / 3);
+}
+
+}  // namespace
+}  // namespace pyblaz

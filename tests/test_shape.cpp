@@ -1,0 +1,87 @@
+#include "core/ndarray/shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pyblaz {
+namespace {
+
+TEST(Shape, VolumeAndNdim) {
+  EXPECT_EQ(Shape({3, 224, 224}).volume(), 150528);
+  EXPECT_EQ(Shape({3, 224, 224}).ndim(), 3);
+  EXPECT_EQ(Shape({7}).volume(), 7);
+  EXPECT_EQ(Shape({}).volume(), 1);  // Scalar convention.
+}
+
+TEST(Shape, Strides) {
+  const Shape s{2, 3, 4};
+  const auto strides = s.strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(Shape, OffsetOfIsRowMajor) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.offset_of({0, 0, 0}), 0);
+  EXPECT_EQ(s.offset_of({0, 0, 3}), 3);
+  EXPECT_EQ(s.offset_of({0, 1, 0}), 4);
+  EXPECT_EQ(s.offset_of({1, 0, 0}), 12);
+  EXPECT_EQ(s.offset_of({1, 2, 3}), 23);
+}
+
+TEST(Shape, IndicesOfInvertsOffsetOf) {
+  const Shape s{3, 5, 7};
+  for (index_t offset = 0; offset < s.volume(); ++offset) {
+    EXPECT_EQ(s.offset_of(s.indices_of(offset)), offset);
+  }
+}
+
+TEST(Shape, CeilDiv) {
+  // The paper's running example: (3, 224, 224) with (4, 4, 4) blocks.
+  const Shape grid = Shape::ceil_div(Shape{3, 224, 224}, Shape{4, 4, 4});
+  EXPECT_EQ(grid, Shape({1, 56, 56}));
+  EXPECT_EQ(grid.volume(), 3136);
+
+  EXPECT_EQ(Shape::ceil_div(Shape{8, 8}, Shape{8, 8}), Shape({1, 1}));
+  EXPECT_EQ(Shape::ceil_div(Shape{9, 8}, Shape{8, 8}), Shape({2, 1}));
+  EXPECT_EQ(Shape::ceil_div(Shape{1, 1}, Shape{16, 16}), Shape({1, 1}));
+}
+
+TEST(Shape, Mul) {
+  EXPECT_EQ(Shape::mul(Shape{1, 56, 56}, Shape{4, 4, 4}), Shape({4, 224, 224}));
+}
+
+TEST(Shape, AllPowersOfTwo) {
+  EXPECT_TRUE(Shape({4, 8, 16}).all_powers_of_two());
+  EXPECT_TRUE(Shape({1}).all_powers_of_two());
+  EXPECT_FALSE(Shape({3, 4}).all_powers_of_two());
+  EXPECT_FALSE(Shape({0}).all_powers_of_two());
+  EXPECT_FALSE(Shape({6}).all_powers_of_two());
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(Shape({4, 4}).to_string(), "(4, 4)");
+  EXPECT_EQ(Shape({7}).to_string(), "(7)");
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(Shape, ForEachIndexVisitsAllInRowMajorOrder) {
+  const Shape s{2, 3};
+  std::vector<std::vector<index_t>> visited;
+  for_each_index(s, [&](const std::vector<index_t>& idx) { visited.push_back(idx); });
+  ASSERT_EQ(visited.size(), 6u);
+  EXPECT_EQ(visited[0], (std::vector<index_t>{0, 0}));
+  EXPECT_EQ(visited[1], (std::vector<index_t>{0, 1}));
+  EXPECT_EQ(visited[2], (std::vector<index_t>{0, 2}));
+  EXPECT_EQ(visited[3], (std::vector<index_t>{1, 0}));
+  EXPECT_EQ(visited[5], (std::vector<index_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace pyblaz

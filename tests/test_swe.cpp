@@ -1,0 +1,127 @@
+#include "sim/shallow_water/swe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/reference/reference.hpp"
+
+namespace {
+
+using pyblaz::FloatType;
+using pyblaz::index_t;
+using pyblaz::NDArray;
+using pyblaz::Shape;
+using sim::ShallowWaterModel;
+using sim::SweConfig;
+
+SweConfig small_config() {
+  SweConfig config;
+  config.nx = 32;
+  config.ny = 64;
+  config.lx = 3.2e5;
+  config.ly = 6.4e5;
+  config.seamount_sigma = 5e4;  // Scale the seamount to the smaller basin.
+  return config;
+}
+
+TEST(ShallowWater, GridShapes) {
+  ShallowWaterModel model(small_config());
+  EXPECT_EQ(model.surface_height().shape(), Shape({32, 64}));
+  EXPECT_EQ(model.topography().shape(), Shape({32, 64}));
+}
+
+TEST(ShallowWater, TopographyHasSeamount) {
+  SweConfig config = small_config();
+  ShallowWaterModel model(config);
+  const NDArray<double>& depth = model.topography();
+  // The center is shallower than the corners by roughly the seamount height.
+  const double center = depth.at({16, 32});
+  const double corner = depth.at({0, 0});
+  EXPECT_LT(center, corner);
+  EXPECT_NEAR(corner, config.depth, 1.0);
+  EXPECT_NEAR(corner - center, config.seamount_height, 0.15 * config.seamount_height);
+}
+
+TEST(ShallowWater, StaysStableOverManySteps) {
+  ShallowWaterModel model(small_config());
+  model.run(2000);
+  EXPECT_TRUE(std::isfinite(pyblaz::max_abs(model.surface_height())));
+  EXPECT_LT(pyblaz::max_abs(model.surface_height()), 50.0);  // Meters.
+  EXPECT_LT(model.max_speed(), 10.0);                        // m/s.
+}
+
+TEST(ShallowWater, ApproximatelyConservesVolume) {
+  // The closed-basin continuity equation conserves the integral of eta.
+  ShallowWaterModel model(small_config());
+  const double before = model.total_height_anomaly();
+  model.run(500);
+  const double after = model.total_height_anomaly();
+  const double domain_area = 3.2e5 * 6.4e5;
+  // Allow a tiny drift relative to a 1 mm uniform change.
+  EXPECT_LT(std::fabs(after - before), 1e-3 * domain_area);
+}
+
+TEST(ShallowWater, WindSpinsUpCirculation) {
+  SweConfig config = small_config();
+  config.seed = 3;
+  ShallowWaterModel model(config);
+  model.run(1000);
+  EXPECT_GT(model.max_speed(), 1e-4);  // The gyres are moving.
+}
+
+TEST(ShallowWater, DeterministicGivenSeed) {
+  ShallowWaterModel a(small_config());
+  ShallowWaterModel b(small_config());
+  a.run(100);
+  b.run(100);
+  EXPECT_EQ(a.surface_height(), b.surface_height());
+}
+
+TEST(ShallowWater, PrecisionChangesPerturbTheField) {
+  // The Fig. 4 premise: FP16 and FP32 runs of the same configuration drift
+  // apart, with structured (not pointwise-identical) differences.
+  SweConfig c32 = small_config();
+  c32.precision = FloatType::kFloat32;
+  SweConfig c16 = small_config();
+  c16.precision = FloatType::kFloat16;
+
+  ShallowWaterModel m32(c32), m16(c16);
+  m32.run(800);
+  m16.run(800);
+
+  const double diff = pyblaz::reference::linf_distance(m32.surface_height(),
+                                                       m16.surface_height());
+  EXPECT_GT(diff, 1e-6);  // Perturbation exists...
+  EXPECT_LT(diff, 5.0);   // ...but the low-precision run did not blow up.
+}
+
+TEST(ShallowWater, HigherPrecisionTracksFloat64Closer) {
+  SweConfig c64 = small_config();
+  SweConfig c32 = small_config();
+  c32.precision = FloatType::kFloat32;
+  SweConfig c16 = small_config();
+  c16.precision = FloatType::kFloat16;
+
+  ShallowWaterModel m64(c64), m32(c32), m16(c16);
+  const int steps = 600;
+  m64.run(steps);
+  m32.run(steps);
+  m16.run(steps);
+
+  const double err32 = pyblaz::reference::l2_distance(m64.surface_height(),
+                                                      m32.surface_height());
+  const double err16 = pyblaz::reference::l2_distance(m64.surface_height(),
+                                                      m16.surface_height());
+  EXPECT_LT(err32, err16);
+}
+
+TEST(ShallowWater, StepCounterAdvances) {
+  ShallowWaterModel model(small_config());
+  EXPECT_EQ(model.steps_taken(), 0);
+  model.run(7);
+  EXPECT_EQ(model.steps_taken(), 7);
+}
+
+}  // namespace

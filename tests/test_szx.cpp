@@ -1,0 +1,146 @@
+#include "szx/szx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/rng.hpp"
+#include "sim/fission/fission.hpp"
+
+namespace {
+
+using pyblaz::index_t;
+using pyblaz::NDArray;
+using pyblaz::Rng;
+using pyblaz::Shape;
+
+struct SzxCase {
+  Shape shape;
+  double bound;
+};
+
+class SzxRoundTrip : public ::testing::TestWithParam<SzxCase> {};
+
+TEST_P(SzxRoundTrip, ErrorBoundHoldsEverywhere) {
+  // The SZ guarantee: every element within the absolute bound.
+  const auto& p = GetParam();
+  Rng rng(1501);
+  NDArray<double> array = pyblaz::random_smooth(p.shape, rng);
+  szx::Compressed compressed = szx::compress(array, {.error_bound = p.bound});
+  NDArray<double> restored = szx::decompress(compressed);
+  ASSERT_EQ(restored.shape(), array.shape());
+  for (index_t k = 0; k < array.size(); ++k) {
+    ASSERT_LE(std::fabs(array[k] - restored[k]), p.bound)
+        << "element " << k << " shape " << p.shape.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndBounds, SzxRoundTrip,
+    ::testing::Values(SzxCase{Shape{1000}, 1e-3}, SzxCase{Shape{1000}, 1e-6},
+                      SzxCase{Shape{64, 64}, 1e-3}, SzxCase{Shape{63, 65}, 1e-4},
+                      SzxCase{Shape{16, 32, 24}, 1e-3},
+                      SzxCase{Shape{7, 5, 3}, 1e-2}));
+
+TEST(Szx, SmoothDataCompressesWell) {
+  Rng rng(1503);
+  NDArray<double> array = pyblaz::random_smooth(Shape{128, 128}, rng);
+  szx::Compressed compressed = szx::compress(array, {.error_bound = 1e-3});
+  // Lorenzo prediction on smooth data: most residuals hit the zero bin.
+  EXPECT_GT(szx::ratio(compressed), 8.0);
+}
+
+TEST(Szx, RatioIsDataDependentUnlikePyBlaz) {
+  // The §III contrast: SZ's ratio depends on the data.
+  Rng rng(1507);
+  NDArray<double> smooth = pyblaz::random_smooth(Shape{64, 64}, rng);
+  NDArray<double> noise = pyblaz::random_normal(Shape{64, 64}, rng);
+  const double r_smooth = szx::ratio(szx::compress(smooth, {.error_bound = 1e-3}));
+  const double r_noise = szx::ratio(szx::compress(noise, {.error_bound = 1e-3}));
+  EXPECT_GT(r_smooth, 2.0 * r_noise);
+}
+
+TEST(Szx, TighterBoundLowersRatio) {
+  Rng rng(1509);
+  NDArray<double> array = pyblaz::random_smooth(Shape{64, 64}, rng);
+  double previous = 1e300;
+  for (double bound : {1e-2, 1e-4, 1e-8}) {
+    const double r = szx::ratio(szx::compress(array, {.error_bound = bound}));
+    EXPECT_LT(r, previous) << "bound " << bound;
+    previous = r;
+  }
+}
+
+TEST(Szx, ConstantArrayCompressesExtremely) {
+  NDArray<double> array(Shape{64, 64}, 2.5);
+  szx::Compressed compressed = szx::compress(array, {.error_bound = 1e-6});
+  EXPECT_GT(szx::ratio(compressed), 50.0);
+  NDArray<double> restored = szx::decompress(compressed);
+  for (index_t k = 0; k < array.size(); ++k)
+    EXPECT_NEAR(restored[k], 2.5, 1e-6);
+}
+
+TEST(Szx, SpikyDataFallsBackToOutliers) {
+  // Large isolated jumps exceed the quantization range with a small radius
+  // and must be stored verbatim — still within bound (exactly, in fact).
+  NDArray<double> array(Shape{100}, 0.0);
+  array[10] = 1e9;
+  array[50] = -1e9;
+  szx::Compressed compressed =
+      szx::compress(array, {.error_bound = 1e-6, .quantization_radius = 7});
+  NDArray<double> restored = szx::decompress(compressed);
+  for (index_t k = 0; k < array.size(); ++k)
+    EXPECT_LE(std::fabs(array[k] - restored[k]), 1e-6);
+  EXPECT_EQ(restored[10], 1e9);  // Outliers are verbatim.
+}
+
+TEST(Szx, HandlesNonFiniteValuesAsOutliers) {
+  NDArray<double> array(Shape{16}, 1.0);
+  array[3] = std::numeric_limits<double>::infinity();
+  szx::Compressed compressed = szx::compress(array, {.error_bound = 1e-3});
+  NDArray<double> restored = szx::decompress(compressed);
+  EXPECT_TRUE(std::isinf(restored[3]));
+  EXPECT_NEAR(restored[4], 1.0, 1e-3);
+}
+
+TEST(Szx, FissionDataRespectsBound) {
+  sim::FissionConfig config;
+  config.grid = Shape{16, 16, 32};
+  NDArray<double> density = sim::negative_log_density(690, config);
+  const double bound = 1e-2;
+  NDArray<double> restored =
+      szx::decompress(szx::compress(density, {.error_bound = bound}));
+  EXPECT_LE(pyblaz::reference::linf_distance(density, restored), bound);
+}
+
+TEST(Szx, RejectsBadConfiguration) {
+  NDArray<double> array(Shape{8}, 1.0);
+  EXPECT_THROW(szx::compress(array, {.error_bound = 0.0}), std::invalid_argument);
+  EXPECT_THROW(szx::compress(array, {.error_bound = 1e-3, .quantization_radius = 0}),
+               std::invalid_argument);
+  NDArray<double> too_deep(Shape{2, 2, 2, 2}, 1.0);
+  EXPECT_THROW(szx::compress(too_deep), std::invalid_argument);
+}
+
+TEST(Szx, RejectsCorruptStream) {
+  Rng rng(1511);
+  NDArray<double> array = pyblaz::random_smooth(Shape{32, 32}, rng);
+  szx::Compressed compressed = szx::compress(array);
+  compressed.stream.resize(compressed.stream.size() / 4);
+  EXPECT_THROW(szx::decompress(compressed), std::invalid_argument);
+}
+
+TEST(Szx, SerializedStreamIsSelfContained) {
+  // decompress() needs nothing but the byte stream (shape is inside).
+  Rng rng(1513);
+  NDArray<double> array = pyblaz::random_smooth(Shape{20, 30}, rng);
+  szx::Compressed compressed = szx::compress(array, {.error_bound = 1e-4});
+  szx::Compressed reparsed;
+  reparsed.stream = compressed.stream;  // Drop shape/bound metadata.
+  NDArray<double> restored = szx::decompress(reparsed);
+  EXPECT_EQ(restored.shape(), array.shape());
+}
+
+}  // namespace

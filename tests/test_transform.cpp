@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/transform/block_transform.hpp"
+#include "core/transform/dct.hpp"
+#include "core/transform/haar.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+/// Checks H^T H = I for a row-major n x n matrix with basis vectors in
+/// columns.
+void expect_orthonormal_columns(const std::vector<double>& h, int n,
+                                double tol = 1e-12) {
+  for (int c1 = 0; c1 < n; ++c1) {
+    for (int c2 = 0; c2 < n; ++c2) {
+      double dot = 0.0;
+      for (int row = 0; row < n; ++row)
+        dot += h[static_cast<std::size_t>(row * n + c1)] *
+               h[static_cast<std::size_t>(row * n + c2)];
+      EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, tol)
+          << "columns " << c1 << ", " << c2 << " of size " << n;
+    }
+  }
+}
+
+// ------------------------------------------------------------ basis matrices
+
+class MatrixSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixSizes, DctIsOrthonormal) {
+  const int n = GetParam();
+  expect_orthonormal_columns(dct_matrix(n), n);
+}
+
+TEST_P(MatrixSizes, HaarIsOrthonormal) {
+  const int n = GetParam();
+  expect_orthonormal_columns(haar_matrix(n), n);
+}
+
+TEST_P(MatrixSizes, DctFirstColumnIsConstant) {
+  // The DC basis vector must be constant 1/sqrt(n) — the mean and scalar-add
+  // operations depend on it (§IV-A).
+  const int n = GetParam();
+  const auto h = dct_matrix(n);
+  const double expected = 1.0 / std::sqrt(static_cast<double>(n));
+  for (int row = 0; row < n; ++row)
+    EXPECT_NEAR(h[static_cast<std::size_t>(row * n)], expected, 1e-14);
+}
+
+TEST_P(MatrixSizes, HaarFirstColumnIsConstant) {
+  const int n = GetParam();
+  const auto h = haar_matrix(n);
+  const double expected = 1.0 / std::sqrt(static_cast<double>(n));
+  for (int row = 0; row < n; ++row)
+    EXPECT_NEAR(h[static_cast<std::size_t>(row * n)], expected, 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, MatrixSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(DctMatrix, KnownSize2Entries) {
+  // For n=2 the orthonormal DCT-II is [[1/√2, 1/√2], [1/√2, -1/√2]] with
+  // basis vectors in columns.
+  const auto h = dct_matrix(2);
+  const double s = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(h[0], s, 1e-15);
+  EXPECT_NEAR(h[1], s, 1e-15);
+  EXPECT_NEAR(h[2], s, 1e-15);
+  EXPECT_NEAR(h[3], -s, 1e-15);
+}
+
+TEST(HaarMatrix, KnownSize4Entries) {
+  const auto h = haar_matrix(4);
+  // Column 0: constant 1/2.  Column 1: [1,1,-1,-1]/2.
+  // Columns 2,3: [1,-1,0,0]/√2 and [0,0,1,-1]/√2.
+  EXPECT_NEAR(h[0 * 4 + 1], 0.5, 1e-15);
+  EXPECT_NEAR(h[2 * 4 + 1], -0.5, 1e-15);
+  EXPECT_NEAR(h[0 * 4 + 2], 1.0 / std::sqrt(2.0), 1e-15);
+  EXPECT_NEAR(h[1 * 4 + 2], -1.0 / std::sqrt(2.0), 1e-15);
+  EXPECT_NEAR(h[2 * 4 + 2], 0.0, 1e-15);
+  EXPECT_NEAR(h[2 * 4 + 3], 1.0 / std::sqrt(2.0), 1e-15);
+}
+
+// --------------------------------------------------------- block transforms
+
+struct TransformCase {
+  TransformKind kind;
+  Shape block_shape;
+};
+
+class BlockTransformCases : public ::testing::TestWithParam<TransformCase> {};
+
+TEST_P(BlockTransformCases, RoundTripIsIdentity) {
+  const auto& param = GetParam();
+  BlockTransform transform(param.kind, param.block_shape);
+  Rng rng(11);
+  NDArray<double> block = random_normal(param.block_shape, rng);
+  std::vector<double> data = block.vector();
+
+  transform.forward(data.data());
+  transform.inverse(data.data());
+
+  for (index_t k = 0; k < block.size(); ++k)
+    EXPECT_NEAR(data[static_cast<std::size_t>(k)], block[k], 1e-10);
+}
+
+TEST_P(BlockTransformCases, PreservesDotProducts) {
+  // Parseval: <A, B> is invariant under the orthonormal transform — the
+  // property every summative compressed-space op relies on (§IV-A).
+  const auto& param = GetParam();
+  BlockTransform transform(param.kind, param.block_shape);
+  Rng rng(13);
+  NDArray<double> a = random_normal(param.block_shape, rng);
+  NDArray<double> b = random_normal(param.block_shape, rng);
+
+  double dot_before = 0.0;
+  for (index_t k = 0; k < a.size(); ++k) dot_before += a[k] * b[k];
+
+  std::vector<double> ca = a.vector(), cb = b.vector();
+  transform.forward(ca.data());
+  transform.forward(cb.data());
+  double dot_after = 0.0;
+  for (index_t k = 0; k < a.size(); ++k)
+    dot_after += ca[static_cast<std::size_t>(k)] * cb[static_cast<std::size_t>(k)];
+
+  EXPECT_NEAR(dot_before, dot_after, 1e-9 * std::fabs(dot_before) + 1e-9);
+}
+
+TEST_P(BlockTransformCases, FirstCoefficientIsScaledBlockMean) {
+  // C[0] = mean(B) * sqrt(prod(i)) — the anchor of Algorithms 4, 7, 13.
+  const auto& param = GetParam();
+  BlockTransform transform(param.kind, param.block_shape);
+  Rng rng(17);
+  NDArray<double> block = random_uniform(param.block_shape, rng, -3.0, 5.0);
+
+  double mean = 0.0;
+  for (index_t k = 0; k < block.size(); ++k) mean += block[k];
+  mean /= static_cast<double>(block.size());
+
+  std::vector<double> data = block.vector();
+  transform.forward(data.data());
+  EXPECT_NEAR(data[0],
+              mean * std::sqrt(static_cast<double>(param.block_shape.volume())),
+              1e-10);
+}
+
+TEST_P(BlockTransformCases, ConstantBlockHasOnlyDcCoefficient) {
+  const auto& param = GetParam();
+  BlockTransform transform(param.kind, param.block_shape);
+  NDArray<double> block(param.block_shape, 2.5);
+  std::vector<double> data = block.vector();
+  transform.forward(data.data());
+  EXPECT_NEAR(data[0],
+              2.5 * std::sqrt(static_cast<double>(param.block_shape.volume())),
+              1e-10);
+  for (index_t k = 1; k < block.size(); ++k)
+    EXPECT_NEAR(data[static_cast<std::size_t>(k)], 0.0, 1e-10) << "coeff " << k;
+}
+
+TEST_P(BlockTransformCases, IsLinear) {
+  const auto& param = GetParam();
+  BlockTransform transform(param.kind, param.block_shape);
+  Rng rng(19);
+  NDArray<double> a = random_normal(param.block_shape, rng);
+  NDArray<double> b = random_normal(param.block_shape, rng);
+
+  std::vector<double> ca = a.vector(), cb = b.vector();
+  transform.forward(ca.data());
+  transform.forward(cb.data());
+
+  std::vector<double> combined(static_cast<std::size_t>(a.size()));
+  for (index_t k = 0; k < a.size(); ++k)
+    combined[static_cast<std::size_t>(k)] = 2.0 * a[k] - 3.0 * b[k];
+  transform.forward(combined.data());
+
+  for (index_t k = 0; k < a.size(); ++k)
+    EXPECT_NEAR(combined[static_cast<std::size_t>(k)],
+                2.0 * ca[static_cast<std::size_t>(k)] -
+                    3.0 * cb[static_cast<std::size_t>(k)],
+                1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockTransformCases,
+    ::testing::Values(TransformCase{TransformKind::kDCT, Shape{8}},
+                      TransformCase{TransformKind::kDCT, Shape{4, 4}},
+                      TransformCase{TransformKind::kDCT, Shape{8, 8}},
+                      TransformCase{TransformKind::kDCT, Shape{4, 8}},
+                      TransformCase{TransformKind::kDCT, Shape{4, 4, 4}},
+                      TransformCase{TransformKind::kDCT, Shape{4, 16, 16}},
+                      TransformCase{TransformKind::kDCT, Shape{2, 2, 2, 2}},
+                      TransformCase{TransformKind::kHaar, Shape{8}},
+                      TransformCase{TransformKind::kHaar, Shape{4, 4}},
+                      TransformCase{TransformKind::kHaar, Shape{8, 8}},
+                      TransformCase{TransformKind::kHaar, Shape{4, 8}},
+                      TransformCase{TransformKind::kHaar, Shape{4, 4, 4}}));
+
+TEST(BlockTransform, SeparableMatchesDirect2D) {
+  // Cross-check the separable implementation against a direct O(n^4)
+  // evaluation C[k1][k2] = Σ B[n1][n2] H[n1][k1] H[n2][k2] (Appendix VI-A).
+  const Shape shape{4, 8};
+  BlockTransform transform(TransformKind::kDCT, shape);
+  Rng rng(23);
+  NDArray<double> block = random_normal(shape, rng);
+
+  const auto h1 = dct_matrix(4);
+  const auto h2 = dct_matrix(8);
+  NDArray<double> direct(shape);
+  for (index_t k1 = 0; k1 < 4; ++k1)
+    for (index_t k2 = 0; k2 < 8; ++k2) {
+      double total = 0.0;
+      for (index_t n1 = 0; n1 < 4; ++n1)
+        for (index_t n2 = 0; n2 < 8; ++n2)
+          total += block[n1 * 8 + n2] * h1[static_cast<std::size_t>(n1 * 4 + k1)] *
+                   h2[static_cast<std::size_t>(n2 * 8 + k2)];
+      direct[k1 * 8 + k2] = total;
+    }
+
+  std::vector<double> separable = block.vector();
+  transform.forward(separable.data());
+  for (index_t k = 0; k < block.size(); ++k)
+    EXPECT_NEAR(separable[static_cast<std::size_t>(k)], direct[k], 1e-10);
+}
+
+TEST(BlockTransform, NameStrings) {
+  EXPECT_EQ(name(TransformKind::kDCT), "dct");
+  EXPECT_EQ(name(TransformKind::kHaar), "haar");
+}
+
+}  // namespace
+}  // namespace pyblaz

@@ -1,0 +1,117 @@
+/// Tests for the automatic settings search (§VI future-work item: enforce an
+/// L∞ error bound by choosing compression settings automatically).
+
+#include "core/codec/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/codec/compressor.hpp"
+#include "core/codec/ratio.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+NDArray<double> sample_field(Shape shape = Shape{64, 64}) {
+  Rng rng(1101);
+  return random_smooth(std::move(shape), rng);
+}
+
+TEST(Tuning, BestCandidateRespectsTheTarget) {
+  NDArray<double> sample = sample_field();
+  const double target = 0.01 * max_abs(sample);
+  TuningResult result = tune_for_linf(sample, target);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_LE(result.best->linf_error, target);
+  EXPECT_TRUE(result.best->feasible);
+}
+
+TEST(Tuning, ChosenSettingsReproduceTheError) {
+  // Re-compressing with the returned settings yields the reported error.
+  NDArray<double> sample = sample_field();
+  const double target = 0.02 * max_abs(sample);
+  TuningResult result = tune_for_linf(sample, target);
+  ASSERT_TRUE(result.best.has_value());
+  Compressor compressor(result.best->settings);
+  const double err = reference::linf_distance(
+      sample, compressor.decompress(compressor.compress(sample)));
+  EXPECT_NEAR(err, result.best->linf_error, 1e-12);
+  EXPECT_LE(err, target);
+}
+
+TEST(Tuning, BestIsTheHighestRatioFeasibleCandidate) {
+  NDArray<double> sample = sample_field();
+  const double target = 0.05 * max_abs(sample);
+  TuningResult result = tune_for_linf(sample, target);
+  ASSERT_TRUE(result.best.has_value());
+  for (const TuningCandidate& candidate : result.evaluated) {
+    if (candidate.feasible) {
+      EXPECT_LE(candidate.ratio, result.best->ratio + 1e-12);
+    }
+  }
+}
+
+TEST(Tuning, LooserTargetsNeverLowerTheRatio) {
+  NDArray<double> sample = sample_field();
+  const double scale = max_abs(sample);
+  double previous_ratio = 0.0;
+  for (double rel_target : {0.001, 0.01, 0.1}) {
+    TuningResult result = tune_for_linf(sample, rel_target * scale);
+    ASSERT_TRUE(result.best.has_value()) << "target " << rel_target;
+    EXPECT_GE(result.best->ratio, previous_ratio - 1e-12);
+    previous_ratio = result.best->ratio;
+  }
+}
+
+TEST(Tuning, ImpossibleTargetYieldsNoBest) {
+  NDArray<double> sample = sample_field(Shape{32, 32});
+  TuningResult result = tune_for_linf(sample, 0.0);
+  EXPECT_FALSE(result.best.has_value());
+  EXPECT_FALSE(result.evaluated.empty());  // Candidates were still evaluated.
+}
+
+TEST(Tuning, GuaranteedModeIsMoreConservative) {
+  NDArray<double> sample = sample_field();
+  const double target = 0.05 * max_abs(sample);
+  TuningOptions guaranteed;
+  guaranteed.use_guaranteed_bound = true;
+  TuningResult g = tune_for_linf(sample, target, guaranteed);
+  TuningResult m = tune_for_linf(sample, target);
+  ASSERT_TRUE(m.best.has_value());
+  if (g.best) {
+    // The guaranteed bound dominates the measured error, so the guaranteed
+    // pick can never claim a higher ratio than the measured pick.
+    EXPECT_LE(g.best->ratio, m.best->ratio + 1e-12);
+  }
+}
+
+TEST(Tuning, AnisotropicSamplesGetNonHypercubicCandidates) {
+  Rng rng(1103);
+  NDArray<double> sample = random_smooth(Shape{8, 64, 64}, rng);
+  TuningResult result = tune_for_linf(sample, 0.5 * max_abs(sample));
+  bool saw_flat = false;
+  for (const TuningCandidate& candidate : result.evaluated) {
+    const Shape& block = candidate.settings.block_shape;
+    if (block.ndim() == 3 && block[0] < block[2]) saw_flat = true;
+  }
+  EXPECT_TRUE(saw_flat);
+}
+
+TEST(Tuning, EvaluatedGridCoversIndexTypes) {
+  NDArray<double> sample = sample_field(Shape{32, 32});
+  TuningResult result = tune_for_linf(sample, 0.1);
+  bool saw_int8 = false, saw_int16 = false, saw_int32 = false;
+  for (const TuningCandidate& candidate : result.evaluated) {
+    saw_int8 |= candidate.settings.index_type == IndexType::kInt8;
+    saw_int16 |= candidate.settings.index_type == IndexType::kInt16;
+    saw_int32 |= candidate.settings.index_type == IndexType::kInt32;
+  }
+  EXPECT_TRUE(saw_int8);
+  EXPECT_TRUE(saw_int16);
+  EXPECT_TRUE(saw_int32);
+}
+
+}  // namespace
+}  // namespace pyblaz

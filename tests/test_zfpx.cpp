@@ -1,0 +1,172 @@
+#include "zfpx/zfpx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/reference/reference.hpp"
+#include "core/util/rng.hpp"
+
+namespace {
+
+using pyblaz::index_t;
+using pyblaz::NDArray;
+using pyblaz::Rng;
+using pyblaz::Shape;
+
+TEST(ZfpxPermutation, IsAPermutation) {
+  for (int dims = 1; dims <= 3; ++dims) {
+    const auto& perm = zfpx::sequency_permutation(dims);
+    const int n = zfpx::block_values(dims);
+    ASSERT_EQ(static_cast<int>(perm.size()), n);
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    for (int p : perm) {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, n);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(p)]);
+      seen[static_cast<std::size_t>(p)] = true;
+    }
+    EXPECT_EQ(perm[0], 0);  // DC coefficient first.
+  }
+}
+
+TEST(ZfpxPermutation, NonDecreasingSequency2D) {
+  const auto& perm = zfpx::sequency_permutation(2);
+  int previous = -1;
+  for (int p : perm) {
+    const int seq = p / 4 + p % 4;
+    EXPECT_GE(seq, previous);
+    previous = seq;
+  }
+}
+
+struct ZfpxCase {
+  Shape shape;
+  double rate;
+};
+
+class ZfpxRoundTrip : public ::testing::TestWithParam<ZfpxCase> {};
+
+TEST_P(ZfpxRoundTrip, StreamSizeIsExactlyFixedRate) {
+  const auto& p = GetParam();
+  zfpx::Codec codec(p.shape.ndim(), p.rate);
+  Rng rng(801);
+  NDArray<double> array = pyblaz::random_smooth(p.shape, rng);
+  const auto stream = codec.compress(array);
+  EXPECT_EQ(stream.size(), codec.compressed_bytes(p.shape));
+}
+
+TEST_P(ZfpxRoundTrip, ReconstructionErrorIsSmallOnSmoothData) {
+  const auto& p = GetParam();
+  zfpx::Codec codec(p.shape.ndim(), p.rate);
+  Rng rng(803);
+  NDArray<double> array = pyblaz::random_smooth(p.shape, rng);
+  NDArray<double> restored = codec.decompress(codec.compress(array), p.shape);
+  const double scale = pyblaz::max_abs(array) + 1e-30;
+  // Rate >= 8 bits/value on smooth data: comfortably under 5% L_inf.
+  EXPECT_LT(pyblaz::reference::linf_distance(array, restored), 0.05 * scale)
+      << "shape " << p.shape.to_string() << " rate " << p.rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndRates, ZfpxRoundTrip,
+    ::testing::Values(ZfpxCase{Shape{64}, 16.0}, ZfpxCase{Shape{61}, 16.0},
+                      ZfpxCase{Shape{32, 32}, 8.0}, ZfpxCase{Shape{32, 32}, 16.0},
+                      ZfpxCase{Shape{32, 32}, 32.0}, ZfpxCase{Shape{30, 31}, 16.0},
+                      ZfpxCase{Shape{16, 16, 16}, 8.0},
+                      ZfpxCase{Shape{16, 16, 16}, 16.0},
+                      ZfpxCase{Shape{10, 11, 12}, 16.0}));
+
+TEST(Zfpx, ErrorDecreasesWithRate) {
+  Rng rng(807);
+  NDArray<double> array = pyblaz::random_smooth(Shape{64, 64}, rng);
+  double previous = 1e300;
+  for (double rate : {4.0, 8.0, 16.0, 32.0}) {
+    zfpx::Codec codec(2, rate);
+    NDArray<double> restored = codec.decompress(codec.compress(array), array.shape());
+    const double err = pyblaz::reference::l2_distance(array, restored);
+    EXPECT_LT(err, previous) << "rate " << rate;
+    previous = err;
+  }
+}
+
+TEST(Zfpx, HighRateIsNearLossless) {
+  Rng rng(809);
+  NDArray<double> array = pyblaz::random_smooth(Shape{32, 32}, rng);
+  zfpx::Codec codec(2, 48.0);
+  NDArray<double> restored = codec.decompress(codec.compress(array), array.shape());
+  EXPECT_LT(pyblaz::reference::linf_distance(array, restored),
+            1e-8 * pyblaz::max_abs(array));
+}
+
+TEST(Zfpx, ZeroBlocksStayZero) {
+  NDArray<double> array(Shape{16, 16}, 0.0);
+  zfpx::Codec codec(2, 8.0);
+  NDArray<double> restored = codec.decompress(codec.compress(array), array.shape());
+  for (index_t k = 0; k < array.size(); ++k) EXPECT_EQ(restored[k], 0.0);
+}
+
+TEST(Zfpx, ConstantBlocksReconstructAccurately) {
+  NDArray<double> array(Shape{16, 16}, 3.14159);
+  zfpx::Codec codec(2, 16.0);
+  NDArray<double> restored = codec.decompress(codec.compress(array), array.shape());
+  for (index_t k = 0; k < array.size(); ++k)
+    EXPECT_NEAR(restored[k], 3.14159, 1e-3);
+}
+
+TEST(Zfpx, HandlesLargeDynamicRange) {
+  // Block floating point: blocks with very different magnitudes each get
+  // their own exponent.
+  NDArray<double> array(Shape{8, 8});
+  for (index_t k = 0; k < 32; ++k) array[k] = 1e-8 * static_cast<double>(k % 7);
+  for (index_t k = 32; k < 64; ++k) array[k] = 1e8 * static_cast<double>(k % 5);
+  zfpx::Codec codec(2, 32.0);
+  NDArray<double> restored = codec.decompress(codec.compress(array), array.shape());
+  for (index_t k = 0; k < 64; ++k) {
+    const double scale = std::max(1e-8, std::fabs(array[k]));
+    EXPECT_LT(std::fabs(restored[k] - array[k]), 0.03 * scale + 1e-12)
+        << "element " << k;
+  }
+}
+
+TEST(Zfpx, GradientArrayMatchesPaperWorkload) {
+  // The §IV-E benchmark array must survive the codec with small error.
+  NDArray<double> array = pyblaz::gradient_array(Shape{32, 32});
+  zfpx::Codec codec(2, 16.0);
+  NDArray<double> restored = codec.decompress(codec.compress(array), array.shape());
+  EXPECT_LT(pyblaz::reference::linf_distance(array, restored), 0.01);
+}
+
+TEST(Zfpx, EffectiveRateAccountsForAlignment) {
+  zfpx::Codec codec(2, 8.0);
+  EXPECT_EQ(codec.block_bits(), 128);  // 8 * 16, already byte aligned.
+  EXPECT_DOUBLE_EQ(codec.effective_rate(), 8.0);
+
+  zfpx::Codec odd(1, 9.0);  // 9 * 4 = 36 bits -> padded to 40.
+  EXPECT_EQ(odd.block_bits(), 40);
+  EXPECT_DOUBLE_EQ(odd.effective_rate(), 10.0);
+}
+
+TEST(Zfpx, RejectsBadConfiguration) {
+  EXPECT_THROW(zfpx::Codec(0, 8.0), std::invalid_argument);
+  EXPECT_THROW(zfpx::Codec(4, 8.0), std::invalid_argument);
+  EXPECT_THROW(zfpx::Codec(2, -1.0), std::invalid_argument);
+}
+
+TEST(Zfpx, RejectsDimensionalityMismatch) {
+  zfpx::Codec codec(2, 8.0);
+  NDArray<double> cube(Shape{8, 8, 8}, 1.0);
+  EXPECT_THROW(codec.compress(cube), std::invalid_argument);
+}
+
+TEST(Zfpx, RejectsTruncatedStream) {
+  zfpx::Codec codec(2, 8.0);
+  Rng rng(811);
+  NDArray<double> array = pyblaz::random_smooth(Shape{16, 16}, rng);
+  auto stream = codec.compress(array);
+  stream.resize(stream.size() - 1);
+  EXPECT_THROW(codec.decompress(stream, array.shape()), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/codec/compressor.hpp"
+#include "core/ndarray/ndarray.hpp"
+
+/// Reusable implementation of the `pyblaz` command-line tool.  Everything
+/// here is a pure function of its arguments (output goes to the provided
+/// stream), so the whole tool is unit-testable without spawning processes.
+namespace pyblaz::cli {
+
+/// Parse "40,40,66" into a Shape.  Throws std::invalid_argument on malformed
+/// input (empty, non-numeric, or non-positive extents).
+Shape parse_shape(const std::string& text);
+
+/// Parse a float-type name ("bfloat16", "float16", "float32", "float64").
+FloatType parse_float_type(const std::string& text);
+
+/// Parse an index-type name ("int8", "int16", "int32", "int64").
+IndexType parse_index_type(const std::string& text);
+
+/// Parse a transform name ("dct", "haar").
+TransformKind parse_transform(const std::string& text);
+
+/// Read a raw little-endian FP64 file into an array of the given shape.
+/// Throws std::runtime_error if the file is missing or its size does not
+/// match the shape's volume.
+NDArray<double> read_raw_f64(const std::string& path, const Shape& shape);
+
+/// Write an array as raw little-endian FP64.
+void write_raw_f64(const std::string& path, const NDArray<double>& array);
+
+/// Read a serialized compressed array from disk.
+CompressedArray read_compressed(const std::string& path);
+
+/// Write a compressed array in the §IV-C serialization format.
+void write_compressed(const std::string& path, const CompressedArray& array);
+
+/// Entry point: execute one command.  @p args are the argv values after the
+/// program name.  Returns a process exit code; all output (including error
+/// messages) goes to @p out.
+///
+/// Commands:
+///   compress INPUT --shape d0,d1,... --block b0,b1,... [--ftype T]
+///            [--itype T] [--transform dct|haar] [--keep FRACTION] -o OUTPUT
+///   decompress INPUT -o OUTPUT
+///   info INPUT
+///   stats INPUT
+///   distance A B [--metric l2|cosine|ssim|mse|psnr|wasserstein] [--order P]
+///   tune INPUT --shape d0,d1,... --target LINF [--guaranteed]
+///   help
+int run(const std::vector<std::string>& args, std::ostream& out);
+
+}  // namespace pyblaz::cli

@@ -1,0 +1,14 @@
+/// The `pyblaz` command-line tool: compress/decompress raw FP64 arrays and
+/// run compressed-space statistics and distances on the results.  See
+/// `pyblaz help` or tools/cli_lib.hpp for the command reference.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli_lib.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return pyblaz::cli::run(args, std::cout);
+}
