@@ -1,133 +1,330 @@
-/// Google-benchmark micro-benchmarks for the hot kernels underneath the
-/// paper-level harnesses: the separable block transform, binning (compress),
-/// the compressed-space add/dot, the Blaz block pipeline, and the zfpx block
-/// codec.  Useful for regression-testing kernel performance independent of
-/// the figure-level benchmarks.
+/// JSON-emitting micro-benchmark harness for the codec kernel layer: times
+/// the block transform (factorized fast path vs dense matrix oracle), the
+/// shared rebin/unbin kernels, end-to-end compress/decompress, and
+/// compressed-space add, per block shape.
+///
+/// Usage: bench_micro_kernels [OUTPUT.json]
+///
+/// Writes BENCH_kernels.local.json (gitignored; pass a path to write
+/// elsewhere, e.g. when refreshing the committed BENCH_kernels.json
+/// baseline) and prints a human-readable table plus the fast-over-dense
+/// speedups.  Compare two runs with
+/// tools/bench_compare.py to catch regressions; docs/PERF.md explains the
+/// schema and records this PR's trajectory.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "blaz/blaz.hpp"
 #include "core/codec/compressor.hpp"
+#include "core/kernels/fast_transform.hpp"
+#include "core/kernels/rebin.hpp"
 #include "core/ndarray/ndarray_ops.hpp"
 #include "core/ops/ops.hpp"
+#include "core/transform/block_transform.hpp"
 #include "core/util/rng.hpp"
+#include "core/util/timer.hpp"
 #include "zfpx/zfpx.hpp"
 
 namespace {
 
 using namespace pyblaz;  // NOLINT
 
-void BM_BlockTransformForward(benchmark::State& state) {
-  const index_t side = state.range(0);
-  BlockTransform transform(TransformKind::kDCT, Shape{side, side});
-  Rng rng(1);
-  NDArray<double> block = random_normal(Shape{side, side}, rng);
-  std::vector<double> scratch(static_cast<std::size_t>(block.size()));
-  std::vector<double> data = block.vector();
-  for (auto _ : state) {
-    data = block.vector();
-    transform.forward(data.data(), scratch.data());
-    benchmark::DoNotOptimize(data.data());
-  }
-  state.SetItemsProcessed(state.iterations() * block.size());
-}
-BENCHMARK(BM_BlockTransformForward)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+struct Result {
+  std::string name;   // e.g. "transform_forward"
+  std::string kind;   // "dct", "haar", or "" when not transform-specific
+  std::string impl;   // "fast", "dense", or "" when there is only one path
+  std::string shape;  // e.g. "8x8x8" (block shape or array shape)
+  double seconds_per_call = 0.0;
+  double elements_per_call = 0.0;
+};
 
-void BM_Compress2D(benchmark::State& state) {
-  const index_t size = state.range(0);
-  Compressor compressor({.block_shape = Shape{8, 8},
-                         .float_type = FloatType::kFloat32,
-                         .index_type = IndexType::kInt8});
+/// Best-of-trials timing: calibrate the repetition count until a trial runs
+/// at least ~10 ms (targeting ~20 ms), then report the fastest of three
+/// trials' seconds per call.
+double time_op(const std::function<void()>& op) {
+  constexpr double kTrialSeconds = 0.04;
+  constexpr int kTrials = 3;
+
+  // Calibrate.
+  std::int64_t reps = 1;
+  for (;;) {
+    Timer timer;
+    for (std::int64_t i = 0; i < reps; ++i) op();
+    const double elapsed = timer.seconds();
+    if (elapsed > kTrialSeconds / 4 || reps > (1LL << 30)) break;
+    reps = elapsed <= 0.0
+               ? reps * 16
+               : std::max<std::int64_t>(
+                     reps + 1, static_cast<std::int64_t>(
+                                   static_cast<double>(reps) * kTrialSeconds /
+                                   elapsed * 0.5));
+  }
+
+  double best = 1e300;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Timer timer;
+    for (std::int64_t i = 0; i < reps; ++i) op();
+    best = std::min(best, timer.seconds() / static_cast<double>(reps));
+  }
+  return best;
+}
+
+std::string shape_string(const Shape& shape) {
+  std::string text;
+  for (int axis = 0; axis < shape.ndim(); ++axis) {
+    if (axis) text += "x";
+    text += std::to_string(shape[axis]);
+  }
+  return text;
+}
+
+class Harness {
+ public:
+  void run(const std::string& name, const std::string& kind,
+           const std::string& impl, const Shape& shape, double elements,
+           const std::function<void()>& op) {
+    Result result{name, kind, impl, shape_string(shape), time_op(op), elements};
+    std::printf("%-22s %-5s %-6s %-12s %12.1f ns/call %10.1f Melem/s\n",
+                name.c_str(), kind.c_str(), impl.c_str(), result.shape.c_str(),
+                result.seconds_per_call * 1e9,
+                elements / result.seconds_per_call / 1e6);
+    std::fflush(stdout);
+    results_.push_back(std::move(result));
+  }
+
+  const Result* find(const std::string& name, const std::string& kind,
+                     const std::string& impl, const std::string& shape) const {
+    for (const auto& r : results_)
+      if (r.name == name && r.kind == kind && r.impl == impl && r.shape == shape)
+        return &r;
+    return nullptr;
+  }
+
+  /// Fast-over-dense ratios for every (name, kind, shape) that has both.
+  struct Speedup {
+    std::string name, kind, shape;
+    double fast_over_dense;
+  };
+  std::vector<Speedup> speedups() const {
+    std::vector<Speedup> out;
+    for (const auto& fast : results_) {
+      if (fast.impl != "fast") continue;
+      const Result* dense = find(fast.name, fast.kind, "dense", fast.shape);
+      if (dense)
+        out.push_back({fast.name, fast.kind, fast.shape,
+                       dense->seconds_per_call / fast.seconds_per_call});
+    }
+    return out;
+  }
+
+  bool write_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f, "{\n  \"schema\": \"pyblaz-bench-kernels-v1\",\n");
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const Result& r = results_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"kind\": \"%s\", \"impl\": \"%s\", "
+                   "\"shape\": \"%s\", \"seconds_per_call\": %.6e, "
+                   "\"elements_per_call\": %.0f, \"elements_per_second\": "
+                   "%.6e}%s\n",
+                   r.name.c_str(), r.kind.c_str(), r.impl.c_str(),
+                   r.shape.c_str(), r.seconds_per_call, r.elements_per_call,
+                   r.elements_per_call / r.seconds_per_call,
+                   i + 1 < results_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"speedups\": [\n");
+    const auto ratios = speedups();
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"kind\": \"%s\", \"shape\": "
+                   "\"%s\", \"fast_over_dense\": %.3f}%s\n",
+                   ratios[i].name.c_str(), ratios[i].kind.c_str(),
+                   ratios[i].shape.c_str(), ratios[i].fast_over_dense,
+                   i + 1 < ratios.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<Result> results_;
+};
+
+void bench_transforms(Harness& harness) {
+  const Shape kShapes[] = {Shape{4, 4},    Shape{8, 8},    Shape{16, 16},
+                           Shape{32, 32},  Shape{4, 4, 4}, Shape{8, 8, 8},
+                           Shape{16, 16, 16}};
+  const TransformKind kKinds[] = {TransformKind::kDCT, TransformKind::kHaar};
+  for (TransformKind kind : kKinds) {
+    for (const Shape& shape : kShapes) {
+      // Shapes where kAuto dispatches every axis to the dense path anyway
+      // (short Haar axes) would time dense against itself and record a
+      // vacuous ~1.0x "speedup" — skip the kAuto run there.
+      bool any_fast_axis = false;
+      for (int axis = 0; axis < shape.ndim(); ++axis)
+        any_fast_axis |= shape[axis] > 1 &&
+                         kernels::fast_axis_preferred(kind, shape[axis]);
+      for (TransformImpl impl : {TransformImpl::kAuto, TransformImpl::kDense}) {
+        if (impl == TransformImpl::kAuto && !any_fast_axis) continue;
+        BlockTransform transform(kind, shape, impl);
+        Rng rng(1);
+        NDArray<double> block = random_normal(shape, rng);
+        std::vector<double> data = block.vector();
+        std::vector<double> scratch(static_cast<std::size_t>(block.size()));
+        const char* impl_name = impl == TransformImpl::kAuto ? "fast" : "dense";
+        const double volume = static_cast<double>(shape.volume());
+        // Orthonormal transforms preserve norms, so repeatedly transforming
+        // in place neither overflows nor decays: no per-call reset needed.
+        harness.run("transform_forward", name(kind), impl_name, shape, volume,
+                    [&] { transform.forward(data.data(), scratch.data()); });
+        harness.run("transform_inverse", name(kind), impl_name, shape, volume,
+                    [&] { transform.inverse(data.data(), scratch.data()); });
+      }
+    }
+  }
+}
+
+void bench_rebin(Harness& harness) {
+  const index_t kept = 512;
+  const index_t num_blocks = 1024;
   Rng rng(2);
-  NDArray<double> array = random_smooth(Shape{size, size}, rng, 6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(compressor.compress(array));
-  }
-  state.SetItemsProcessed(state.iterations() * array.size());
-}
-BENCHMARK(BM_Compress2D)->Arg(64)->Arg(256)->Arg(1024);
+  NDArray<double> noise =
+      random_normal(Shape{num_blocks * kept}, rng, 0.0, 2.0);
+  const std::vector<double>& coeffs = noise.vector();
+  std::vector<std::int8_t> bins(static_cast<std::size_t>(num_blocks * kept));
+  std::vector<double> biggest(static_cast<std::size_t>(num_blocks));
+  std::vector<double> decoded(static_cast<std::size_t>(num_blocks * kept));
+  const double r = 127.0;
+  const Shape row_shape{num_blocks, kept};
 
-void BM_Decompress2D(benchmark::State& state) {
-  const index_t size = state.range(0);
-  Compressor compressor({.block_shape = Shape{8, 8},
-                         .float_type = FloatType::kFloat32,
-                         .index_type = IndexType::kInt8});
-  Rng rng(3);
-  CompressedArray compressed =
-      compressor.compress(random_smooth(Shape{size, size}, rng, 6));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(compressor.decompress(compressed));
-  }
-  state.SetItemsProcessed(state.iterations() * size * size);
+  harness.run("rebin_block", "", "", row_shape,
+              static_cast<double>(num_blocks * kept), [&] {
+                for (index_t kb = 0; kb < num_blocks; ++kb)
+                  biggest[static_cast<std::size_t>(kb)] = kernels::rebin_block(
+                      coeffs.data() + kb * kept, kept, r, FloatType::kFloat32,
+                      bins.data() + kb * kept);
+              });
+  harness.run("unbin_block", "", "", row_shape,
+              static_cast<double>(num_blocks * kept), [&] {
+                for (index_t kb = 0; kb < num_blocks; ++kb)
+                  kernels::unbin_block(bins.data() + kb * kept, kept,
+                                       biggest[static_cast<std::size_t>(kb)] / r,
+                                       decoded.data() + kb * kept);
+              });
 }
-BENCHMARK(BM_Decompress2D)->Arg(64)->Arg(256)->Arg(1024);
 
-void BM_CompressedAdd(benchmark::State& state) {
-  const index_t size = state.range(0);
-  Compressor compressor({.block_shape = Shape{8, 8},
-                         .float_type = FloatType::kFloat32,
-                         .index_type = IndexType::kInt8});
+CompressorSettings codec_settings(const Shape& block, TransformImpl impl) {
+  CompressorSettings settings;
+  settings.block_shape = block;
+  settings.float_type = FloatType::kFloat32;
+  settings.index_type = IndexType::kInt8;
+  settings.transform = TransformKind::kDCT;
+  settings.transform_impl = impl;
+  return settings;
+}
+
+void bench_codec(Harness& harness) {
+  struct CodecCase {
+    Shape array_shape;
+    Shape block_shape;
+  };
+  const CodecCase kCases[] = {
+      {Shape{256, 256}, Shape{8, 8}},
+      {Shape{64, 64, 64}, Shape{8, 8, 8}},
+  };
+  for (const auto& c : kCases) {
+    Rng rng(3);
+    NDArray<double> array = random_smooth(c.array_shape, rng, 6);
+    const double volume = static_cast<double>(c.array_shape.volume());
+    for (TransformImpl impl : {TransformImpl::kAuto, TransformImpl::kDense}) {
+      Compressor compressor(codec_settings(c.block_shape, impl));
+      const char* impl_name = impl == TransformImpl::kAuto ? "fast" : "dense";
+      CompressedArray compressed = compressor.compress(array);
+      harness.run("compress", "dct", impl_name, c.array_shape, volume,
+                  [&] { compressed = compressor.compress(array); });
+      NDArray<double> decompressed = compressor.decompress(compressed);
+      harness.run("decompress", "dct", impl_name, c.array_shape, volume,
+                  [&] { decompressed = compressor.decompress(compressed); });
+    }
+  }
+}
+
+void bench_compressed_ops(Harness& harness) {
+  const Shape array_shape{256, 256};
   Rng rng(4);
-  CompressedArray a = compressor.compress(random_smooth(Shape{size, size}, rng, 6));
-  CompressedArray b = compressor.compress(random_smooth(Shape{size, size}, rng, 6));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ops::add(a, b));
-  }
-  state.SetItemsProcessed(state.iterations() * size * size);
-}
-BENCHMARK(BM_CompressedAdd)->Arg(64)->Arg(256)->Arg(1024);
+  Compressor compressor(codec_settings(Shape{8, 8}, TransformImpl::kAuto));
+  const CompressedArray a =
+      compressor.compress(random_smooth(array_shape, rng, 6));
+  const CompressedArray b =
+      compressor.compress(random_smooth(array_shape, rng, 6));
+  const double volume = static_cast<double>(array_shape.volume());
 
-void BM_CompressedDot(benchmark::State& state) {
-  const index_t size = state.range(0);
-  Compressor compressor({.block_shape = Shape{8, 8},
-                         .float_type = FloatType::kFloat32,
-                         .index_type = IndexType::kInt8});
+  CompressedArray sum = ops::add(a, b);
+  harness.run("compressed_add", "", "", array_shape, volume,
+              [&] { sum = ops::add(a, b); });
+  harness.run("compressed_add_scalar", "", "", array_shape, volume,
+              [&] { sum = ops::add_scalar(a, 0.5); });
+  double dot = 0.0;
+  harness.run("compressed_dot", "", "", array_shape, volume,
+              [&] { dot += ops::dot(a, b); });
+}
+
+/// The paper's comparison-baseline codecs, kept in the harness so their
+/// block pipelines stay under the same regression tracking as pyblaz's.
+void bench_baseline_codecs(Harness& harness) {
+  const Shape array_shape{256, 256};
   Rng rng(5);
-  CompressedArray a = compressor.compress(random_smooth(Shape{size, size}, rng, 6));
-  CompressedArray b = compressor.compress(random_smooth(Shape{size, size}, rng, 6));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ops::dot(a, b));
-  }
-  state.SetItemsProcessed(state.iterations() * size * size);
-}
-BENCHMARK(BM_CompressedDot)->Arg(64)->Arg(256)->Arg(1024);
+  NDArray<double> array = random_smooth(array_shape, rng, 6);
+  const double volume = static_cast<double>(array_shape.volume());
 
-void BM_BlazCompress(benchmark::State& state) {
-  const index_t size = state.range(0);
-  Rng rng(6);
-  NDArray<double> array = random_smooth(Shape{size, size}, rng, 6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(blaz::compress(array));
-  }
-  state.SetItemsProcessed(state.iterations() * array.size());
-}
-BENCHMARK(BM_BlazCompress)->Arg(64)->Arg(256)->Arg(1024);
+  auto blaz_compressed = blaz::compress(array);
+  harness.run("blaz_compress", "", "", array_shape, volume,
+              [&] { blaz_compressed = blaz::compress(array); });
+  NDArray<double> blaz_rt = blaz::decompress(blaz_compressed);
+  harness.run("blaz_decompress", "", "", array_shape, volume,
+              [&] { blaz_rt = blaz::decompress(blaz_compressed); });
 
-void BM_ZfpxCompress2D(benchmark::State& state) {
-  const index_t size = state.range(0);
   zfpx::Codec codec(2, 16.0);
-  Rng rng(7);
-  NDArray<double> array = random_smooth(Shape{size, size}, rng, 6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(codec.compress(array));
-  }
-  state.SetItemsProcessed(state.iterations() * array.size());
+  auto zfpx_stream = codec.compress(array);
+  harness.run("zfpx_compress", "", "", array_shape, volume,
+              [&] { zfpx_stream = codec.compress(array); });
+  NDArray<double> zfpx_rt = codec.decompress(zfpx_stream, array.shape());
+  harness.run("zfpx_decompress", "", "", array_shape, volume,
+              [&] { zfpx_rt = codec.decompress(zfpx_stream, array.shape()); });
 }
-BENCHMARK(BM_ZfpxCompress2D)->Arg(64)->Arg(256)->Arg(1024);
-
-void BM_ZfpxDecompress2D(benchmark::State& state) {
-  const index_t size = state.range(0);
-  zfpx::Codec codec(2, 16.0);
-  Rng rng(8);
-  NDArray<double> array = random_smooth(Shape{size, size}, rng, 6);
-  const auto stream = codec.compress(array);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(codec.decompress(stream, array.shape()));
-  }
-  state.SetItemsProcessed(state.iterations() * array.size());
-}
-BENCHMARK(BM_ZfpxDecompress2D)->Arg(64)->Arg(256)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The default is a gitignored name so running the harness from the repo
+  // root never clobbers the committed BENCH_kernels.json baseline; pass the
+  // path explicitly when refreshing the baseline itself.
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.local.json";
+
+  Harness harness;
+  bench_transforms(harness);
+  bench_rebin(harness);
+  bench_codec(harness);
+  bench_compressed_ops(harness);
+  bench_baseline_codecs(harness);
+
+  std::printf("\nfast-over-dense speedups:\n");
+  for (const auto& s : harness.speedups())
+    std::printf("  %-22s %-5s %-12s %6.2fx\n", s.name.c_str(), s.kind.c_str(),
+                s.shape.c_str(), s.fast_over_dense);
+
+  if (!harness.write_json(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/kernels/rebin.hpp"
 #include "core/ndarray/ndarray_ops.hpp"
 
 namespace pyblaz {
@@ -14,8 +15,8 @@ Compressor::Compressor(CompressorSettings settings)
     : settings_(std::move(settings)) {
   settings_.validate();
   mask_ = settings_.effective_mask();
-  transform_ =
-      std::make_shared<BlockTransform>(settings_.transform, settings_.block_shape);
+  transform_ = std::make_shared<BlockTransform>(
+      settings_.transform, settings_.block_shape, settings_.transform_impl);
 }
 
 namespace {
@@ -63,8 +64,12 @@ struct BlockCursor {
         block_coords(static_cast<std::size_t>(array_shape.ndim())),
         row_coords(static_cast<std::size_t>(array_shape.ndim()), 0) {}
 
-  /// Copy block @p kb of the array into @p dst, zero-padding ragged edges.
-  void gather(const double* array, index_t kb, double* dst) {
+  /// Copy block @p kb of the array into @p dst, zero-padding ragged edges and
+  /// rounding the copied values through @p float_type in the same cache pass
+  /// (padding zeros are exact in every float type, so only copied rows need
+  /// the conversion).
+  void gather(const double* array, index_t kb, double* dst,
+              FloatType float_type) {
     decompose(grid, kb, block_coords.data());
     const index_t last_start =
         block_coords[static_cast<std::size_t>(d - 1)] * block_last;
@@ -87,6 +92,7 @@ struct BlockCursor {
       if (inside) {
         std::memcpy(dst, array + src,
                     static_cast<std::size_t>(copy_count) * sizeof(double));
+        kernels::quantize_block(dst, copy_count, float_type);
         std::fill(dst + copy_count, dst + block_last, 0.0);
       } else {
         std::fill(dst, dst + block_last, 0.0);
@@ -95,8 +101,11 @@ struct BlockCursor {
     }
   }
 
-  /// Copy block @p kb from @p src into the array, cropping ragged edges.
-  void scatter(double* array, index_t kb, const double* src) {
+  /// Copy block @p kb from @p src into the array, cropping ragged edges and
+  /// rounding the written values through @p float_type in the same pass (the
+  /// cropped padding never reaches the output, so it is never converted).
+  void scatter(double* array, index_t kb, const double* src,
+               FloatType float_type) {
     decompose(grid, kb, block_coords.data());
     const index_t last_start =
         block_coords[static_cast<std::size_t>(d - 1)] * block_last;
@@ -119,6 +128,7 @@ struct BlockCursor {
       if (inside) {
         std::memcpy(array + dst, src,
                     static_cast<std::size_t>(copy_count) * sizeof(double));
+        kernels::quantize_block(array + dst, copy_count, float_type);
       }
       if (d > 1) advance_row(block_shape, row_coords.data());
     }
@@ -141,7 +151,6 @@ CompressedArray Compressor::compress(const NDArray<double>& array,
   const index_t kept = mask_.kept_count();
   const auto& kept_offsets = mask_.kept_offsets();
   const double r = static_cast<double>(arithmetic_radius(settings_.index_type));
-  const bool lower_precision = settings_.float_type != FloatType::kFloat64;
   const FloatType ftype = settings_.float_type;
 
   CompressedArray out;
@@ -171,40 +180,30 @@ CompressedArray Compressor::compress(const NDArray<double>& array,
 #pragma omp for
       for (index_t kb = 0; kb < num_blocks; ++kb) {
         // Steps 1+2 (§III-A a, b): gather the block, rounding values through
-        // the storage float type (elementwise, so quantize-then-block and
-        // block-then-quantize agree).
-        cursor.gather(array.data(), kb, coeffs.data());
-        if (lower_precision) {
-          for (index_t j = 0; j < block_volume; ++j)
-            coeffs[static_cast<std::size_t>(j)] =
-                quantize(coeffs[static_cast<std::size_t>(j)], ftype);
-        }
+        // the storage float type in the same pass (elementwise, so
+        // quantize-then-block and block-then-quantize agree).
+        cursor.gather(array.data(), kb, coeffs.data(), ftype);
 
         // Step 3 (§III-A c): orthonormal transform, in place.
         transform_->forward(coeffs.data(), scratch.data());
 
-        // Step 4 (§III-A d): binning.  N_k = ‖C_k‖∞ over all coefficients,
-        // stored rounded through the float type.
-        double biggest = 0.0;
-        for (index_t j = 0; j < block_volume; ++j)
-          biggest = std::max(biggest, std::fabs(coeffs[static_cast<std::size_t>(j)]));
-        biggest = quantize(biggest, ftype);
+        // Steps 4+5 (§III-A d, e): binning + pruning through the shared
+        // kernels.  N_k = ‖C_k‖∞ over all coefficients, stored rounded
+        // through the float type; indices are round(r C / N) clamped to
+        // [-r, r], stored for kept offsets only.
+        const double biggest =
+            quantize(kernels::max_abs(coeffs.data(), block_volume), ftype);
         out.biggest[static_cast<std::size_t>(kb)] = biggest;
 
         auto* bins = bins_data + kb * kept;
         using BinT = std::remove_reference_t<decltype(bins[0])>;
         if (biggest == 0.0) {
           std::fill(bins, bins + kept, BinT{0});
+        } else if (kept == block_volume) {
+          kernels::quantize_bins(coeffs.data(), bins, kept, r / biggest, r);
         } else {
-          // Step 5 (§III-A e): pruning — only kept offsets are binned and
-          // stored.  Indices are round(r C / N) clamped to [-r, r].
-          const double inv = r / biggest;
-          for (index_t slot = 0; slot < kept; ++slot) {
-            const double c =
-                coeffs[static_cast<std::size_t>(kept_offsets[static_cast<std::size_t>(slot)])];
-            const double scaled = std::clamp(std::round(c * inv), -r, r);
-            bins[slot] = static_cast<BinT>(scaled);
-          }
+          kernels::quantize_bins_gather(coeffs.data(), kept_offsets.data(),
+                                        bins, kept, r / biggest, r);
         }
 
         if (diagnostics) {
@@ -250,7 +249,6 @@ NDArray<double> Compressor::decompress(const CompressedArray& array) const {
   const index_t kept = array.kept_per_block();
   const auto& kept_offsets = array.mask.kept_offsets();
   const double r = static_cast<double>(array.radius());
-  const bool lower_precision = settings_.float_type != FloatType::kFloat64;
   const FloatType ftype = settings_.float_type;
 
   NDArray<double> out(array.shape);
@@ -264,23 +262,20 @@ NDArray<double> Compressor::decompress(const CompressedArray& array) const {
 #pragma omp for
       for (index_t kb = 0; kb < num_blocks; ++kb) {
         // Unflatten F with zeros in the pruned slots (§III-B), scaling back
-        // to specified coefficients (Algorithm 3).
-        std::fill(coeffs.begin(), coeffs.end(), 0.0);
-        const double biggest = array.biggest[static_cast<std::size_t>(kb)];
+        // to specified coefficients (Algorithm 3) through the shared kernels.
+        const double scale = array.biggest[static_cast<std::size_t>(kb)] / r;
         const auto* bins = bins_data + kb * kept;
-        const double scale = biggest / r;
-        for (index_t slot = 0; slot < kept; ++slot) {
-          coeffs[static_cast<std::size_t>(kept_offsets[static_cast<std::size_t>(slot)])] =
-              scale * static_cast<double>(bins[slot]);
+        if (kept == block_volume) {
+          kernels::unbin_block(bins, kept, scale, coeffs.data());
+        } else {
+          std::fill(coeffs.begin(), coeffs.end(), 0.0);
+          kernels::unbin_scatter(bins, kept_offsets.data(), kept, scale,
+                                 coeffs.data());
         }
         transform_->inverse(coeffs.data(), scratch.data());
-        // The reconstruction lives in the storage float type.
-        if (lower_precision) {
-          for (index_t j = 0; j < block_volume; ++j)
-            coeffs[static_cast<std::size_t>(j)] =
-                quantize(coeffs[static_cast<std::size_t>(j)], ftype);
-        }
-        cursor.scatter(out.data(), kb, coeffs.data());
+        // The reconstruction lives in the storage float type; the rounding is
+        // fused into the scatter so cropped padding is never converted.
+        cursor.scatter(out.data(), kb, coeffs.data(), ftype);
       }
     }
   });

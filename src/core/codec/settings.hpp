@@ -29,6 +29,12 @@ struct CompressorSettings {
   /// Orthonormal transform applied per block.
   TransformKind transform = TransformKind::kDCT;
 
+  /// Transform implementation: kAuto dispatches to the factorized O(n log n)
+  /// kernels where available, kDense forces the dense matrix apply.  A
+  /// performance knob only — it does not affect the compressed format, and
+  /// arrays produced by either implementation interoperate.
+  TransformImpl transform_impl = TransformImpl::kAuto;
+
   /// Pruning mask; std::nullopt means keep all coefficients.
   std::optional<PruningMask> mask;
 

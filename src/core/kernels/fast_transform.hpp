@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/ndarray/shape.hpp"
+#include "core/transform/transform.hpp"
+
+namespace pyblaz::kernels {
+
+/// True when the factorized O(n log n) path can transform an axis of length
+/// @p n: always for n = 1 (identity), the Lee/recursive DCT-II for
+/// n in {2, 4, 8, 16, 32}, and the butterfly Haar for any power of two.
+bool fast_axis_supported(TransformKind kind, index_t n);
+
+/// True when the factorized path is supported AND measured faster than the
+/// dense matrix apply for this axis length — what TransformImpl::kAuto uses.
+/// (Very short Haar axes are dominated by butterfly level overhead, so the
+/// dense path keeps them.)
+bool fast_axis_preferred(TransformKind kind, index_t n);
+
+/// In-place factorized transform along one axis of a row-major block viewed
+/// as (outer, n, inner): each of the @p outer panels is an n x inner slab
+/// whose n dimension is contracted with the orthonormal basis.  The butterfly
+/// arithmetic runs elementwise across the inner dimension, so strided axes
+/// vectorize as well as contiguous ones.
+///
+/// @p tmp must hold n * inner doubles and must not alias @p data.  Requires
+/// fast_axis_supported(kind, n); call the dense matrix path otherwise.
+void fast_transform_axis(TransformKind kind, double* data, double* tmp,
+                         index_t n, index_t outer, index_t inner, bool forward);
+
+}  // namespace pyblaz::kernels

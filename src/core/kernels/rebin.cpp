@@ -1,0 +1,21 @@
+#include "core/kernels/rebin.hpp"
+
+namespace pyblaz::kernels {
+
+void quantize_block(double* __restrict x, index_t count, FloatType type) {
+  switch (type) {
+    case FloatType::kFloat64:
+      return;
+    case FloatType::kFloat32:
+#pragma omp simd
+      for (index_t j = 0; j < count; ++j)
+        x[j] = static_cast<double>(static_cast<float>(x[j]));
+      return;
+    case FloatType::kBFloat16:
+    case FloatType::kFloat16:
+      for (index_t j = 0; j < count; ++j) x[j] = quantize(x[j], type);
+      return;
+  }
+}
+
+}  // namespace pyblaz::kernels

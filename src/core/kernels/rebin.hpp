@@ -1,0 +1,101 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/dtypes/float_type.hpp"
+#include "core/ndarray/shape.hpp"
+
+namespace pyblaz::kernels {
+
+/// The binning/unbinning hot loops (§III-A d, Algorithm 3), written once for
+/// the compressor and every compressed-space operation that rebins.  All
+/// kernels are branch-free per element, use restrict pointers, and carry
+/// `omp simd` hints; they are the single source of truth for the arithmetic
+/// so every caller quantizes bit-identically.
+
+/// max |c_j| over a contiguous coefficient row.
+inline double max_abs(const double* __restrict c, index_t count) {
+  double biggest = 0.0;
+#pragma omp simd reduction(max : biggest)
+  for (index_t j = 0; j < count; ++j)
+    biggest = std::max(biggest, std::fabs(c[j]));
+  return biggest;
+}
+
+/// Quantize a contiguous coefficient row into bin indices:
+/// bins[j] = clamp(round(c[j] * inv), -r, r) with inv = r / biggest.
+template <typename BinT>
+inline void quantize_bins(const double* __restrict c, BinT* __restrict bins,
+                          index_t count, double inv, double r) {
+#pragma omp simd
+  for (index_t j = 0; j < count; ++j)
+    bins[j] = static_cast<BinT>(std::clamp(std::round(c[j] * inv), -r, r));
+}
+
+/// quantize_bins over a pruned selection: coefficient offsets[slot] feeds bin
+/// slot (the compressor's binning + pruning step in one pass).
+template <typename BinT>
+inline void quantize_bins_gather(const double* __restrict c,
+                                 const index_t* __restrict offsets,
+                                 BinT* __restrict bins, index_t kept,
+                                 double inv, double r) {
+#pragma omp simd
+  for (index_t slot = 0; slot < kept; ++slot)
+    bins[slot] = static_cast<BinT>(
+        std::clamp(std::round(c[offsets[slot]] * inv), -r, r));
+}
+
+/// Re-bin one block's coefficient row into (N_k, F_k): find-max, round the
+/// max through the storage float type, then clamp-round every coefficient
+/// into its bin.  Returns the stored N_k.  The final step of Algorithms 2
+/// and 4 and the only error source of compressed-space arithmetic.
+template <typename BinT>
+inline double rebin_block(const double* __restrict c, index_t count, double r,
+                          FloatType float_type, BinT* __restrict bins) {
+  const double biggest = quantize(max_abs(c, count), float_type);
+  if (biggest == 0.0) {
+    std::fill(bins, bins + count, BinT{0});
+  } else {
+    quantize_bins(c, bins, count, r / biggest, r);
+  }
+  return biggest;
+}
+
+/// Decode one block's bin row back to specified coefficients:
+/// c[j] = scale * f[j] with scale = N_k / r (Algorithm 3).
+template <typename BinT>
+inline void unbin_block(const BinT* __restrict f, index_t count, double scale,
+                        double* __restrict c) {
+#pragma omp simd
+  for (index_t j = 0; j < count; ++j)
+    c[j] = scale * static_cast<double>(f[j]);
+}
+
+/// unbin_block over a pruned selection: bin slot feeds coefficient
+/// offsets[slot]; the caller zero-fills the pruned positions.
+template <typename BinT>
+inline void unbin_scatter(const BinT* __restrict f,
+                          const index_t* __restrict offsets, index_t kept,
+                          double scale, double* __restrict c) {
+  for (index_t slot = 0; slot < kept; ++slot)
+    c[offsets[slot]] = scale * static_cast<double>(f[slot]);
+}
+
+/// Fused decode of a linear combination: c[j] = s1 f1[j] + s2 f2[j], the
+/// shared core of Algorithm 2 (addition) and its alpha/beta generalization.
+template <typename Bin1T, typename Bin2T>
+inline void decode_axpby(const Bin1T* __restrict f1, double s1,
+                         const Bin2T* __restrict f2, double s2, index_t count,
+                         double* __restrict c) {
+#pragma omp simd
+  for (index_t j = 0; j < count; ++j)
+    c[j] = s1 * static_cast<double>(f1[j]) + s2 * static_cast<double>(f2[j]);
+}
+
+/// Round a coefficient row through the storage float type in place.  The
+/// float32 case (the default) is a tight vectorizable loop; the 16-bit types
+/// go through their bit-exact conversion helpers.
+void quantize_block(double* __restrict x, index_t count, FloatType type);
+
+}  // namespace pyblaz::kernels

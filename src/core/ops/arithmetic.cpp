@@ -1,45 +1,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernels/rebin.hpp"
 #include "core/ops/ops.hpp"
 #include "core/ops/ops_internal.hpp"
 
 namespace pyblaz::ops {
 
 namespace internal {
-
-void rebin(const std::vector<double>& coefficients, index_t num_blocks,
-           index_t kept, FloatType float_type, IndexType index_type,
-           std::vector<double>& biggest_out, BinIndices& indices_out) {
-  const double r = static_cast<double>(arithmetic_radius(index_type));
-  biggest_out.resize(static_cast<std::size_t>(num_blocks));
-  indices_out =
-      BinIndices(index_type, static_cast<std::size_t>(num_blocks * kept));
-
-  indices_out.visit_mutable([&](auto* out_data) {
-#pragma omp parallel for
-    for (index_t kb = 0; kb < num_blocks; ++kb) {
-      const double* c = coefficients.data() + kb * kept;
-      double biggest = 0.0;
-      for (index_t slot = 0; slot < kept; ++slot)
-        biggest = std::max(biggest, std::fabs(c[slot]));
-      biggest = quantize(biggest, float_type);
-      biggest_out[static_cast<std::size_t>(kb)] = biggest;
-
-      auto* f = out_data + kb * kept;
-      using BinT = std::remove_reference_t<decltype(f[0])>;
-      if (biggest == 0.0) {
-        std::fill(f, f + kept, BinT{0});
-      } else {
-        const double inv = r / biggest;
-        for (index_t slot = 0; slot < kept; ++slot) {
-          const double scaled = std::clamp(std::round(c[slot] * inv), -r, r);
-          f[slot] = static_cast<BinT>(scaled);
-        }
-      }
-    }
-  });
-}
 
 std::vector<double> blockwise_mean_vector(const CompressedArray& a) {
   require_dc(a, "blockwise mean");
@@ -69,11 +37,9 @@ std::vector<double> specified_coefficients(const CompressedArray& a) {
   a.indices.visit([&](const auto* fdata) {
 #pragma omp parallel for
     for (index_t kb = 0; kb < num_blocks; ++kb) {
-      const double scale = a.biggest[static_cast<std::size_t>(kb)] / r;
-      const auto* f = fdata + kb * kept;
-      double* c = coefficients.data() + kb * kept;
-      for (index_t slot = 0; slot < kept; ++slot)
-        c[slot] = scale * static_cast<double>(f[slot]);
+      kernels::unbin_block(fdata + kb * kept, kept,
+                           a.biggest[static_cast<std::size_t>(kb)] / r,
+                           coefficients.data() + kb * kept);
     }
   });
   return coefficients;
@@ -86,57 +52,10 @@ CompressedArray negate(const CompressedArray& a) {
 }
 
 CompressedArray add(const CompressedArray& a, const CompressedArray& b) {
-  a.require_layout_match(b);
-  const index_t num_blocks = a.num_blocks();
-  const index_t kept = a.kept_per_block();
-  const double r = static_cast<double>(a.radius());
-
-  CompressedArray out = a;
-  out.indices = BinIndices(a.index_type, a.indices.size());
-
   // Ĉ = F1 ⊙ N1 ⊘ r + F2 ⊙ N2 ⊘ r (specified coefficients of the sum),
-  // summed and re-binned block by block so no whole-array coefficient
-  // buffer is materialized.
-  a.indices.visit([&](const auto* f1_data) {
-    b.indices.visit([&](const auto* f2_data) {
-      out.indices.visit_mutable([&](auto* out_data) {
-#pragma omp parallel
-        {
-          std::vector<double> coeffs(static_cast<std::size_t>(kept));
-#pragma omp for
-          for (index_t kb = 0; kb < num_blocks; ++kb) {
-            const double s1 = a.biggest[static_cast<std::size_t>(kb)] / r;
-            const double s2 = b.biggest[static_cast<std::size_t>(kb)] / r;
-            const auto* f1 = f1_data + kb * kept;
-            const auto* f2 = f2_data + kb * kept;
-            double biggest = 0.0;
-            for (index_t slot = 0; slot < kept; ++slot) {
-              const double c = s1 * static_cast<double>(f1[slot]) +
-                               s2 * static_cast<double>(f2[slot]);
-              coeffs[static_cast<std::size_t>(slot)] = c;
-              biggest = std::max(biggest, std::fabs(c));
-            }
-            biggest = quantize(biggest, a.float_type);
-            out.biggest[static_cast<std::size_t>(kb)] = biggest;
-
-            auto* f = out_data + kb * kept;
-            using BinT = std::remove_reference_t<decltype(f[0])>;
-            if (biggest == 0.0) {
-              std::fill(f, f + kept, BinT{0});
-            } else {
-              const double inv = r / biggest;
-              for (index_t slot = 0; slot < kept; ++slot) {
-                const double scaled = std::clamp(
-                    std::round(coeffs[static_cast<std::size_t>(slot)] * inv), -r, r);
-                f[slot] = static_cast<BinT>(scaled);
-              }
-            }
-          }
-        }
-      });
-    });
-  });
-  return out;
+  // summed and re-binned block by block: exactly the alpha = beta = 1 case of
+  // the fused linear-combination kernel pipeline.
+  return linear_combination(1.0, a, 1.0, b);
 }
 
 CompressedArray subtract(const CompressedArray& a, const CompressedArray& b) {
@@ -147,15 +66,31 @@ CompressedArray add_scalar(const CompressedArray& a, double x) {
   internal::require_dc(a, "scalar addition");
   const index_t num_blocks = a.num_blocks();
   const index_t kept = a.kept_per_block();
-
-  std::vector<double> coefficients = specified_coefficients(a);
+  const double r = static_cast<double>(a.radius());
   const double shift = x * internal::dc_scale(a.block_shape);
-  for (index_t kb = 0; kb < num_blocks; ++kb)
-    coefficients[static_cast<std::size_t>(kb * kept)] += shift;
 
   CompressedArray out = a;
-  internal::rebin(coefficients, num_blocks, kept, a.float_type, a.index_type,
-                  out.biggest, out.indices);
+  out.indices = BinIndices(a.index_type, a.indices.size());
+
+  // Decode, DC-shift, and rebin one block at a time (the streaming structure
+  // of add()) instead of materializing a whole-array coefficient buffer.
+  a.indices.visit([&](const auto* fdata) {
+    out.indices.visit_mutable([&](auto* out_data) {
+#pragma omp parallel
+      {
+        std::vector<double> coeffs(static_cast<std::size_t>(kept));
+#pragma omp for
+        for (index_t kb = 0; kb < num_blocks; ++kb) {
+          kernels::unbin_block(fdata + kb * kept, kept,
+                               a.biggest[static_cast<std::size_t>(kb)] / r,
+                               coeffs.data());
+          coeffs[0] += shift;  // require_dc guarantees the DC slot is slot 0.
+          out.biggest[static_cast<std::size_t>(kb)] = kernels::rebin_block(
+              coeffs.data(), kept, r, a.float_type, out_data + kb * kept);
+        }
+      }
+    });
+  });
   return out;
 }
 

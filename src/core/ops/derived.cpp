@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/kernels/rebin.hpp"
 #include "core/ops/ops.hpp"
 #include "core/ops/ops_internal.hpp"
 #include "core/transform/block_transform.hpp"
@@ -29,30 +30,10 @@ CompressedArray linear_combination(double alpha, const CompressedArray& a,
           for (index_t kb = 0; kb < num_blocks; ++kb) {
             const double s1 = alpha * a.biggest[static_cast<std::size_t>(kb)] / r;
             const double s2 = beta * b.biggest[static_cast<std::size_t>(kb)] / r;
-            const auto* f1 = f1_data + kb * kept;
-            const auto* f2 = f2_data + kb * kept;
-            double biggest = 0.0;
-            for (index_t slot = 0; slot < kept; ++slot) {
-              const double c = s1 * static_cast<double>(f1[slot]) +
-                               s2 * static_cast<double>(f2[slot]);
-              coeffs[static_cast<std::size_t>(slot)] = c;
-              biggest = std::max(biggest, std::fabs(c));
-            }
-            biggest = quantize(biggest, a.float_type);
-            out.biggest[static_cast<std::size_t>(kb)] = biggest;
-
-            auto* f = out_data + kb * kept;
-            using BinT = std::remove_reference_t<decltype(f[0])>;
-            if (biggest == 0.0) {
-              std::fill(f, f + kept, BinT{0});
-            } else {
-              const double inv = r / biggest;
-              for (index_t slot = 0; slot < kept; ++slot) {
-                const double scaled = std::clamp(
-                    std::round(coeffs[static_cast<std::size_t>(slot)] * inv), -r, r);
-                f[slot] = static_cast<BinT>(scaled);
-              }
-            }
+            kernels::decode_axpby(f1_data + kb * kept, s1, f2_data + kb * kept,
+                                  s2, kept, coeffs.data());
+            out.biggest[static_cast<std::size_t>(kb)] = kernels::rebin_block(
+                coeffs.data(), kept, r, a.float_type, out_data + kb * kept);
           }
         }
       });
@@ -103,7 +84,8 @@ NDArray<double> blockwise_l2_norm(const CompressedArray& a) {
   return out;
 }
 
-double dot(const CompressedArray& a, const NDArray<double>& y) {
+double dot(const CompressedArray& a, const NDArray<double>& y,
+           TransformImpl impl) {
   if (y.shape() != a.shape)
     throw std::invalid_argument("mixed-domain dot: shape mismatch");
 
@@ -111,7 +93,7 @@ double dot(const CompressedArray& a, const NDArray<double>& y) {
   // coefficients: <A, y> = <Ĉ_A, Ĉ_y> by orthonormality.  Reuses the
   // compressor's gather path via block_array for clarity; the per-block cost
   // matches one forward transform of y.
-  BlockTransform transform(a.transform, a.block_shape);
+  BlockTransform transform(a.transform, a.block_shape, impl);
   const index_t num_blocks = a.num_blocks();
   const index_t kept = a.kept_per_block();
   const index_t block_volume = a.block_shape.volume();

@@ -175,7 +175,10 @@ NDArray<double> blockwise_l2_norm(const CompressedArray& a);
 /// array of the same shape.  Blocks of y are transformed on the fly and
 /// contracted with A's specified coefficients — no decompression of A, no
 /// compression of y.  Useful for applying fixed analysis weights (quadrature
-/// rules, filters) to compressed data.
-double dot(const CompressedArray& a, const NDArray<double>& y);
+/// rules, filters) to compressed data.  @p impl selects the transform
+/// implementation for y's on-the-fly transform (pass TransformImpl::kDense
+/// to keep an all-dense debugging baseline consistent).
+double dot(const CompressedArray& a, const NDArray<double>& y,
+           TransformImpl impl = TransformImpl::kAuto);
 
 }  // namespace pyblaz::ops

@@ -22,14 +22,6 @@ inline double dc_scale(const Shape& block_shape) {
   return std::sqrt(static_cast<double>(block_shape.volume()));
 }
 
-/// Re-bin specified coefficients into (N, F): per block, N_k = max |Ĉ_k|
-/// rounded through the float type, F = round(r Ĉ / N) clamped to [-r, r].
-/// This is the final step of Algorithms 2 and 4 and the only place binary
-/// compressed-space arithmetic introduces error.
-void rebin(const std::vector<double>& coefficients, index_t num_blocks,
-           index_t kept, FloatType float_type, IndexType index_type,
-           std::vector<double>& biggest_out, BinIndices& indices_out);
-
 /// The blockwise means A' of Algorithm 13: DC coefficients / sqrt(prod(i)).
 std::vector<double> blockwise_mean_vector(const CompressedArray& a);
 

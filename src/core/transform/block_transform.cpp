@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/kernels/fast_transform.hpp"
 #include "core/transform/dct.hpp"
 #include "core/transform/haar.hpp"
 
@@ -18,8 +19,9 @@ std::string name(TransformKind kind) {
   return "dct";
 }
 
-BlockTransform::BlockTransform(TransformKind kind, Shape block_shape)
-    : kind_(kind), block_shape_(std::move(block_shape)) {
+BlockTransform::BlockTransform(TransformKind kind, Shape block_shape,
+                               TransformImpl impl)
+    : kind_(kind), block_shape_(std::move(block_shape)), impl_(impl) {
   matrices_.reserve(static_cast<std::size_t>(block_shape_.ndim()));
   for (int axis = 0; axis < block_shape_.ndim(); ++axis) {
     const int n = static_cast<int>(block_shape_[axis]);
@@ -110,8 +112,9 @@ void BlockTransform::apply(double* block, double* scratch,
   const int d = block_shape_.ndim();
   const bool forward = direction == Direction::kForward;
 
-  // Ping-pong between the block buffer and the scratch buffer, one axis per
-  // pass, copying back only if the final result landed in scratch.
+  // Factorized axes transform in place (using the other buffer as butterfly
+  // scratch); dense axes ping-pong between the two buffers.  Copy back only
+  // if the final result landed in scratch.
   double* src = block;
   double* dst = scratch;
   for (int axis = 0; axis < d; ++axis) {
@@ -119,9 +122,15 @@ void BlockTransform::apply(double* block, double* scratch,
     index_t outer = 1, inner = 1;
     for (int a = 0; a < axis; ++a) outer *= block_shape_[a];
     for (int a = axis + 1; a < d; ++a) inner *= block_shape_[a];
-    apply_axis_dispatch(src, dst, matrices_[static_cast<std::size_t>(axis)].data(),
-                        n, outer, inner, forward);
-    std::swap(src, dst);
+    if (impl_ == TransformImpl::kAuto &&
+        kernels::fast_axis_preferred(kind_, n)) {
+      kernels::fast_transform_axis(kind_, src, dst, n, outer, inner, forward);
+    } else {
+      apply_axis_dispatch(src, dst,
+                          matrices_[static_cast<std::size_t>(axis)].data(), n,
+                          outer, inner, forward);
+      std::swap(src, dst);
+    }
   }
   if (src != block) std::copy(src, src + block_shape_.volume(), block);
 }

@@ -15,12 +15,19 @@ namespace pyblaz {
 /// C = B ×_1 H_1 ×_2 H_2 ... ×_d H_d; the inverse contracts with the
 /// transposes.  Both directions are exact inverses up to floating-point
 /// rounding because every H_d is orthonormal.
+/// Axes whose length the factorized kernels support (power-of-two sizes up
+/// to 32 for the DCT, any power of two for Haar; see core/kernels) run in
+/// O(n log n) butterflies; other axes fall back to the dense matrix apply.
+/// TransformImpl::kDense forces the dense path everywhere — the oracle the
+/// kernel-equivalence tests and benchmarks compare against.
 class BlockTransform {
  public:
-  BlockTransform(TransformKind kind, Shape block_shape);
+  BlockTransform(TransformKind kind, Shape block_shape,
+                 TransformImpl impl = TransformImpl::kAuto);
 
   const Shape& block_shape() const { return block_shape_; }
   TransformKind kind() const { return kind_; }
+  TransformImpl impl() const { return impl_; }
 
   /// Number of doubles a scratch buffer must hold (= block volume).
   index_t scratch_size() const { return block_shape_.volume(); }
@@ -48,6 +55,7 @@ class BlockTransform {
 
   TransformKind kind_;
   Shape block_shape_;
+  TransformImpl impl_;
   std::vector<std::vector<double>> matrices_;
 };
 

@@ -20,4 +20,13 @@ enum class TransformKind : std::uint8_t {
 /// Human-readable name ("dct" or "haar").
 std::string name(TransformKind kind);
 
+/// Which implementation BlockTransform uses per axis.  Both produce the same
+/// orthonormal transform up to floating-point rounding (the kernel tests pin
+/// agreement to <= 1e-12), so this is a performance knob, not a format knob:
+/// arrays compressed with either interoperate freely.
+enum class TransformImpl : std::uint8_t {
+  kAuto = 0,   ///< Factorized O(n log n) kernels where available, else dense.
+  kDense = 1,  ///< Always the dense matrix apply (the fallback and oracle).
+};
+
 }  // namespace pyblaz

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files from bench_micro_kernels and flag regressions.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Entries are matched on (name, kind, impl, shape) and compared on
+seconds_per_call.  A candidate more than --threshold slower than the baseline
+is a regression; the script prints a table and exits nonzero if any entry
+regressed, so it can gate CI.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "pyblaz-bench-kernels-v1":
+        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    return {
+        (r["name"], r["kind"], r["impl"], r["shape"]): r["seconds_per_call"]
+        for r in data["results"]
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="fractional slowdown that counts as a regression (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_results(args.baseline)
+    candidate = load_results(args.candidate)
+
+    regressions = []
+    missing = []
+    print(f"{'benchmark':<50} {'baseline':>12} {'candidate':>12} {'ratio':>8}")
+    for key in sorted(baseline):
+        if key not in candidate:
+            label = " ".join(filter(None, key))
+            print(f"{label:<50} {'(missing in candidate)':>34}")
+            missing.append(label)
+            continue
+        base, cand = baseline[key], candidate[key]
+        ratio = cand / base if base > 0 else float("inf")
+        label = " ".join(filter(None, key))
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  <-- REGRESSION"
+            regressions.append((label, ratio))
+        print(f"{label:<50} {base * 1e9:>10.1f}ns {cand * 1e9:>10.1f}ns {ratio:>7.2f}x{flag}")
+    for key in sorted(set(candidate) - set(baseline)):
+        print(f"{' '.join(filter(None, key)):<50} {'(new in candidate)':>34}")
+
+    failed = False
+    if missing:
+        print(f"\n{len(missing)} baseline benchmark(s) missing from the "
+              f"candidate:", file=sys.stderr)
+        for label in missing:
+            print(f"  {label}", file=sys.stderr)
+        failed = True
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) above "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for label, ratio in regressions:
+            print(f"  {label}: {ratio:.2f}x slower", file=sys.stderr)
+        failed = True
+    if failed:
+        return 1
+    print(f"\nno regressions above {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
