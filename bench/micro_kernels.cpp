@@ -21,10 +21,12 @@
 
 #include "blaz/blaz.hpp"
 #include "core/codec/compressor.hpp"
+#include "core/codec/serialization.hpp"
 #include "core/kernels/fast_transform.hpp"
 #include "core/kernels/rebin.hpp"
 #include "core/ndarray/ndarray_ops.hpp"
 #include "core/ops/ops.hpp"
+#include "core/parallel/thread_pool.hpp"
 #include "core/transform/block_transform.hpp"
 #include "core/util/rng.hpp"
 #include "core/util/timer.hpp"
@@ -277,6 +279,39 @@ void bench_compressed_ops(Harness& harness) {
               [&] { dot += ops::dot(a, b); });
 }
 
+/// Thread-scaling sweep over the parallel block-execution runtime: the
+/// end-to-end codec plus the chunked serializer on the 64^3 workload at 1,
+/// 2, and 4 threads (impl records the thread count, e.g. "t4").  The
+/// determinism contract means every timed run produces identical bytes; the
+/// thread count is purely a throughput knob.  On a single-core host the tN
+/// entries land within noise of t1 — scaling numbers are only meaningful
+/// where the hardware has cores to scale onto.
+void bench_threaded_codec(Harness& harness) {
+  const Shape array_shape{64, 64, 64};
+  const Shape block_shape{8, 8, 8};
+  Rng rng(6);
+  NDArray<double> array = random_smooth(array_shape, rng, 6);
+  const double volume = static_cast<double>(array_shape.volume());
+  Compressor compressor(codec_settings(block_shape, TransformImpl::kAuto));
+  CompressedArray compressed = compressor.compress(array);
+  std::vector<std::uint8_t> stream = serialize(compressed);
+  NDArray<double> decompressed = compressor.decompress(compressed);
+
+  for (int threads : {1, 2, 4}) {
+    parallel::set_num_threads(threads);
+    const std::string impl = "t" + std::to_string(threads);
+    harness.run("compress_threads", "dct", impl, array_shape, volume,
+                [&] { compressed = compressor.compress(array); });
+    harness.run("decompress_threads", "dct", impl, array_shape, volume,
+                [&] { decompressed = compressor.decompress(compressed); });
+    harness.run("serialize_threads", "", impl, array_shape, volume,
+                [&] { stream = serialize(compressed); });
+    harness.run("deserialize_threads", "", impl, array_shape, volume,
+                [&] { compressed = deserialize(stream); });
+  }
+  parallel::set_num_threads(0);  // Restore the CC_THREADS / hardware default.
+}
+
 /// The paper's comparison-baseline codecs, kept in the harness so their
 /// block pipelines stay under the same regression tracking as pyblaz's.
 void bench_baseline_codecs(Harness& harness) {
@@ -309,17 +344,38 @@ int main(int argc, char** argv) {
   // path explicitly when refreshing the baseline itself.
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.local.json";
 
+  // Pin the host-independent dispatch policy: the autotune probe can flip
+  // borderline sizes between hosts (or under load), which would change which
+  // (name, impl) entries exist run to run and break baseline comparison.
+  // The kAuto-vs-kDense timings below measure the kernels, not the policy.
+  kernels::set_fast_axis_policy(kernels::FastAxisPolicy::kFixed);
+
   Harness harness;
   bench_transforms(harness);
   bench_rebin(harness);
   bench_codec(harness);
   bench_compressed_ops(harness);
+  bench_threaded_codec(harness);
   bench_baseline_codecs(harness);
 
   std::printf("\nfast-over-dense speedups:\n");
   for (const auto& s : harness.speedups())
     std::printf("  %-22s %-5s %-12s %6.2fx\n", s.name.c_str(), s.kind.c_str(),
                 s.shape.c_str(), s.fast_over_dense);
+
+  std::printf("\nthread scaling (t1 over tN, 64x64x64):\n");
+  for (const char* name : {"compress_threads", "decompress_threads",
+                           "serialize_threads", "deserialize_threads"}) {
+    const Result* t1 = harness.find(name, "", "t1", "64x64x64");
+    if (!t1) t1 = harness.find(name, "dct", "t1", "64x64x64");
+    for (const char* impl : {"t2", "t4"}) {
+      const Result* tn = harness.find(name, "", impl, "64x64x64");
+      if (!tn) tn = harness.find(name, "dct", impl, "64x64x64");
+      if (t1 && tn)
+        std::printf("  %-22s %-3s %6.2fx\n", name, impl,
+                    t1->seconds_per_call / tn->seconds_per_call);
+    }
+  }
 
   if (!harness.write_json(out_path)) {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "core/parallel/thread_pool.hpp"
+
 namespace pyblaz {
 
 namespace {
@@ -50,12 +52,11 @@ Blocked block_array(const NDArray<double>& array, const Shape& block_shape) {
   const index_t block_last = block_shape[d - 1];
   const index_t rows_per_block = block_volume / block_last;
 
-#pragma omp parallel
-  {
+  parallel::parallel_for(0, num_blocks, 4, [&](index_t chunk_begin,
+                                               index_t chunk_end) {
     std::vector<index_t> block_coords(static_cast<std::size_t>(d));
     std::vector<index_t> row_coords(static_cast<std::size_t>(d), 0);
-#pragma omp for
-    for (index_t kb = 0; kb < num_blocks; ++kb) {
+    for (index_t kb = chunk_begin; kb < chunk_end; ++kb) {
       decompose(blocked.block_grid, kb, block_coords.data());
       double* dst = blocked.block(kb);
 
@@ -88,7 +89,7 @@ Blocked block_array(const NDArray<double>& array, const Shape& block_shape) {
         if (d > 1) advance_row(block_shape, row_coords.data());
       }
     }
-  }
+  });
   return blocked;
 }
 
@@ -102,12 +103,11 @@ NDArray<double> unblock_array(const Blocked& blocked) {
   const index_t block_last = blocked.block_shape[d - 1];
   const index_t rows_per_block = block_volume / block_last;
 
-#pragma omp parallel
-  {
+  parallel::parallel_for(0, num_blocks, 4, [&](index_t chunk_begin,
+                                               index_t chunk_end) {
     std::vector<index_t> block_coords(static_cast<std::size_t>(d));
     std::vector<index_t> row_coords(static_cast<std::size_t>(d), 0);
-#pragma omp for
-    for (index_t kb = 0; kb < num_blocks; ++kb) {
+    for (index_t kb = chunk_begin; kb < chunk_end; ++kb) {
       decompose(blocked.block_grid, kb, block_coords.data());
       const double* src = blocked.block(kb);
 
@@ -138,7 +138,7 @@ NDArray<double> unblock_array(const Blocked& blocked) {
         if (d > 1) advance_row(blocked.block_shape, row_coords.data());
       }
     }
-  }
+  });
   return out;
 }
 

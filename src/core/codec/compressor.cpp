@@ -8,8 +8,19 @@
 
 #include "core/kernels/rebin.hpp"
 #include "core/ndarray/ndarray_ops.hpp"
+#include "core/parallel/thread_pool.hpp"
 
 namespace pyblaz {
+
+namespace {
+
+/// Blocks per parallel chunk for the fused block pipelines.  Small enough to
+/// load-balance ragged grids, large enough to amortize the per-chunk
+/// workspace (one BlockCursor + two block buffers).  A fixed constant so the
+/// chunking — and with it every result — is independent of the thread count.
+constexpr index_t kCodecGrain = 4;
+
+}  // namespace
 
 Compressor::Compressor(CompressorSettings settings)
     : settings_(std::move(settings)) {
@@ -172,13 +183,12 @@ CompressedArray Compressor::compress(const NDArray<double>& array,
   }
 
   out.indices.visit_mutable([&](auto* bins_data) {
-#pragma omp parallel
-    {
+    parallel::parallel_for(0, num_blocks, kCodecGrain, [&](index_t chunk_begin,
+                                                           index_t chunk_end) {
       BlockCursor cursor(array.shape(), settings_.block_shape, grid);
       std::vector<double> coeffs(static_cast<std::size_t>(block_volume));
       std::vector<double> scratch(static_cast<std::size_t>(block_volume));
-#pragma omp for
-      for (index_t kb = 0; kb < num_blocks; ++kb) {
+      for (index_t kb = chunk_begin; kb < chunk_end; ++kb) {
         // Steps 1+2 (§III-A a, b): gather the block, rounding values through
         // the storage float type in the same pass (elementwise, so
         // quantize-then-block and block-then-quantize agree).
@@ -232,7 +242,7 @@ CompressedArray Compressor::compress(const NDArray<double>& array,
           diagnostics->pruning_l1[static_cast<std::size_t>(kb)] = pruning_l1;
         }
       }
-    }
+    });
   });
   return out;
 }
@@ -254,13 +264,12 @@ NDArray<double> Compressor::decompress(const CompressedArray& array) const {
   NDArray<double> out(array.shape);
 
   array.indices.visit([&](const auto* bins_data) {
-#pragma omp parallel
-    {
+    parallel::parallel_for(0, num_blocks, kCodecGrain, [&](index_t chunk_begin,
+                                                           index_t chunk_end) {
       BlockCursor cursor(array.shape, array.block_shape, grid);
       std::vector<double> coeffs(static_cast<std::size_t>(block_volume));
       std::vector<double> scratch(static_cast<std::size_t>(block_volume));
-#pragma omp for
-      for (index_t kb = 0; kb < num_blocks; ++kb) {
+      for (index_t kb = chunk_begin; kb < chunk_end; ++kb) {
         // Unflatten F with zeros in the pruned slots (§III-B), scaling back
         // to specified coefficients (Algorithm 3) through the shared kernels.
         const double scale = array.biggest[static_cast<std::size_t>(kb)] / r;
@@ -277,7 +286,7 @@ NDArray<double> Compressor::decompress(const CompressedArray& array) const {
         // fused into the scatter so cropped padding is never converted.
         cursor.scatter(out.data(), kb, coeffs.data(), ftype);
       }
-    }
+    });
   });
   return out;
 }

@@ -1,10 +1,12 @@
 #include "core/codec/serialization.hpp"
 
 #include <bit>
+#include <cstring>
 #include <stdexcept>
 
 #include "core/dtypes/bfloat16.hpp"
 #include "core/dtypes/float16.hpp"
+#include "core/parallel/thread_pool.hpp"
 #include "core/util/bitstream.hpp"
 
 namespace pyblaz {
@@ -12,6 +14,16 @@ namespace pyblaz {
 namespace {
 
 constexpr std::uint64_t kEndOfShapeMarker = ~std::uint64_t{0};
+
+/// v2 chunked-container magic.  A v1 stream can never start with it: v1's
+/// first byte packs float type (2 bits), index type (2), transform (1), and
+/// three reserved zero bits, so it is always < 32, while 'P' = 0x50.
+constexpr std::uint8_t kChunkedMagic[4] = {'P', 'B', 'Z', '2'};
+
+/// Target payload size per chunk (bits).  Chunk boundaries are a pure
+/// function of the array's geometry — never of the thread count — so the
+/// container bytes are identical no matter how many threads encoded it.
+constexpr std::size_t kTargetChunkBits = std::size_t{1} << 19;  // 64 KiB.
 
 std::uint64_t encode_stored_float(double value, FloatType type) {
   switch (type) {
@@ -52,10 +64,9 @@ std::int64_t sign_extend(std::uint64_t raw, int nbits) {
   return static_cast<std::int64_t>(raw);
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> serialize(const CompressedArray& array) {
-  BitWriter writer;
+/// Shared metadata header (both formats): type nibble, transform, shape,
+/// end-of-shape marker, block shape, pruning mask.
+void write_header(BitWriter& writer, const CompressedArray& array) {
   writer.put_bits(static_cast<std::uint64_t>(array.float_type), 2);
   writer.put_bits(static_cast<std::uint64_t>(array.index_type), 2);
   writer.put_bits(static_cast<std::uint64_t>(array.transform), 1);
@@ -68,29 +79,18 @@ std::vector<std::uint8_t> serialize(const CompressedArray& array) {
     writer.put_bits(static_cast<std::uint64_t>(extent), 64);
 
   for (std::uint8_t flag : array.mask.flags()) writer.put_bit(flag);
-
-  const int fbits = bits(array.float_type);
-  for (double n : array.biggest)
-    writer.put_bits(encode_stored_float(n, array.float_type), fbits);
-
-  const int ibits = bits(array.index_type);
-  for (std::size_t k = 0; k < array.indices.size(); ++k)
-    writer.put_bits(static_cast<std::uint64_t>(array.indices.get(k)), ibits);
-
-  writer.align_to_byte();
-  return std::move(writer).take_bytes();
 }
 
-CompressedArray deserialize(const std::vector<std::uint8_t>& bytes) {
-  BitReader reader(bytes);
-  CompressedArray array;
+/// Parse and validate the shared header into @p array (everything up to and
+/// including the mask).  Throws std::invalid_argument on malformed input;
+/// the sanity limits reject corrupted size fields before they can drive a
+/// huge allocation (see tests/test_fuzz.cpp).
+void parse_header(BitReader& reader, CompressedArray& array) {
   array.float_type = static_cast<FloatType>(reader.get_bits(2));
   array.index_type = static_cast<IndexType>(reader.get_bits(2));
   array.transform = static_cast<TransformKind>(reader.get_bits(1));
   reader.get_bits(3);  // Reserved.
 
-  // Structural sanity limits: a corrupted size field must be rejected before
-  // it drives a huge allocation (see tests/test_fuzz.cpp).
   constexpr index_t kMaxExtent = index_t{1} << 40;
   constexpr index_t kMaxBlockExtent = index_t{1} << 20;
   constexpr index_t kMaxBlockVolume = index_t{1} << 26;
@@ -120,8 +120,8 @@ CompressedArray deserialize(const std::vector<std::uint8_t>& bytes) {
       array.block_shape.volume() > kMaxBlockVolume)
     throw std::invalid_argument("deserialize: corrupt block shape");
 
-  // The remaining stream must be able to hold the mask, N, and F payloads
-  // the header promises.
+  // The remaining stream must be able to hold the mask and at least the N
+  // payload the header promises.
   {
     const std::size_t remaining = reader.size_bits() - reader.position();
     const std::size_t mask_bits =
@@ -139,6 +139,157 @@ CompressedArray deserialize(const std::vector<std::uint8_t>& bytes) {
   array.mask = PruningMask::from_flags(array.block_shape, std::move(flags));
   if (array.mask.kept_count() == 0)
     throw std::invalid_argument("deserialize: mask keeps nothing");
+}
+
+/// Fixed geometry of the v2 chunked payload: every block stores exactly
+/// f + kept * i bits, so the per-chunk byte offsets in the header are fully
+/// determined by (num_blocks, blocks_per_chunk).  The offsets are still
+/// written out — the container stays self-describing if a later version
+/// makes chunk payloads variable-rate.
+struct ChunkLayout {
+  index_t num_blocks = 0;
+  index_t blocks_per_chunk = 0;
+  index_t num_chunks = 0;
+  std::size_t bits_per_block = 0;
+
+  static ChunkLayout plan(const CompressedArray& array) {
+    ChunkLayout layout;
+    layout.num_blocks = array.num_blocks();
+    layout.bits_per_block =
+        static_cast<std::size_t>(bits(array.float_type)) +
+        static_cast<std::size_t>(bits(array.index_type)) *
+            static_cast<std::size_t>(array.kept_per_block());
+    layout.blocks_per_chunk = std::clamp<index_t>(
+        static_cast<index_t>(kTargetChunkBits / layout.bits_per_block), 1,
+        layout.num_blocks);
+    layout.num_chunks = (layout.num_blocks + layout.blocks_per_chunk - 1) /
+                        layout.blocks_per_chunk;
+    return layout;
+  }
+
+  index_t chunk_begin(index_t chunk) const {
+    return chunk * blocks_per_chunk;
+  }
+  index_t chunk_end(index_t chunk) const {
+    return std::min(num_blocks, (chunk + 1) * blocks_per_chunk);
+  }
+  std::size_t chunk_bytes(index_t chunk) const {
+    const auto blocks =
+        static_cast<std::size_t>(chunk_end(chunk) - chunk_begin(chunk));
+    return (blocks * bits_per_block + 7) / 8;
+  }
+};
+
+/// Encode blocks [begin, end) of N and F as one self-contained chunk stream.
+template <typename BinT>
+void encode_chunk(const CompressedArray& array, const BinT* bins_data,
+                  index_t begin, index_t end, BitWriter& writer) {
+  const int fbits = bits(array.float_type);
+  const int ibits = bits(array.index_type);
+  const index_t kept = array.kept_per_block();
+  for (index_t kb = begin; kb < end; ++kb)
+    writer.put_bits(
+        encode_stored_float(array.biggest[static_cast<std::size_t>(kb)],
+                            array.float_type),
+        fbits);
+  for (index_t kb = begin; kb < end; ++kb) {
+    const BinT* bins = bins_data + kb * kept;
+    for (index_t slot = 0; slot < kept; ++slot)
+      writer.put_bits(static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(bins[slot])),
+                      ibits);
+  }
+  writer.align_to_byte();
+}
+
+/// Decode one chunk stream back into blocks [begin, end) of N and F.
+template <typename BinT>
+void decode_chunk(CompressedArray& array, BinT* bins_data, index_t begin,
+                  index_t end, BitReader& reader) {
+  const int fbits = bits(array.float_type);
+  const int ibits = bits(array.index_type);
+  const index_t kept = array.kept_per_block();
+  for (index_t kb = begin; kb < end; ++kb)
+    array.biggest[static_cast<std::size_t>(kb)] =
+        decode_stored_float(reader.get_bits(fbits), array.float_type);
+  for (index_t kb = begin; kb < end; ++kb) {
+    BinT* bins = bins_data + kb * kept;
+    for (index_t slot = 0; slot < kept; ++slot)
+      bins[slot] =
+          static_cast<BinT>(sign_extend(reader.get_bits(ibits), ibits));
+  }
+}
+
+CompressedArray deserialize_v1(const std::vector<std::uint8_t>& bytes);
+CompressedArray deserialize_v2(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_v1(const CompressedArray& array) {
+  BitWriter writer;
+  write_header(writer, array);
+
+  const int fbits = bits(array.float_type);
+  for (double n : array.biggest)
+    writer.put_bits(encode_stored_float(n, array.float_type), fbits);
+
+  const int ibits = bits(array.index_type);
+  for (std::size_t k = 0; k < array.indices.size(); ++k)
+    writer.put_bits(static_cast<std::uint64_t>(array.indices.get(k)), ibits);
+
+  writer.align_to_byte();
+  return std::move(writer).take_bytes();
+}
+
+std::vector<std::uint8_t> serialize(const CompressedArray& array) {
+  const ChunkLayout layout = ChunkLayout::plan(array);
+
+  // Header: magic, shared metadata, chunk table.  The per-chunk byte offsets
+  // (relative to the payload start) let the decoder hand every chunk to a
+  // different thread without scanning the stream.
+  BitWriter writer;
+  for (std::uint8_t byte : kChunkedMagic) writer.put_bits(byte, 8);
+  write_header(writer, array);
+  writer.align_to_byte();
+  writer.put_bits(static_cast<std::uint64_t>(layout.blocks_per_chunk), 64);
+  writer.put_bits(static_cast<std::uint64_t>(layout.num_chunks), 32);
+  std::vector<std::size_t> offsets(
+      static_cast<std::size_t>(layout.num_chunks) + 1, 0);
+  for (index_t chunk = 0; chunk < layout.num_chunks; ++chunk)
+    offsets[static_cast<std::size_t>(chunk) + 1] =
+        offsets[static_cast<std::size_t>(chunk)] + layout.chunk_bytes(chunk);
+  for (index_t chunk = 0; chunk < layout.num_chunks; ++chunk)
+    writer.put_bits(offsets[static_cast<std::size_t>(chunk)], 64);
+
+  std::vector<std::uint8_t> out = std::move(writer).take_bytes();
+  const std::size_t payload_base = out.size();
+  out.resize(payload_base + offsets.back());
+
+  // Chunks encode concurrently, each into bytes fully determined by its own
+  // blocks, so the assembled container is byte-identical at any thread count.
+  array.indices.visit([&](const auto* bins_data) {
+    parallel::parallel_for(0, layout.num_chunks, 1, [&](index_t chunk_begin,
+                                                        index_t chunk_end) {
+      for (index_t chunk = chunk_begin; chunk < chunk_end; ++chunk) {
+        BitWriter chunk_writer;
+        encode_chunk(array, bins_data, layout.chunk_begin(chunk),
+                     layout.chunk_end(chunk), chunk_writer);
+        const std::vector<std::uint8_t>& chunk_bytes = chunk_writer.bytes();
+        std::memcpy(out.data() + payload_base +
+                        offsets[static_cast<std::size_t>(chunk)],
+                    chunk_bytes.data(), chunk_bytes.size());
+      }
+    });
+  });
+  return out;
+}
+
+namespace {
+
+CompressedArray deserialize_v1(const std::vector<std::uint8_t>& bytes) {
+  BitReader reader(bytes);
+  CompressedArray array;
+  parse_header(reader, array);
 
   const index_t num_blocks = array.num_blocks();
   const int fbits = bits(array.float_type);
@@ -166,6 +317,76 @@ CompressedArray deserialize(const std::vector<std::uint8_t>& bytes) {
   if (reader.position() > reader.size_bits())
     throw std::invalid_argument("deserialize: truncated stream");
   return array;
+}
+
+CompressedArray deserialize_v2(const std::vector<std::uint8_t>& bytes) {
+  BitReader reader(bytes);
+  reader.seek(32);  // Past the magic.
+  CompressedArray array;
+  parse_header(reader, array);
+  reader.align_to_byte();
+
+  // Seed num_blocks/bits_per_block from the parsed header, then overwrite
+  // the chunk geometry with what the stream declares: any self-consistent
+  // chunking decodes, not just the one today's writer would plan.
+  ChunkLayout layout = ChunkLayout::plan(array);
+  layout.blocks_per_chunk = static_cast<index_t>(reader.get_bits(64));
+  layout.num_chunks = static_cast<index_t>(reader.get_bits(32));
+  if (layout.blocks_per_chunk < 1 ||
+      layout.blocks_per_chunk > layout.num_blocks ||
+      layout.num_chunks != (layout.num_blocks + layout.blocks_per_chunk - 1) /
+                               layout.blocks_per_chunk)
+    throw std::invalid_argument("deserialize: corrupt chunk table");
+
+  // The payload is fixed-rate, so every offset is predictable; reject a
+  // table that disagrees rather than trusting attacker-controlled offsets.
+  std::vector<std::size_t> offsets(
+      static_cast<std::size_t>(layout.num_chunks) + 1, 0);
+  for (index_t chunk = 0; chunk < layout.num_chunks; ++chunk)
+    offsets[static_cast<std::size_t>(chunk) + 1] =
+        offsets[static_cast<std::size_t>(chunk)] + layout.chunk_bytes(chunk);
+  for (index_t chunk = 0; chunk < layout.num_chunks; ++chunk) {
+    if (reader.position() + 64 > reader.size_bits())
+      throw std::invalid_argument("deserialize: truncated stream");
+    if (reader.get_bits(64) != offsets[static_cast<std::size_t>(chunk)])
+      throw std::invalid_argument("deserialize: corrupt chunk table");
+  }
+
+  const std::size_t payload_base = reader.position() / 8;
+  if (payload_base + offsets.back() > bytes.size())
+    throw std::invalid_argument("deserialize: truncated stream");
+
+  array.biggest.resize(static_cast<std::size_t>(layout.num_blocks));
+  array.indices = BinIndices(
+      array.index_type, static_cast<std::size_t>(layout.num_blocks *
+                                                 array.kept_per_block()));
+  array.indices.visit_mutable([&](auto* bins_data) {
+    parallel::parallel_for(0, layout.num_chunks, 1, [&](index_t chunk_begin,
+                                                        index_t chunk_end) {
+      for (index_t chunk = chunk_begin; chunk < chunk_end; ++chunk) {
+        BitReader chunk_reader(
+            bytes.data() + payload_base +
+                offsets[static_cast<std::size_t>(chunk)],
+            layout.chunk_bytes(chunk));
+        decode_chunk(array, bins_data, layout.chunk_begin(chunk),
+                     layout.chunk_end(chunk), chunk_reader);
+      }
+    });
+  });
+  return array;
+}
+
+}  // namespace
+
+bool is_chunked_stream(const std::vector<std::uint8_t>& bytes) {
+  return bytes.size() >= 4 && bytes[0] == kChunkedMagic[0] &&
+         bytes[1] == kChunkedMagic[1] && bytes[2] == kChunkedMagic[2] &&
+         bytes[3] == kChunkedMagic[3];
+}
+
+CompressedArray deserialize(const std::vector<std::uint8_t>& bytes) {
+  return is_chunked_stream(bytes) ? deserialize_v2(bytes)
+                                  : deserialize_v1(bytes);
 }
 
 std::size_t paper_layout_bits(const CompressedArray& array) {

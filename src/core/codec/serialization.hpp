@@ -7,7 +7,25 @@
 
 namespace pyblaz {
 
-/// Bit-exact serialization of a compressed array following the §IV-C layout:
+/// Serialize into the current (v2) chunked container format:
+///
+///   - 4 bytes: magic "PBZ2" (a v1 stream can never start with it: v1's
+///     first byte is always < 32)
+///   - the shared v1 metadata header (type nibble, transform, shape s with
+///     end marker, block shape i, pruning mask P), padded to a byte boundary
+///   - 64 bits: blocks per chunk; 32 bits: chunk count
+///   - 64 bits per chunk: byte offset of its payload, relative to the
+///     payload start
+///   - per chunk, byte-aligned: N then F for that chunk's blocks
+///
+/// Blocks are partitioned into fixed-size chunks (a pure function of the
+/// array's geometry), so encode and decode fan the chunks out across the
+/// parallel runtime while producing byte-identical streams at any thread
+/// count.  Chunk payloads are independent: a decoder can also read any
+/// subset of chunks without touching the rest of the payload.
+std::vector<std::uint8_t> serialize(const CompressedArray& array);
+
+/// Serialize into the legacy v1 single-stream layout (§IV-C):
 ///
 ///   - 4 bits: float type (2) + index type (2)
 ///   - 4 bits: transform kind (1) + reserved (3)   [our addition; the paper's
@@ -20,10 +38,16 @@ namespace pyblaz {
 ///   - i bits per kept index per block: F, flattened (i = bits of the index
 ///     type, two's complement)
 ///
-/// The stream is zero-padded to a byte boundary at the end.
-std::vector<std::uint8_t> serialize(const CompressedArray& array);
+/// The stream is zero-padded to a byte boundary at the end.  Kept for
+/// interoperability with pre-chunking archives and as the layout whose size
+/// matches the paper's ratio accounting exactly.
+std::vector<std::uint8_t> serialize_v1(const CompressedArray& array);
 
-/// Inverse of serialize().  Throws std::invalid_argument on malformed input.
+/// True when @p bytes starts with the v2 chunked-container magic.
+bool is_chunked_stream(const std::vector<std::uint8_t>& bytes);
+
+/// Inverse of serialize()/serialize_v1(); the format version is detected
+/// from the stream.  Throws std::invalid_argument on malformed input.
 CompressedArray deserialize(const std::vector<std::uint8_t>& bytes);
 
 /// Size in bits of the §IV-C layout for @p array — exactly the components the

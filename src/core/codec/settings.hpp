@@ -32,7 +32,10 @@ struct CompressorSettings {
   /// Transform implementation: kAuto dispatches to the factorized O(n log n)
   /// kernels where available, kDense forces the dense matrix apply.  A
   /// performance knob only — it does not affect the compressed format, and
-  /// arrays produced by either implementation interoperate.
+  /// arrays produced by either implementation interoperate.  Which axes
+  /// kAuto considers "available" is decided by kernels::fast_axis_preferred
+  /// (autotuned per host by default; pin with PYBLAZ_FAST_AXIS=fixed or
+  /// kernels::set_fast_axis_policy for host-independent dispatch).
   TransformImpl transform_impl = TransformImpl::kAuto;
 
   /// Pruning mask; std::nullopt means keep all coefficients.

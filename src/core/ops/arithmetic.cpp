@@ -4,6 +4,7 @@
 #include "core/kernels/rebin.hpp"
 #include "core/ops/ops.hpp"
 #include "core/ops/ops_internal.hpp"
+#include "core/parallel/thread_pool.hpp"
 
 namespace pyblaz::ops {
 
@@ -17,11 +18,15 @@ std::vector<double> blockwise_mean_vector(const CompressedArray& a) {
   const double c = dc_scale(a.block_shape);
   std::vector<double> means(static_cast<std::size_t>(num_blocks));
   a.indices.visit([&](const auto* f) {
-    for (index_t kb = 0; kb < num_blocks; ++kb) {
-      const double dc = a.biggest[static_cast<std::size_t>(kb)] *
-                        static_cast<double>(f[kb * kept]) / r;
-      means[static_cast<std::size_t>(kb)] = dc / c;
-    }
+    parallel::parallel_for(
+        0, num_blocks, parallel::default_grain(num_blocks),
+        [&](index_t begin, index_t end) {
+          for (index_t kb = begin; kb < end; ++kb) {
+            const double dc = a.biggest[static_cast<std::size_t>(kb)] *
+                              static_cast<double>(f[kb * kept]) / r;
+            means[static_cast<std::size_t>(kb)] = dc / c;
+          }
+        });
   });
   return means;
 }
@@ -35,12 +40,14 @@ std::vector<double> specified_coefficients(const CompressedArray& a) {
   std::vector<double> coefficients(static_cast<std::size_t>(num_blocks * kept));
 
   a.indices.visit([&](const auto* fdata) {
-#pragma omp parallel for
-    for (index_t kb = 0; kb < num_blocks; ++kb) {
-      kernels::unbin_block(fdata + kb * kept, kept,
-                           a.biggest[static_cast<std::size_t>(kb)] / r,
-                           coefficients.data() + kb * kept);
-    }
+    parallel::parallel_for(
+        0, num_blocks, parallel::default_grain(num_blocks),
+        [&](index_t begin, index_t end) {
+          for (index_t kb = begin; kb < end; ++kb)
+            kernels::unbin_block(fdata + kb * kept, kept,
+                                 a.biggest[static_cast<std::size_t>(kb)] / r,
+                                 coefficients.data() + kb * kept);
+        });
   });
   return coefficients;
 }
@@ -76,19 +83,20 @@ CompressedArray add_scalar(const CompressedArray& a, double x) {
   // of add()) instead of materializing a whole-array coefficient buffer.
   a.indices.visit([&](const auto* fdata) {
     out.indices.visit_mutable([&](auto* out_data) {
-#pragma omp parallel
-      {
-        std::vector<double> coeffs(static_cast<std::size_t>(kept));
-#pragma omp for
-        for (index_t kb = 0; kb < num_blocks; ++kb) {
-          kernels::unbin_block(fdata + kb * kept, kept,
-                               a.biggest[static_cast<std::size_t>(kb)] / r,
-                               coeffs.data());
-          coeffs[0] += shift;  // require_dc guarantees the DC slot is slot 0.
-          out.biggest[static_cast<std::size_t>(kb)] = kernels::rebin_block(
-              coeffs.data(), kept, r, a.float_type, out_data + kb * kept);
-        }
-      }
+      parallel::parallel_for(
+          0, num_blocks, parallel::default_grain(num_blocks),
+          [&](index_t begin, index_t end) {
+            std::vector<double> coeffs(static_cast<std::size_t>(kept));
+            for (index_t kb = begin; kb < end; ++kb) {
+              kernels::unbin_block(fdata + kb * kept, kept,
+                                   a.biggest[static_cast<std::size_t>(kb)] / r,
+                                   coeffs.data());
+              // require_dc guarantees the DC slot is slot 0.
+              coeffs[0] += shift;
+              out.biggest[static_cast<std::size_t>(kb)] = kernels::rebin_block(
+                  coeffs.data(), kept, r, a.float_type, out_data + kb * kept);
+            }
+          });
     });
   });
   return out;

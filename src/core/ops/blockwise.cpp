@@ -2,6 +2,7 @@
 
 #include "core/ops/ops.hpp"
 #include "core/ops/ops_internal.hpp"
+#include "core/parallel/thread_pool.hpp"
 
 namespace pyblaz::ops {
 
@@ -25,19 +26,22 @@ NDArray<double> blockwise_covariance(const CompressedArray& a,
   // the non-DC coefficients (§IV-A 7).
   a.indices.visit([&](const auto* f1_data) {
     b.indices.visit([&](const auto* f2_data) {
-#pragma omp parallel for
-      for (index_t kb = 0; kb < num_blocks; ++kb) {
-        const double s1 = a.biggest[static_cast<std::size_t>(kb)] / r;
-        const double s2 = b.biggest[static_cast<std::size_t>(kb)] / r;
-        const auto* f1 = f1_data + kb * kept;
-        const auto* f2 = f2_data + kb * kept;
-        double total = 0.0;
-        for (index_t slot = 1; slot < kept; ++slot) {
-          total += s1 * static_cast<double>(f1[slot]) * s2 *
-                   static_cast<double>(f2[slot]);
-        }
-        out[kb] = total / block_volume;
-      }
+      parallel::parallel_for(
+          0, num_blocks, parallel::default_grain(num_blocks),
+          [&](index_t begin, index_t end) {
+            for (index_t kb = begin; kb < end; ++kb) {
+              const double s1 = a.biggest[static_cast<std::size_t>(kb)] / r;
+              const double s2 = b.biggest[static_cast<std::size_t>(kb)] / r;
+              const auto* f1 = f1_data + kb * kept;
+              const auto* f2 = f2_data + kb * kept;
+              double total = 0.0;
+              for (index_t slot = 1; slot < kept; ++slot) {
+                total += s1 * static_cast<double>(f1[slot]) * s2 *
+                         static_cast<double>(f2[slot]);
+              }
+              out[kb] = total / block_volume;
+            }
+          });
     });
   });
   return out;

@@ -6,6 +6,7 @@
 #include "core/kernels/rebin.hpp"
 #include "core/ops/ops.hpp"
 #include "core/ops/ops_internal.hpp"
+#include "core/parallel/thread_pool.hpp"
 #include "core/transform/block_transform.hpp"
 
 namespace pyblaz::ops {
@@ -23,19 +24,22 @@ CompressedArray linear_combination(double alpha, const CompressedArray& a,
   a.indices.visit([&](const auto* f1_data) {
     b.indices.visit([&](const auto* f2_data) {
       out.indices.visit_mutable([&](auto* out_data) {
-#pragma omp parallel
-        {
-          std::vector<double> coeffs(static_cast<std::size_t>(kept));
-#pragma omp for
-          for (index_t kb = 0; kb < num_blocks; ++kb) {
-            const double s1 = alpha * a.biggest[static_cast<std::size_t>(kb)] / r;
-            const double s2 = beta * b.biggest[static_cast<std::size_t>(kb)] / r;
-            kernels::decode_axpby(f1_data + kb * kept, s1, f2_data + kb * kept,
-                                  s2, kept, coeffs.data());
-            out.biggest[static_cast<std::size_t>(kb)] = kernels::rebin_block(
-                coeffs.data(), kept, r, a.float_type, out_data + kb * kept);
-          }
-        }
+        parallel::parallel_for(
+            0, num_blocks, parallel::default_grain(num_blocks),
+            [&](index_t begin, index_t end) {
+              std::vector<double> coeffs(static_cast<std::size_t>(kept));
+              for (index_t kb = begin; kb < end; ++kb) {
+                const double s1 =
+                    alpha * a.biggest[static_cast<std::size_t>(kb)] / r;
+                const double s2 =
+                    beta * b.biggest[static_cast<std::size_t>(kb)] / r;
+                kernels::decode_axpby(f1_data + kb * kept, s1,
+                                      f2_data + kb * kept, s2, kept,
+                                      coeffs.data());
+                out.biggest[static_cast<std::size_t>(kb)] = kernels::rebin_block(
+                    coeffs.data(), kept, r, a.float_type, out_data + kb * kept);
+              }
+            });
       });
     });
   });
@@ -69,17 +73,20 @@ NDArray<double> blockwise_l2_norm(const CompressedArray& a) {
   const double r = static_cast<double>(a.radius());
   NDArray<double> out(a.block_grid());
   a.indices.visit([&](const auto* fdata) {
-#pragma omp parallel for
-    for (index_t kb = 0; kb < num_blocks; ++kb) {
-      const double scale = a.biggest[static_cast<std::size_t>(kb)] / r;
-      const auto* f = fdata + kb * kept;
-      double squares = 0.0;
-      for (index_t slot = 0; slot < kept; ++slot) {
-        const double c = scale * static_cast<double>(f[slot]);
-        squares += c * c;
-      }
-      out[kb] = std::sqrt(squares);
-    }
+    parallel::parallel_for(
+        0, num_blocks, parallel::default_grain(num_blocks),
+        [&](index_t begin, index_t end) {
+          for (index_t kb = begin; kb < end; ++kb) {
+            const double scale = a.biggest[static_cast<std::size_t>(kb)] / r;
+            const auto* f = fdata + kb * kept;
+            double squares = 0.0;
+            for (index_t slot = 0; slot < kept; ++slot) {
+              const double c = scale * static_cast<double>(f[slot]);
+              squares += c * c;
+            }
+            out[kb] = std::sqrt(squares);
+          }
+        });
   });
   return out;
 }
@@ -103,16 +110,17 @@ double dot(const CompressedArray& a, const NDArray<double>& y,
   const std::vector<index_t> strides = y.shape().strides();
   const int d = y.shape().ndim();
 
+  // Per-block work is a full forward transform, so chunks are small; the
+  // ordered reduce keeps the sum bit-identical at any thread count.
   double total = 0.0;
   a.indices.visit([&](const auto* fdata) {
-#pragma omp parallel
-    {
+    total = parallel::parallel_reduce(
+        index_t{0}, num_blocks, index_t{4}, 0.0,
+        [&](index_t chunk_begin, index_t chunk_end, double acc) {
       std::vector<double> block(static_cast<std::size_t>(block_volume));
       std::vector<double> scratch(static_cast<std::size_t>(block_volume));
       std::vector<index_t> block_coords(static_cast<std::size_t>(d));
-      std::vector<index_t> intra(static_cast<std::size_t>(d));
-#pragma omp for reduction(+ : total)
-      for (index_t kb = 0; kb < num_blocks; ++kb) {
+      for (index_t kb = chunk_begin; kb < chunk_end; ++kb) {
         // Gather block kb of y with zero padding.
         {
           index_t rem = kb;
@@ -149,9 +157,11 @@ double dot(const CompressedArray& a, const NDArray<double>& y,
                      block[static_cast<std::size_t>(
                          kept_offsets[static_cast<std::size_t>(slot)])];
         }
-        total += partial;
+        acc += partial;
       }
-    }
+          return acc;
+        },
+        [](double u, double v) { return u + v; });
   });
   return total;
 }

@@ -1,11 +1,33 @@
 #include <cmath>
+#include <utility>
 
 #include "core/ops/ops.hpp"
 #include "core/ops/ops_internal.hpp"
+#include "core/parallel/thread_pool.hpp"
 
 namespace pyblaz::ops {
 
 namespace {
+
+/// Σ over blocks of N_k F_k[0] / r: the DC accumulation shared by mean(),
+/// sum(), and the centering prologue of the inner products.  An *ordered*
+/// parallel reduction — chunk partials combine in block order — so the
+/// result is bit-identical at any thread count.
+template <typename BinT>
+double dc_total(const CompressedArray& a, const BinT* f) {
+  const index_t num_blocks = a.num_blocks();
+  const index_t kept = a.kept_per_block();
+  const double r = static_cast<double>(a.radius());
+  return parallel::parallel_reduce(
+      index_t{0}, num_blocks, parallel::default_grain(num_blocks), 0.0,
+      [&](index_t begin, index_t end, double acc) {
+        for (index_t kb = begin; kb < end; ++kb)
+          acc += a.biggest[static_cast<std::size_t>(kb)] *
+                 static_cast<double>(f[kb * kept]) / r;
+        return acc;
+      },
+      [](double x, double y) { return x + y; });
+}
 
 /// Σ(Ĉ1 ⊙ Ĉ2) over kept coefficients, optionally centering the DC
 /// coefficients of both operands (used by both dot and covariance).
@@ -22,34 +44,36 @@ double coefficient_inner_product(const CompressedArray& a,
       if (center_dc) {
         // (Σ Ĉ...1) ⊘ c with c = prod(ceil(s ⊘ i)) = number of blocks
         // (Algorithm 8).
-        for (index_t kb = 0; kb < num_blocks; ++kb) {
-          mean_dc_a += a.biggest[static_cast<std::size_t>(kb)] *
-                       static_cast<double>(f1_data[kb * kept]) / r;
-          mean_dc_b += b.biggest[static_cast<std::size_t>(kb)] *
-                       static_cast<double>(f2_data[kb * kept]) / r;
-        }
-        mean_dc_a /= static_cast<double>(num_blocks);
-        mean_dc_b /= static_cast<double>(num_blocks);
+        mean_dc_a = dc_total(a, f1_data) / static_cast<double>(num_blocks);
+        mean_dc_b = dc_total(b, f2_data) / static_cast<double>(num_blocks);
       }
 
-#pragma omp parallel for reduction(+ : total)
-      for (index_t kb = 0; kb < num_blocks; ++kb) {
-        const double s1 = a.biggest[static_cast<std::size_t>(kb)] / r;
-        const double s2 = b.biggest[static_cast<std::size_t>(kb)] / r;
-        const auto* f1 = f1_data + kb * kept;
-        const auto* f2 = f2_data + kb * kept;
-        double partial = 0.0;
-        for (index_t slot = 0; slot < kept; ++slot) {
-          double c1 = s1 * static_cast<double>(f1[slot]);
-          double c2 = s2 * static_cast<double>(f2[slot]);
-          if (center_dc && slot == 0) {
-            c1 -= mean_dc_a;
-            c2 -= mean_dc_b;
-          }
-          partial += c1 * c2;
-        }
-        total += partial;
-      }
+      // Ordered reduction: per-chunk partials combine in block order, so the
+      // floating-point result is independent of the thread count (unlike an
+      // OpenMP `reduction(+)`, whose combine order is scheduling-dependent).
+      total = parallel::parallel_reduce(
+          index_t{0}, num_blocks, parallel::default_grain(num_blocks), 0.0,
+          [&](index_t begin, index_t end, double acc) {
+            for (index_t kb = begin; kb < end; ++kb) {
+              const double s1 = a.biggest[static_cast<std::size_t>(kb)] / r;
+              const double s2 = b.biggest[static_cast<std::size_t>(kb)] / r;
+              const auto* f1 = f1_data + kb * kept;
+              const auto* f2 = f2_data + kb * kept;
+              double partial = 0.0;
+              for (index_t slot = 0; slot < kept; ++slot) {
+                double c1 = s1 * static_cast<double>(f1[slot]);
+                double c2 = s2 * static_cast<double>(f2[slot]);
+                if (center_dc && slot == 0) {
+                  c1 -= mean_dc_a;
+                  c2 -= mean_dc_b;
+                }
+                partial += c1 * c2;
+              }
+              acc += partial;
+            }
+            return acc;
+          },
+          [](double x, double y) { return x + y; });
     });
   });
   return total;
@@ -64,18 +88,10 @@ double dot(const CompressedArray& a, const CompressedArray& b) {
 
 double mean(const CompressedArray& a) {
   internal::require_dc(a, "mean");
-  const index_t num_blocks = a.num_blocks();
-  const index_t kept = a.kept_per_block();
-  const double r = static_cast<double>(a.radius());
-  double total_dc = 0.0;
-  a.indices.visit([&](const auto* f) {
-    for (index_t kb = 0; kb < num_blocks; ++kb) {
-      total_dc += a.biggest[static_cast<std::size_t>(kb)] *
-                  static_cast<double>(f[kb * kept]) / r;
-    }
-  });
+  const double total_dc =
+      a.indices.visit([&](const auto* f) { return dc_total(a, f); });
   // mean(Ĉ...1) ⊘ sqrt(prod(i)) (Algorithm 7).
-  return total_dc / static_cast<double>(num_blocks) /
+  return total_dc / static_cast<double>(a.num_blocks()) /
          internal::dc_scale(a.block_shape);
 }
 
@@ -106,16 +122,8 @@ double cosine_similarity(const CompressedArray& a, const CompressedArray& b) {
 
 double sum(const CompressedArray& a) {
   internal::require_dc(a, "sum");
-  const index_t num_blocks = a.num_blocks();
-  const index_t kept = a.kept_per_block();
-  const double r = static_cast<double>(a.radius());
-  double total_dc = 0.0;
-  a.indices.visit([&](const auto* f) {
-    for (index_t kb = 0; kb < num_blocks; ++kb) {
-      total_dc += a.biggest[static_cast<std::size_t>(kb)] *
-                  static_cast<double>(f[kb * kept]) / r;
-    }
-  });
+  const double total_dc =
+      a.indices.visit([&](const auto* f) { return dc_total(a, f); });
   // Block sum = block mean * prod(i) = DC * sqrt(prod(i)); padding zeros
   // contribute nothing, so this is the true-element sum.
   return total_dc * internal::dc_scale(a.block_shape);

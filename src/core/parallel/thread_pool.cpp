@@ -1,0 +1,162 @@
+#include "core/parallel/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace pyblaz::parallel {
+
+namespace {
+
+/// True on any thread currently executing pool chunks (workers and the
+/// participating caller).  Nested parallel calls from such a thread run
+/// inline: re-entering the pool would deadlock on entry_mutex_ and
+/// oversubscribe the machine.
+thread_local bool t_inside_pool = false;
+
+struct InsidePoolGuard {
+  // Saves and restores rather than clearing: a nested inline region must not
+  // strip the "inside pool" mark from the enclosing region when it ends.
+  bool previous = t_inside_pool;
+  InsidePoolGuard() { t_inside_pool = true; }
+  ~InsidePoolGuard() { t_inside_pool = previous; }
+};
+
+int default_thread_count() {
+  if (const char* env = std::getenv("CC_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0)
+      return static_cast<int>(std::min<long>(parsed, 1024));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() : target_threads_(default_thread_count()) {}
+
+ThreadPool::~ThreadPool() { stop_workers(); }
+
+void ThreadPool::set_num_threads(int n) {
+  std::lock_guard<std::mutex> entry(entry_mutex_);
+  stop_workers();
+  target_threads_.store(n > 0 ? std::min(n, 1024) : default_thread_count(),
+                        std::memory_order_relaxed);
+}
+
+void ThreadPool::ensure_workers() {
+  const int wanted = num_threads() - 1;  // The caller is a participant.
+  if (static_cast<int>(workers_.size()) == wanted) return;
+  stop_workers();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = false;
+  }
+  workers_.reserve(static_cast<std::size_t>(wanted));
+  for (int w = 0; w < wanted; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void ThreadPool::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // Only enter while a job is live (job_fn_ set): between jobs the state
+      // is torn down, and a worker that woke late must keep sleeping rather
+      // than cache counters the next job will reset.
+      wake_cv_.wait(lock, [&] {
+        return stop_ ||
+               (job_fn_ != nullptr && job_generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = job_generation_;
+      // Register as a job participant *under the lock*: the caller will not
+      // tear the job down (or start another) until job_active_ drops back
+      // to zero, so a worker can never make a claim against stale state.
+      ++job_active_;
+    }
+    execute_chunks();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --job_active_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::execute_chunks() {
+  InsidePoolGuard guard;
+  const index_t total = job_total_;
+  const std::function<void(index_t)>* fn = job_fn_;
+  for (;;) {
+    const index_t chunk = job_next_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= total) return;
+    try {
+      (*fn)(chunk);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!job_exception_) job_exception_ = std::current_exception();
+    }
+    job_done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::run_chunks(index_t num_chunks,
+                            const std::function<void(index_t)>& fn) {
+  if (num_chunks <= 0) return;
+  if (t_inside_pool || num_threads() <= 1 || num_chunks == 1) {
+    InsidePoolGuard guard;
+    for (index_t chunk = 0; chunk < num_chunks; ++chunk) fn(chunk);
+    return;
+  }
+
+  std::lock_guard<std::mutex> entry(entry_mutex_);
+  ensure_workers();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_fn_ = &fn;
+    job_total_ = num_chunks;
+    job_next_.store(0, std::memory_order_relaxed);
+    job_done_.store(0, std::memory_order_relaxed);
+    ++job_generation_;
+  }
+  wake_cv_.notify_all();
+
+  execute_chunks();  // The caller claims chunks alongside the workers.
+
+  // Wait until every chunk has finished *and* every worker that joined this
+  // job generation has left it.  The second condition is what makes results
+  // deterministic to tear down: no worker can still be between a claim and
+  // its completion when the next job reuses the counters.
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    return job_done_.load(std::memory_order_acquire) >= job_total_ &&
+           job_active_ == 0;
+  });
+  job_fn_ = nullptr;
+  if (job_exception_) {
+    std::exception_ptr error = job_exception_;
+    job_exception_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace pyblaz::parallel

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/ndarray/shape.hpp"
+
+namespace pyblaz::parallel {
+
+/// Deterministic block-execution runtime.
+///
+/// The paper's whole premise is that blocks are independent, so every hot
+/// loop in the codec, the serializer, and the compressed-space operations is
+/// a fan-out over blocks.  This pool runs those fan-outs with one hard
+/// design constraint: **the result must not depend on the thread count**.
+/// Two rules deliver that:
+///
+///   1. Work is split into chunks whose boundaries depend only on the range
+///      and the caller's grain — never on how many threads exist.  Chunks
+///      may execute in any order on any thread (claiming is a single atomic
+///      counter, no work stealing), so bodies that write disjoint slots are
+///      value-deterministic for free.
+///   2. parallel_reduce() stores one partial per chunk and combines them in
+///      chunk-index order after the barrier, so floating-point reductions
+///      are bit-identical at 1, 4, or 64 threads.
+///
+/// The worker count defaults to std::thread::hardware_concurrency() and is
+/// overridden by the CC_THREADS environment variable (checked once, at first
+/// use); tests and benchmarks adjust it at runtime with set_num_threads().
+/// Nested parallel regions run inline on the calling worker — the pool never
+/// deadlocks on reentry, it just declines to oversubscribe.
+class ThreadPool {
+ public:
+  /// The process-wide pool.  Workers are spawned lazily on the first
+  /// parallel call, so a CC_THREADS=1 process never creates a thread.
+  static ThreadPool& instance();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Current target thread count (callers + workers), always >= 1.
+  int num_threads() const { return target_threads_.load(std::memory_order_relaxed); }
+
+  /// Change the thread count at runtime (joins existing workers; new ones
+  /// spawn lazily).  n <= 0 restores the CC_THREADS / hardware default.
+  void set_num_threads(int n);
+
+  /// Run fn(chunk) for every chunk in [0, num_chunks), distributed over the
+  /// workers plus the calling thread.  Blocks until all chunks finished.
+  /// The first exception thrown by any chunk is rethrown on the caller.
+  void run_chunks(index_t num_chunks, const std::function<void(index_t)>& fn);
+
+ private:
+  ThreadPool();
+  ~ThreadPool();
+
+  void ensure_workers();
+  void stop_workers();
+  void worker_loop();
+  void execute_chunks();
+
+  std::atomic<int> target_threads_;
+
+  // Only one parallel region runs at a time; concurrent top-level callers
+  // serialize here (nested calls from inside a region run inline instead).
+  std::mutex entry_mutex_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;  // Workers wait for a new job generation.
+  std::condition_variable done_cv_;  // The caller waits for job completion.
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+
+  // Active job state.  job_next_ hands out chunk indices; the chunk -> work
+  // mapping is fixed by the caller, so claim order never affects results.
+  // job_fn_ doubles as the "job live" flag: workers only enter a job while
+  // it is non-null (checked under mutex_), and the caller only tears a job
+  // down after job_active_ — the number of workers inside the job — returns
+  // to zero.  Together these rule out any claim against stale counters.
+  const std::function<void(index_t)>* job_fn_ = nullptr;
+  index_t job_total_ = 0;
+  std::atomic<index_t> job_next_{0};
+  std::atomic<index_t> job_done_{0};
+  int job_active_ = 0;
+  std::uint64_t job_generation_ = 0;
+  std::exception_ptr job_exception_;
+};
+
+/// Effective thread count of the process-wide pool.
+inline int num_threads() { return ThreadPool::instance().num_threads(); }
+
+/// Runtime override of the pool size (0 restores the CC_THREADS / hardware
+/// default).  Used by tests and benchmarks to compare thread counts within
+/// one process.
+inline void set_num_threads(int n) { ThreadPool::instance().set_num_threads(n); }
+
+/// Grain for loops whose per-element cost is modest: targets ~64 chunks so
+/// any plausible machine is saturated, with a floor that keeps per-chunk
+/// bookkeeping negligible.  Depends only on @p range — never on the thread
+/// count — so chunk boundaries (and therefore reduction order) are stable.
+inline index_t default_grain(index_t range, index_t min_grain = 16) {
+  return std::max(min_grain, (range + 63) / 64);
+}
+
+/// Run body(chunk_begin, chunk_end) over [begin, end) split into chunks of
+/// @p grain iterations (the last chunk may be short).  Chunk boundaries are a
+/// pure function of (begin, end, grain): bodies writing per-index outputs
+/// produce identical results at any thread count.
+template <typename Body>
+void parallel_for(index_t begin, index_t end, index_t grain, Body&& body) {
+  const index_t range = end - begin;
+  if (range <= 0) return;
+  grain = std::max<index_t>(grain, 1);
+  const index_t chunks = (range + grain - 1) / grain;
+  if (chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+  const std::function<void(index_t)> fn = [&](index_t chunk) {
+    const index_t b = begin + chunk * grain;
+    body(b, std::min(end, b + grain));
+  };
+  ThreadPool::instance().run_chunks(chunks, fn);
+}
+
+/// Ordered deterministic reduction: evaluates
+/// body(chunk_begin, chunk_end, identity) -> T per chunk, then folds the
+/// partials with combine() in ascending chunk order.  Because the chunking
+/// depends only on (begin, end, grain), the combine tree — and hence every
+/// floating-point rounding — is bit-identical at any thread count.
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(index_t begin, index_t end, index_t grain, T identity,
+                  Body&& body, Combine&& combine) {
+  const index_t range = end - begin;
+  if (range <= 0) return identity;
+  grain = std::max<index_t>(grain, 1);
+  const index_t chunks = (range + grain - 1) / grain;
+  if (chunks <= 1) return body(begin, end, std::move(identity));
+  std::vector<T> partials(static_cast<std::size_t>(chunks), identity);
+  const std::function<void(index_t)> fn = [&](index_t chunk) {
+    const index_t b = begin + chunk * grain;
+    partials[static_cast<std::size_t>(chunk)] =
+        body(b, std::min(end, b + grain), identity);
+  };
+  ThreadPool::instance().run_chunks(chunks, fn);
+  T total = std::move(partials[0]);
+  for (index_t chunk = 1; chunk < chunks; ++chunk)
+    total = combine(std::move(total),
+                    std::move(partials[static_cast<std::size_t>(chunk)]));
+  return total;
+}
+
+}  // namespace pyblaz::parallel

@@ -29,83 +29,6 @@ BlockTransform::BlockTransform(TransformKind kind, Shape block_shape,
   }
 }
 
-namespace {
-
-/// Contract one axis of a block with the basis matrix.  The block is viewed
-/// as (outer, n, inner); forward uses H[k][k2], inverse H[k2][k].  Templating
-/// on the axis length N gives the compiler compile-time trip counts for the
-/// hot loops; N == 0 is the dynamic fallback.
-template <index_t N>
-void apply_axis(const double* src, double* dst, const double* h, index_t n_dyn,
-                index_t outer, index_t inner, bool forward) {
-  const index_t n = N > 0 ? N : n_dyn;
-  if (inner == 1) {
-    // Lines are contiguous.  Forward: saxpy with contiguous matrix rows;
-    // inverse: dot products with contiguous matrix rows.
-    for (index_t o = 0; o < outer; ++o) {
-      const double* line = src + o * n;
-      double* out = dst + o * n;
-      if (forward) {
-        std::fill(out, out + n, 0.0);
-        for (index_t k = 0; k < n; ++k) {
-          const double v = line[k];
-          const double* hrow = h + k * n;
-          for (index_t k2 = 0; k2 < n; ++k2) out[k2] += v * hrow[k2];
-        }
-      } else {
-        for (index_t k2 = 0; k2 < n; ++k2) {
-          const double* hrow = h + k2 * n;
-          double total = 0.0;
-          for (index_t k = 0; k < n; ++k) total += line[k] * hrow[k];
-          out[k2] = total;
-        }
-      }
-    }
-  } else {
-    for (index_t o = 0; o < outer; ++o) {
-      const double* base = src + o * n * inner;
-      double* sbase = dst + o * n * inner;
-      std::fill(sbase, sbase + n * inner, 0.0);
-      for (index_t k = 0; k < n; ++k) {
-        const double* line = base + k * inner;
-        for (index_t k2 = 0; k2 < n; ++k2) {
-          const double w = forward ? h[k * n + k2] : h[k2 * n + k];
-          double* out = sbase + k2 * inner;
-          for (index_t in = 0; in < inner; ++in) out[in] += w * line[in];
-        }
-      }
-    }
-  }
-}
-
-void apply_axis_dispatch(const double* src, double* dst, const double* h,
-                         index_t n, index_t outer, index_t inner, bool forward) {
-  switch (n) {
-    case 1:
-      std::copy(src, src + outer * inner, dst);
-      return;
-    case 2:
-      apply_axis<2>(src, dst, h, n, outer, inner, forward);
-      return;
-    case 4:
-      apply_axis<4>(src, dst, h, n, outer, inner, forward);
-      return;
-    case 8:
-      apply_axis<8>(src, dst, h, n, outer, inner, forward);
-      return;
-    case 16:
-      apply_axis<16>(src, dst, h, n, outer, inner, forward);
-      return;
-    case 32:
-      apply_axis<32>(src, dst, h, n, outer, inner, forward);
-      return;
-    default:
-      apply_axis<0>(src, dst, h, n, outer, inner, forward);
-      return;
-  }
-}
-
-}  // namespace
 
 void BlockTransform::apply(double* block, double* scratch,
                            Direction direction) const {
@@ -126,9 +49,9 @@ void BlockTransform::apply(double* block, double* scratch,
         kernels::fast_axis_preferred(kind_, n)) {
       kernels::fast_transform_axis(kind_, src, dst, n, outer, inner, forward);
     } else {
-      apply_axis_dispatch(src, dst,
-                          matrices_[static_cast<std::size_t>(axis)].data(), n,
-                          outer, inner, forward);
+      kernels::dense_transform_axis(
+          src, dst, matrices_[static_cast<std::size_t>(axis)].data(), n, outer,
+          inner, forward);
       std::swap(src, dst);
     }
   }

@@ -5,6 +5,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/parallel/thread_pool.hpp"
 #include "core/util/rng.hpp"
 
 namespace sim {
@@ -89,9 +90,14 @@ NDArray<double> neutron_density(int time_step, const FissionConfig& config) {
   const double phase2 = rng.uniform(0.0, 2.0 * std::numbers::pi);
   const double phase3 = rng.uniform(0.0, 2.0 * std::numbers::pi);
 
+  // The field is a pure function of the voxel coordinate (the noise phases
+  // were drawn above), so x-slabs evaluate independently on the pool and the
+  // volume is bit-identical at any thread count.
   NDArray<double> density(config.grid);
-  index_t offset = 0;
-  for (index_t i = 0; i < nx; ++i) {
+  pyblaz::parallel::parallel_for(0, nx, 2, [&](index_t slab_begin,
+                                               index_t slab_end) {
+  for (index_t i = slab_begin; i < slab_end; ++i) {
+    index_t offset = i * ny * nz;
     const double x = 2.0 * (static_cast<double>(i) + 0.5) / static_cast<double>(nx) - 1.0;
     for (index_t j = 0; j < ny; ++j) {
       const double y = 2.0 * (static_cast<double>(j) + 0.5) / static_cast<double>(ny) - 1.0;
@@ -120,10 +126,11 @@ NDArray<double> neutron_density(int time_step, const FissionConfig& config) {
                std::cos(11.0 * std::numbers::pi * z / zr + phase3) *
                std::exp(-r2);
 
-        density[offset - 0] = std::max(rho, 0.0);
+        density[offset] = std::max(rho, 0.0);
       }
     }
   }
+  });
   return density;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel/thread_pool.hpp"
 #include "core/util/rng.hpp"
 
 namespace sim {
@@ -60,9 +61,19 @@ NDArray<double> flair_volume(const MriVolumeConfig& config) {
   const double base_intensity = 0.22 + rng.uniform(-0.02, 0.02);
   const double noise = 0.015;
 
+  // Slices evaluate independently on the pool.  The acquisition noise gets
+  // a per-slice stream seeded by (volume seed, slice index): a single shared
+  // stream would make every voxel's draw depend on evaluation order, and the
+  // determinism contract requires the volume to be bit-identical at any
+  // thread count.
   NDArray<double> volume(Shape{nd, nh, nw});
-  index_t offset = 0;
-  for (index_t d = 0; d < nd; ++d) {
+  pyblaz::parallel::parallel_for(0, nd, 1, [&](index_t slice_begin,
+                                               index_t slice_end) {
+  for (index_t d = slice_begin; d < slice_end; ++d) {
+    pyblaz::Rng slice_rng(config.seed ^
+                          (0x9e3779b97f4a7c15ULL *
+                           (static_cast<std::uint64_t>(d) + 1)));
+    index_t offset = d * nh * nw;
     const double x = 2.0 * (static_cast<double>(d) + 0.5) / static_cast<double>(nd) - 1.0;
     for (index_t h = 0; h < nh; ++h) {
       const double y = 2.0 * (static_cast<double>(h) + 0.5) / static_cast<double>(nh) - 1.0;
@@ -83,11 +94,12 @@ NDArray<double> flair_volume(const MriVolumeConfig& config) {
           if (e < 12.0) intensity += blob.amplitude * std::exp(-e);
         }
 
-        double value = support * intensity + noise * rng.normal();
+        double value = support * intensity + noise * slice_rng.normal();
         volume[offset] = std::clamp(value, 0.0, 1.0);
       }
     }
   }
+  });
   return volume;
 }
 

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "core/ndarray/ndarray_ops.hpp"
+#include "core/parallel/thread_pool.hpp"
 #include "core/util/rng.hpp"
 
 namespace sim {
@@ -87,8 +88,11 @@ void ShallowWaterModel::step() {
 
   // --- Momentum step (forward): uses current eta. ---
   // u update at interior u points (i = 1..nx-1).
-#pragma omp parallel for
-  for (index_t i = 1; i < nx; ++i) {
+  // Each row writes a disjoint slice of u_new from the previous state, so
+  // the update is value-deterministic under any chunking.
+  pyblaz::parallel::parallel_for(1, nx, 8, [&](index_t row_begin,
+                                               index_t row_end) {
+  for (index_t i = row_begin; i < row_end; ++i) {
     for (index_t j = 0; j < ny; ++j) {
       const double y = (static_cast<double>(j) + 0.5) * dy_;
       const double f = config_.coriolis_f0 + config_.coriolis_beta * (y - 0.5 * config_.ly);
@@ -113,6 +117,7 @@ void ShallowWaterModel::step() {
                                       nu * lap + wind_u_[i * ny + j]);
     }
   }
+  });
   // Closed walls: zero normal flow.
   for (index_t j = 0; j < ny; ++j) {
     u_new[0 * ny + j] = 0.0;
@@ -120,8 +125,9 @@ void ShallowWaterModel::step() {
   }
 
   // v update at interior v points (j = 1..ny-1).
-#pragma omp parallel for
-  for (index_t i = 0; i < nx; ++i) {
+  pyblaz::parallel::parallel_for(0, nx, 8, [&](index_t row_begin,
+                                               index_t row_end) {
+  for (index_t i = row_begin; i < row_end; ++i) {
     for (index_t j = 1; j < ny; ++j) {
       const double y = static_cast<double>(j) * dy_;
       const double f = config_.coriolis_f0 + config_.coriolis_beta * (y - 0.5 * config_.ly);
@@ -143,6 +149,7 @@ void ShallowWaterModel::step() {
           v_c + dt * (-f * u_avg - g * deta_dy - drag * v_c + nu * lap);
     }
   }
+  });
   for (index_t i = 0; i < nx; ++i) {
     v_new[i * (ny + 1) + 0] = 0.0;
     v_new[i * (ny + 1) + ny] = 0.0;
@@ -150,8 +157,9 @@ void ShallowWaterModel::step() {
 
   // --- Continuity step (backward): uses the new velocities. ---
   // d(eta)/dt = -div(H u), with H interpolated to faces.
-#pragma omp parallel for
-  for (index_t i = 0; i < nx; ++i) {
+  pyblaz::parallel::parallel_for(0, nx, 8, [&](index_t row_begin,
+                                               index_t row_end) {
+  for (index_t i = row_begin; i < row_end; ++i) {
     for (index_t j = 0; j < ny; ++j) {
       const double h_c = depth_field_[i * ny + j];
       const double h_xm = i > 0 ? 0.5 * (h_c + depth_field_[(i - 1) * ny + j]) : h_c;
@@ -165,6 +173,7 @@ void ShallowWaterModel::step() {
       eta_[i * ny + j] -= dt * (flux_x + flux_y);
     }
   }
+  });
 
   u_ = std::move(u_new);
   v_ = std::move(v_new);

@@ -126,6 +126,29 @@ void HuffmanCoder::build_canonical_codes() {
     const std::uint8_t len = lengths_[static_cast<std::size_t>(s)];
     codes_[static_cast<std::size_t>(s)] = next[len]++;
   }
+
+  // Batched decode table: for every possible next byte (in BitReader bit
+  // order, first-read bit lowest), resolve the symbol whose code starts
+  // there, if it completes within kTableBits bits.  Walking the index's bits
+  // exactly as the serial decoder would guarantees table and fallback agree.
+  decode_table_.assign(std::size_t{1} << kTableBits, TableEntry{});
+  for (std::uint32_t idx = 0; idx < (1u << kTableBits); ++idx) {
+    std::uint32_t prefix = 0;
+    for (int len = 1; len <= kTableBits; ++len) {
+      prefix = (prefix << 1) | ((idx >> (len - 1)) & 1u);
+      const std::uint32_t count = count_by_length_[static_cast<std::size_t>(len)];
+      if (count == 0) continue;
+      const std::uint32_t first = first_code_[static_cast<std::size_t>(len)];
+      if (prefix >= first && prefix < first + count) {
+        const std::uint32_t index =
+            first_symbol_[static_cast<std::size_t>(len)] + (prefix - first);
+        decode_table_[idx] = TableEntry{
+            sorted_symbols_[static_cast<std::size_t>(index)],
+            static_cast<std::uint8_t>(len)};
+        break;
+      }
+    }
+  }
 }
 
 void HuffmanCoder::encode(pyblaz::BitWriter& writer, int symbol) const {
@@ -139,8 +162,24 @@ void HuffmanCoder::encode(pyblaz::BitWriter& writer, int symbol) const {
 }
 
 int HuffmanCoder::decode(pyblaz::BitReader& reader) const {
+  // Batched fast path: grab the next 8 bits at once and resolve short codes
+  // with a single table walk, then rewind the cursor to consume exactly the
+  // code's length.  Reads past the stream end yield zero bits (BitReader
+  // semantics), matching what the serial loop would have seen.
+  const std::size_t start = reader.position();
+  const std::uint64_t window = reader.get_bits(kTableBits);
+  const TableEntry entry = decode_table_[static_cast<std::size_t>(window)];
+  if (entry.length > 0) {
+    reader.seek(start + entry.length);
+    return entry.symbol;
+  }
+
+  // Fallback for codes longer than the table covers: rebuild the MSB-first
+  // prefix from the batched window and continue bit-serially.
   std::uint32_t code = 0;
-  for (int len = 1; len <= kMaxCodeLength; ++len) {
+  for (int bit = 0; bit < kTableBits; ++bit)
+    code = (code << 1) | static_cast<std::uint32_t>((window >> bit) & 1u);
+  for (int len = kTableBits + 1; len <= kMaxCodeLength; ++len) {
     code = (code << 1) | static_cast<std::uint32_t>(reader.get_bit());
     const std::uint32_t count = count_by_length_[static_cast<std::size_t>(len)];
     if (count == 0) continue;

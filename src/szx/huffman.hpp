@@ -31,6 +31,12 @@ class HuffmanCoder {
   void encode(pyblaz::BitWriter& writer, int symbol) const;
 
   /// Decode one symbol from the stream.  Returns -1 on malformed input.
+  ///
+  /// Fast path: one 8-bit batched read resolves any code of length <= 8
+  /// through a 256-entry lookup table (one table walk instead of up to
+  /// eight bit-serial canonical-range checks); longer codes continue
+  /// bit-serially from bit 9.  Consumes exactly the code's length in bits —
+  /// identical stream semantics to the bit-serial decoder it replaced.
   int decode(pyblaz::BitReader& reader) const;
 
   /// Number of symbols in the alphabet.
@@ -54,6 +60,17 @@ class HuffmanCoder {
   std::vector<std::uint32_t> first_symbol_;
   std::vector<std::uint32_t> count_by_length_;
   std::vector<int> sorted_symbols_;
+
+  // Batched decode table, indexed by the next 8 stream bits exactly as
+  // BitReader::get_bits(8) returns them (first-read bit in bit 0).  Entries
+  // with length 0 mean "no code completes within 8 bits": fall back to the
+  // bit-serial walk.
+  struct TableEntry {
+    std::int32_t symbol = -1;
+    std::uint8_t length = 0;
+  };
+  static constexpr int kTableBits = 8;
+  std::vector<TableEntry> decode_table_;
 };
 
 }  // namespace szx

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel/thread_pool.hpp"
+
 namespace zfpx {
 
 namespace {
@@ -99,18 +101,21 @@ std::vector<std::uint8_t> Codec::compress(const NDArray<double>& array) const {
   std::vector<std::uint8_t> stream(static_cast<std::size_t>(num_blocks) *
                                    block_bytes);
 
-#pragma omp parallel for
-  for (index_t kb = 0; kb < num_blocks; ++kb) {
-    double values[64];
-    gather_block(array, grid, kb, values, dims_);
-    pyblaz::BitWriter writer;
-    encode_block(writer, values, dims_, block_bits_);
-    const std::vector<std::uint8_t>& bytes = writer.bytes();
-    assert(bytes.size() == block_bytes);
-    std::copy(bytes.begin(), bytes.end(),
-              stream.begin() + static_cast<std::ptrdiff_t>(
-                                   static_cast<std::size_t>(kb) * block_bytes));
-  }
+  pyblaz::parallel::parallel_for(0, num_blocks, 16, [&](index_t begin,
+                                                        index_t end) {
+    for (index_t kb = begin; kb < end; ++kb) {
+      double values[64];
+      gather_block(array, grid, kb, values, dims_);
+      pyblaz::BitWriter writer;
+      encode_block(writer, values, dims_, block_bits_);
+      const std::vector<std::uint8_t>& bytes = writer.bytes();
+      assert(bytes.size() == block_bytes);
+      std::copy(bytes.begin(), bytes.end(),
+                stream.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        static_cast<std::size_t>(kb) * block_bytes));
+    }
+  });
   return stream;
 }
 
@@ -125,14 +130,17 @@ NDArray<double> Codec::decompress(const std::vector<std::uint8_t>& stream,
     throw std::invalid_argument("zfpx::decompress: stream too short");
 
   NDArray<double> out(shape);
-#pragma omp parallel for
-  for (index_t kb = 0; kb < num_blocks; ++kb) {
-    double values[64];
-    pyblaz::BitReader reader(
-        stream.data() + static_cast<std::size_t>(kb) * block_bytes, block_bytes);
-    decode_block(reader, values, dims_, block_bits_);
-    scatter_block(out, grid, kb, values, dims_);
-  }
+  pyblaz::parallel::parallel_for(0, num_blocks, 16, [&](index_t begin,
+                                                        index_t end) {
+    for (index_t kb = begin; kb < end; ++kb) {
+      double values[64];
+      pyblaz::BitReader reader(
+          stream.data() + static_cast<std::size_t>(kb) * block_bytes,
+          block_bytes);
+      decode_block(reader, values, dims_, block_bits_);
+      scatter_block(out, grid, kb, values, dims_);
+    }
+  });
   return out;
 }
 

@@ -1,0 +1,280 @@
+/// The determinism contract of the parallel block-execution runtime
+/// (src/core/parallel/): 1-thread and N-thread runs must produce
+/// byte-identical archives and bit-identical operation results.  Chunk
+/// boundaries are a pure function of the range and grain — never of the
+/// thread count — and parallel_reduce combines partials in chunk order, so
+/// every floating-point rounding sequence is reproducible.
+///
+/// Thread counts are varied with parallel::set_num_threads() (the runtime
+/// face of the CC_THREADS environment override); each scenario runs at 1,
+/// 4, and the hardware default and compares results bitwise.
+
+#include "core/parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/codec/compressor.hpp"
+#include "core/codec/serialization.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/ops.hpp"
+#include "core/util/rng.hpp"
+#include "sim/fission/fission.hpp"
+#include "sim/mri/mri.hpp"
+#include "sim/shallow_water/swe.hpp"
+
+namespace pyblaz {
+namespace {
+
+/// Restores the default thread count when a test exits, pass or fail.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { parallel::set_num_threads(0); }
+};
+
+std::vector<int> thread_counts() {
+  ThreadCountGuard guard;  // Read the CC_THREADS / hardware default.
+  parallel::set_num_threads(0);
+  return {1, 4, parallel::num_threads()};
+}
+
+/// Run @p make at CC_THREADS ∈ {1, 4, hardware default} and require
+/// bitwise-equal results.
+template <typename Fn>
+void expect_thread_invariant(Fn&& make, const char* what) {
+  const std::vector<int> counts = thread_counts();
+  ThreadCountGuard guard;
+  parallel::set_num_threads(1);
+  const auto reference = make();
+  for (int threads : counts) {
+    parallel::set_num_threads(threads);
+    EXPECT_EQ(make(), reference) << what << " differs at " << threads
+                                 << " threads";
+  }
+}
+
+TEST(ThreadPool, ReportsAtLeastOneThread) {
+  EXPECT_GE(parallel::num_threads(), 1);
+}
+
+TEST(ThreadPool, SetNumThreadsZeroRestoresDefault) {
+  ThreadCountGuard guard;
+  const int default_threads = parallel::num_threads();
+  parallel::set_num_threads(7);
+  EXPECT_EQ(parallel::num_threads(), 7);
+  parallel::set_num_threads(0);
+  EXPECT_EQ(parallel::num_threads(), default_threads);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadCountGuard guard;
+  for (int threads : {1, 3, 4}) {
+    parallel::set_num_threads(threads);
+    for (index_t grain : {index_t{1}, index_t{3}, index_t{16}, index_t{1000}}) {
+      std::vector<std::atomic<int>> hits(129);
+      for (auto& h : hits) h.store(0);
+      parallel::parallel_for(0, 129, grain, [&](index_t begin, index_t end) {
+        for (index_t k = begin; k < end; ++k) hits[static_cast<std::size_t>(k)]++;
+      });
+      for (std::size_t k = 0; k < hits.size(); ++k)
+        ASSERT_EQ(hits[k].load(), 1) << "index " << k << " grain " << grain
+                                     << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingleChunkRanges) {
+  int calls = 0;
+  parallel::parallel_for(5, 5, 4, [&](index_t, index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel::parallel_for(5, 7, 100, [&](index_t begin, index_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 5);
+    EXPECT_EQ(end, 7);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, OrderedReduceIsBitIdenticalAcrossThreadCounts) {
+  // Values spanning many magnitudes make the sum association-sensitive, so
+  // any thread-dependent combine order would show up bitwise.
+  Rng rng(17);
+  std::vector<double> values(10'000);
+  for (auto& v : values) v = rng.normal() * std::exp(rng.uniform(-30.0, 30.0));
+
+  expect_thread_invariant(
+      [&] {
+        return parallel::parallel_reduce(
+            index_t{0}, static_cast<index_t>(values.size()), index_t{97}, 0.0,
+            [&](index_t begin, index_t end, double acc) {
+              for (index_t k = begin; k < end; ++k)
+                acc += values[static_cast<std::size_t>(k)];
+              return acc;
+            },
+            [](double x, double y) { return x + y; });
+      },
+      "ordered reduce");
+}
+
+TEST(ThreadPool, NestedParallelCallsRunInline) {
+  ThreadCountGuard guard;
+  parallel::set_num_threads(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  parallel::parallel_for(0, 8, 1, [&](index_t outer_begin, index_t outer_end) {
+    for (index_t o = outer_begin; o < outer_end; ++o) {
+      parallel::parallel_for(0, 8, 1, [&](index_t begin, index_t end) {
+        for (index_t i = begin; i < end; ++i)
+          hits[static_cast<std::size_t>(o * 8 + i)]++;
+      });
+    }
+  });
+  for (std::size_t k = 0; k < hits.size(); ++k) ASSERT_EQ(hits[k].load(), 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagateAndPoolSurvives) {
+  ThreadCountGuard guard;
+  parallel::set_num_threads(4);
+  EXPECT_THROW(
+      parallel::parallel_for(0, 100, 1,
+                             [&](index_t begin, index_t) {
+                               if (begin == 42)
+                                 throw std::runtime_error("chunk 42");
+                             }),
+      std::runtime_error);
+  // The pool must remain usable after a throwing job.
+  std::atomic<int> total{0};
+  parallel::parallel_for(0, 100, 1, [&](index_t begin, index_t end) {
+    total += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: archives and operation results across the stack.
+
+CompressorSettings test_settings() {
+  CompressorSettings settings;
+  settings.block_shape = Shape{8, 4, 8};
+  settings.float_type = FloatType::kFloat32;
+  settings.index_type = IndexType::kInt8;
+  settings.transform = TransformKind::kDCT;
+  settings.mask = PruningMask::keep_fraction(settings.block_shape, 0.5);
+  return settings;
+}
+
+TEST(ThreadInvariance, CompressedArraysAreBitIdentical) {
+  Rng rng(23);
+  // Ragged shape: edge blocks exercise the gather/scatter padding too.
+  const NDArray<double> array = random_smooth(Shape{37, 18, 29}, rng, 5);
+  Compressor compressor(test_settings());
+  expect_thread_invariant(
+      [&] {
+        const CompressedArray compressed = compressor.compress(array);
+        return std::make_tuple(compressed.biggest, compressed.indices);
+      },
+      "compress");
+}
+
+TEST(ThreadInvariance, ArchivesAreByteIdentical) {
+  Rng rng(29);
+  const NDArray<double> array = random_smooth(Shape{64, 64, 33}, rng, 5);
+  Compressor compressor(test_settings());
+  ThreadCountGuard guard;
+  parallel::set_num_threads(1);
+  const CompressedArray compressed = compressor.compress(array);
+  const std::vector<std::uint8_t> reference = serialize(compressed);
+  ASSERT_TRUE(is_chunked_stream(reference));
+  for (int threads : thread_counts()) {
+    parallel::set_num_threads(threads);
+    // Byte-identical archive: both the re-encode of the same array and the
+    // chunked serializer itself must be thread-count independent.
+    EXPECT_EQ(serialize(compressor.compress(array)), reference)
+        << "archive differs at " << threads << " threads";
+    // And decode at this thread count restores the exact payload.
+    const CompressedArray restored = deserialize(reference);
+    EXPECT_EQ(restored.biggest, compressed.biggest);
+    EXPECT_EQ(restored.indices, compressed.indices);
+  }
+}
+
+TEST(ThreadInvariance, DecompressionIsBitIdentical) {
+  Rng rng(31);
+  const NDArray<double> array = random_smooth(Shape{37, 18, 29}, rng, 5);
+  Compressor compressor(test_settings());
+  const CompressedArray compressed = compressor.compress(array);
+  expect_thread_invariant([&] { return compressor.decompress(compressed); },
+                          "decompress");
+}
+
+TEST(ThreadInvariance, OpsAreBitIdentical) {
+  Rng rng(37);
+  CompressorSettings settings = test_settings();
+  settings.mask.reset();  // Keep-all so every op is applicable.
+  Compressor compressor(settings);
+  const NDArray<double> plain_a = random_smooth(Shape{40, 20, 24}, rng, 5);
+  const NDArray<double> plain_b = random_smooth(Shape{40, 20, 24}, rng, 5);
+  const CompressedArray a = compressor.compress(plain_a);
+  const CompressedArray b = compressor.compress(plain_b);
+
+  expect_thread_invariant(
+      [&] {
+        const CompressedArray sum = ops::add(a, b);
+        const CompressedArray mix = ops::linear_combination(2.5, a, -0.75, b);
+        const CompressedArray shifted = ops::add_scalar(a, 0.125);
+        return std::make_tuple(sum.biggest, sum.indices, mix.biggest,
+                               mix.indices, shifted.biggest, shifted.indices);
+      },
+      "blockwise maps");
+
+  expect_thread_invariant(
+      [&] {
+        return std::make_tuple(ops::dot(a, b), ops::mean(a), ops::sum(b),
+                               ops::covariance(a, b), ops::variance(a),
+                               ops::l2_norm(a), ops::dot(a, plain_b));
+      },
+      "reductions");
+
+  expect_thread_invariant(
+      [&] {
+        return std::make_tuple(ops::blockwise_mean(a),
+                               ops::blockwise_covariance(a, b),
+                               ops::blockwise_l2_norm(b));
+      },
+      "blockwise statistics");
+}
+
+TEST(ThreadInvariance, SimulationsAreBitIdentical) {
+  expect_thread_invariant(
+      [&] {
+        sim::SweConfig config;
+        config.nx = 32;
+        config.ny = 64;
+        sim::ShallowWaterModel model(config);
+        model.run(5);
+        return std::make_tuple(model.surface_height(), model.max_speed());
+      },
+      "shallow water stepping");
+
+  expect_thread_invariant(
+      [&] {
+        sim::FissionConfig config;
+        config.grid = Shape{16, 16, 32};
+        return sim::neutron_density(688, config);
+      },
+      "fission density");
+
+  expect_thread_invariant(
+      [&] {
+        sim::MriVolumeConfig config{.depth = 12, .height = 64, .width = 64,
+                                    .seed = 3};
+        return sim::flair_volume(config);
+      },
+      "mri volume");
+}
+
+}  // namespace
+}  // namespace pyblaz

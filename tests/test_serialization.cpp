@@ -63,7 +63,7 @@ TEST_P(Serialization, DecompressionFromDeserializedMatches) {
   EXPECT_EQ(compressor.decompress(restored), compressor.decompress(original));
 }
 
-TEST_P(Serialization, SizeMatchesPaperLayoutPlusHeaderPadding) {
+TEST_P(Serialization, V1SizeMatchesPaperLayoutPlusHeaderPadding) {
   const auto& p = GetParam();
   CompressorSettings settings{.block_shape = p.block_shape,
                               .float_type = p.float_type,
@@ -77,11 +77,60 @@ TEST_P(Serialization, SizeMatchesPaperLayoutPlusHeaderPadding) {
   CompressedArray compressed = compressor.compress(array);
 
   const std::size_t layout = paper_layout_bits(compressed);
-  const std::size_t actual = serialize(compressed).size() * 8;
+  const std::size_t actual = serialize_v1(compressed).size() * 8;
   // Actual = paper layout + our 4 extra transform/reserved bits, padded to a
   // byte boundary.
   EXPECT_GE(actual, layout + 4);
   EXPECT_LT(actual, layout + 4 + 8);
+}
+
+TEST_P(Serialization, ChunkedOverheadIsBounded) {
+  const auto& p = GetParam();
+  CompressorSettings settings{.block_shape = p.block_shape,
+                              .float_type = p.float_type,
+                              .index_type = p.index_type,
+                              .transform = p.transform};
+  if (p.keep_fraction < 1.0)
+    settings.mask = PruningMask::keep_fraction(p.block_shape, p.keep_fraction);
+  Compressor compressor(settings);
+  Rng rng(79);
+  NDArray<double> array = random_smooth(p.array_shape, rng);
+  CompressedArray compressed = compressor.compress(array);
+
+  const std::vector<std::uint8_t> v1 = serialize_v1(compressed);
+  const std::vector<std::uint8_t> v2 = serialize(compressed);
+  EXPECT_TRUE(is_chunked_stream(v2));
+  EXPECT_FALSE(is_chunked_stream(v1));
+  // v2 adds the magic (4 B), the chunk geometry (12 B), 8 B per chunk of
+  // offset table, and at most one byte of alignment padding per chunk plus
+  // one for the realigned header.  Chunks target 64 KiB, so the relative
+  // overhead vanishes at scale; these cases are small enough to check the
+  // absolute bound tightly.
+  const std::size_t num_blocks = static_cast<std::size_t>(compressed.num_blocks());
+  EXPECT_GT(v2.size(), v1.size());
+  EXPECT_LE(v2.size(), v1.size() + 16 + 9 * num_blocks + 1);
+}
+
+TEST_P(Serialization, LegacyV1StreamRoundTrips) {
+  const auto& p = GetParam();
+  CompressorSettings settings{.block_shape = p.block_shape,
+                              .float_type = p.float_type,
+                              .index_type = p.index_type,
+                              .transform = p.transform};
+  if (p.keep_fraction < 1.0)
+    settings.mask = PruningMask::keep_fraction(p.block_shape, p.keep_fraction);
+  Compressor compressor(settings);
+  Rng rng(101);
+  NDArray<double> array = random_smooth(p.array_shape, rng);
+  CompressedArray original = compressor.compress(array);
+
+  // The deserializer detects the version, so pre-chunking archives written
+  // by serialize_v1 keep reading bit-exactly.
+  CompressedArray restored = deserialize(serialize_v1(original));
+  EXPECT_EQ(restored.shape, original.shape);
+  EXPECT_EQ(restored.mask, original.mask);
+  EXPECT_EQ(restored.biggest, original.biggest);
+  EXPECT_EQ(restored.indices, original.indices);
 }
 
 INSTANTIATE_TEST_SUITE_P(
