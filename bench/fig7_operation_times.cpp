@@ -8,11 +8,18 @@
 /// negate/multiply are trivially cheap; the scalar reductions scale with the
 /// compressed size, far below (de)compression cost.
 ///
-/// Args: [max_size] (default 128).  One table per (ftype, itype) setting.
+/// Args: [max_size] [--fused] (default 128).  One table per (ftype, itype)
+/// setting.  --fused appends two columns timing the 3-operand expression
+/// a + 0.5 b - 0.25 c both ways: `lincomb3` (one fused pass, one terminal
+/// rebin) and `chain3` (the chained add/multiply_scalar sequence), so the
+/// figure can report both compressed-arithmetic paths.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/codec/compressor.hpp"
 #include "core/ndarray/ndarray_ops.hpp"
@@ -39,21 +46,37 @@ double best_time(Fn&& fn, int repeats = 3) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const index_t max_size = argc > 1 ? std::atoll(argv[1]) : 128;
+  bool fused = false;
+  index_t max_size = 128;
+  for (int k = 1; k < argc; ++k) {
+    if (std::string_view(argv[k]) == "--fused") {
+      fused = true;
+    } else {
+      max_size = std::atoll(argv[k]);
+    }
+  }
 
   std::printf("Fig. 7: PyBlaz operation times (seconds), cubic 3-D arrays,\n");
-  std::printf("block 4x4x4, OpenMP CPU execution\n\n");
+  std::printf("block 4x4x4, OpenMP CPU execution%s\n\n",
+              fused ? " (+ fused lincomb columns)" : "");
 
-  Table csv({"ftype", "itype", "size", "compress", "decompress", "negate", "add",
-             "multiply", "dot", "l2", "cosine", "mean", "variance", "ssim"});
+  std::vector<std::string> columns = {"size", "compress", "decompress", "negate",
+                                      "add", "multiply", "dot", "l2", "cosine",
+                                      "mean", "variance", "ssim"};
+  if (fused) {
+    columns.push_back("lincomb3");
+    columns.push_back("chain3");
+  }
+  std::vector<std::string> csv_columns = columns;
+  csv_columns.insert(csv_columns.begin(), {"ftype", "itype"});
+  Table csv(csv_columns);
 
   for (FloatType ftype : kAllFloatTypes) {
     for (IndexType itype : {IndexType::kInt8, IndexType::kInt16, IndexType::kInt32}) {
       Compressor compressor({.block_shape = Shape{4, 4, 4},
                              .float_type = ftype,
                              .index_type = itype});
-      Table table({"size", "compress", "decompress", "negate", "add", "multiply",
-                   "dot", "l2", "cosine", "mean", "variance", "ssim"});
+      Table table(columns);
 
       for (index_t size = 8; size <= max_size; size *= 2) {
         Rng rng(17);
@@ -75,19 +98,30 @@ int main(int argc, char** argv) {
         const double t_ssim =
             best_time([&] { (void)ops::structural_similarity(a, b); });
 
-        table.add_row({std::to_string(size), Table::sci(t_comp, 2),
-                       Table::sci(t_dec, 2), Table::sci(t_neg, 2),
-                       Table::sci(t_add, 2), Table::sci(t_mul, 2),
-                       Table::sci(t_dot, 2), Table::sci(t_l2, 2),
-                       Table::sci(t_cos, 2), Table::sci(t_mean, 2),
-                       Table::sci(t_var, 2), Table::sci(t_ssim, 2)});
-        csv.add_row({name(ftype), name(itype), std::to_string(size),
-                     Table::sci(t_comp, 2), Table::sci(t_dec, 2),
-                     Table::sci(t_neg, 2), Table::sci(t_add, 2),
-                     Table::sci(t_mul, 2), Table::sci(t_dot, 2),
-                     Table::sci(t_l2, 2), Table::sci(t_cos, 2),
-                     Table::sci(t_mean, 2), Table::sci(t_var, 2),
-                     Table::sci(t_ssim, 2)});
+        std::vector<std::string> row = {std::to_string(size), Table::sci(t_comp, 2),
+                                        Table::sci(t_dec, 2), Table::sci(t_neg, 2),
+                                        Table::sci(t_add, 2), Table::sci(t_mul, 2),
+                                        Table::sci(t_dot, 2), Table::sci(t_l2, 2),
+                                        Table::sci(t_cos, 2), Table::sci(t_mean, 2),
+                                        Table::sci(t_var, 2), Table::sci(t_ssim, 2)};
+        if (fused) {
+          // The same 3-operand expression both ways: one fused pass with a
+          // single terminal rebin vs the chained per-op sequence.
+          CompressedArray c = ops::negate(a);
+          const double t_fused = best_time([&] {
+            (void)ops::lincomb({{1.0, &a}, {0.5, &b}, {-0.25, &c}});
+          });
+          const double t_chain = best_time([&] {
+            (void)ops::add(ops::add(a, ops::multiply_scalar(b, 0.5)),
+                           ops::multiply_scalar(c, -0.25));
+          });
+          row.push_back(Table::sci(t_fused, 2));
+          row.push_back(Table::sci(t_chain, 2));
+        }
+        table.add_row(row);
+        std::vector<std::string> csv_row = row;
+        csv_row.insert(csv_row.begin(), {name(ftype), name(itype)});
+        csv.add_row(csv_row);
       }
       std::printf("---- %s, %s ----\n%s\n", name(ftype).c_str(),
                   name(itype).c_str(), table.to_text().c_str());

@@ -1,7 +1,8 @@
 /// JSON-emitting micro-benchmark harness for the codec kernel layer: times
 /// the block transform (factorized fast path vs dense matrix oracle), the
-/// shared rebin/unbin kernels, end-to-end compress/decompress, and
-/// compressed-space add, per block shape.
+/// shared rebin/unbin kernels, end-to-end compress/decompress,
+/// compressed-space add, and the fused n-ary lincomb vs the chained per-op
+/// sequence it replaces, per block shape.
 ///
 /// Usage: bench_micro_kernels [OUTPUT.json]
 ///
@@ -124,6 +125,24 @@ class Harness {
     return out;
   }
 
+  /// Fused-over-chained ratios for every (name, shape) measured under both
+  /// lincomb paths (the one-terminal-rebin comparison).
+  struct FusionSpeedup {
+    std::string name, shape;
+    double fused_over_chained;
+  };
+  std::vector<FusionSpeedup> fusion_speedups() const {
+    std::vector<FusionSpeedup> out;
+    for (const auto& fused : results_) {
+      if (fused.impl != "fused") continue;
+      const Result* chained = find(fused.name, fused.kind, "chained", fused.shape);
+      if (chained)
+        out.push_back({fused.name, fused.shape,
+                       chained->seconds_per_call / fused.seconds_per_call});
+    }
+    return out;
+  }
+
   bool write_json(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (!f) return false;
@@ -150,6 +169,16 @@ class Harness {
                    ratios[i].name.c_str(), ratios[i].kind.c_str(),
                    ratios[i].shape.c_str(), ratios[i].fast_over_dense,
                    i + 1 < ratios.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"fusion_speedups\": [\n");
+    const auto fusion = fusion_speedups();
+    for (std::size_t i = 0; i < fusion.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"shape\": \"%s\", "
+                   "\"fused_over_chained\": %.3f}%s\n",
+                   fusion[i].name.c_str(), fusion[i].shape.c_str(),
+                   fusion[i].fused_over_chained,
+                   i + 1 < fusion.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -279,6 +308,50 @@ void bench_compressed_ops(Harness& harness) {
               [&] { dot += ops::dot(a, b); });
 }
 
+/// The tentpole comparison: fused n-ary lincomb (one pass over all operands,
+/// one terminal rebin, workspace-backed coefficient row) against the chained
+/// add/multiply_scalar sequence it replaces (one rebin and one intermediate
+/// CompressedArray per binary op).  The 3-operand case is the shape of a
+/// simulation height update (eta' = eta - dt fx - dt fy); the 5-operand case
+/// is an RK-style combine.
+void bench_fused_lincomb(Harness& harness) {
+  const Shape array_shape{256, 256};
+  Rng rng(7);
+  Compressor compressor(codec_settings(Shape{8, 8}, TransformImpl::kAuto));
+  const CompressedArray a =
+      compressor.compress(random_smooth(array_shape, rng, 6));
+  const CompressedArray b =
+      compressor.compress(random_smooth(array_shape, rng, 6));
+  const CompressedArray c =
+      compressor.compress(random_smooth(array_shape, rng, 6));
+  const CompressedArray d =
+      compressor.compress(random_smooth(array_shape, rng, 6));
+  const CompressedArray e =
+      compressor.compress(random_smooth(array_shape, rng, 6));
+  const double volume = static_cast<double>(array_shape.volume());
+
+  CompressedArray out = ops::lincomb({{1.0, &a}, {-0.5, &b}, {0.25, &c}});
+  harness.run("compressed_lincomb3", "", "fused", array_shape, volume, [&] {
+    out = ops::lincomb({{1.0, &a}, {-0.5, &b}, {0.25, &c}});
+  });
+  harness.run("compressed_lincomb3", "", "chained", array_shape, volume, [&] {
+    out = ops::add(ops::add(a, ops::multiply_scalar(b, -0.5)),
+                   ops::multiply_scalar(c, 0.25));
+  });
+
+  harness.run("compressed_lincomb5", "", "fused", array_shape, volume, [&] {
+    out = ops::lincomb(
+        {{1.0, &a}, {0.5, &b}, {0.25, &c}, {0.125, &d}, {-0.75, &e}});
+  });
+  harness.run("compressed_lincomb5", "", "chained", array_shape, volume, [&] {
+    out = ops::add(
+        ops::add(ops::add(ops::add(a, ops::multiply_scalar(b, 0.5)),
+                          ops::multiply_scalar(c, 0.25)),
+                 ops::multiply_scalar(d, 0.125)),
+        ops::multiply_scalar(e, -0.75));
+  });
+}
+
 /// Thread-scaling sweep over the parallel block-execution runtime: the
 /// end-to-end codec plus the chunked serializer on the 64^3 workload at 1,
 /// 2, and 4 threads (impl records the thread count, e.g. "t4").  The
@@ -355,6 +428,7 @@ int main(int argc, char** argv) {
   bench_rebin(harness);
   bench_codec(harness);
   bench_compressed_ops(harness);
+  bench_fused_lincomb(harness);
   bench_threaded_codec(harness);
   bench_baseline_codecs(harness);
 
@@ -362,6 +436,11 @@ int main(int argc, char** argv) {
   for (const auto& s : harness.speedups())
     std::printf("  %-22s %-5s %-12s %6.2fx\n", s.name.c_str(), s.kind.c_str(),
                 s.shape.c_str(), s.fast_over_dense);
+
+  std::printf("\nfused-over-chained lincomb speedups:\n");
+  for (const auto& s : harness.fusion_speedups())
+    std::printf("  %-22s %-12s %6.2fx\n", s.name.c_str(), s.shape.c_str(),
+                s.fused_over_chained);
 
   std::printf("\nthread scaling (t1 over tN, 64x64x64):\n");
   for (const char* name : {"compress_threads", "decompress_threads",

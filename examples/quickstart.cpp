@@ -66,5 +66,13 @@ int main() {
   NDArray<double> truth = add_scalar(scale(subtract(x, y), 2.0), 0.5);
   std::printf("\npipeline 2(x-y)+0.5: mean abs error %.4g (max |truth| %.3f)\n",
               reference::mean_absolute_error(result, truth), max_abs(truth));
+
+  // 6. The same expression as one fused lincomb — every operand decoded in a
+  // single pass and rebinned once at the end, so the chain above's per-op
+  // rebinning error collapses to one quantization.
+  NDArray<double> fused = compressor.decompress(
+      ops::lincomb({{2.0, &cx}, {-2.0, &cy}}, 0.5));
+  std::printf("fused lincomb 2x-2y+0.5: mean abs error %.4g\n",
+              reference::mean_absolute_error(fused, truth));
   return 0;
 }

@@ -1,0 +1,17 @@
+#include "core/codec/workspace.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace pyblaz::internal {
+
+double* coefficient_workspace(std::size_t count, int lane) {
+  if (lane < 0 || lane >= kWorkspaceLanes)
+    throw std::invalid_argument("coefficient_workspace: bad lane");
+  thread_local std::vector<double> buffers[kWorkspaceLanes];
+  std::vector<double>& buffer = buffers[lane];
+  if (buffer.size() < count) buffer.resize(count);
+  return buffer.data();
+}
+
+}  // namespace pyblaz::internal

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+
+namespace pyblaz::internal {
+
+/// Reusable per-thread coefficient scratch for the blockwise hot paths.
+///
+/// Every compressed-space operation that rebins needs a row of
+/// kept_per_block() doubles per block.  Allocating a std::vector inside each
+/// parallel chunk (the pre-fusion pattern) costs an allocator round-trip per
+/// chunk on the hottest path in the library; this workspace instead hands out
+/// a thread-local buffer that grows monotonically and is reused across
+/// blocks, chunks, and operations.  Pool workers are long-lived, so after
+/// warm-up the hot path performs no allocation at all.
+///
+/// @p lane selects one of a small number of independent buffers, for call
+/// sites that need two live scratch rows at once (e.g. a block gather plus a
+/// transform scratch).  The returned pointer stays valid until the next
+/// workspace(count, same lane) call on the same thread with a larger count —
+/// callers must not hold it across calls into other pyblaz layers that may
+/// use the same lane.  The transform kernels (core/kernels, core/transform)
+/// deliberately take caller-provided scratch and must stay workspace-free,
+/// so rows MAY be held across BlockTransform::forward/inverse calls.
+double* coefficient_workspace(std::size_t count, int lane = 0);
+
+/// Number of independent lanes.
+inline constexpr int kWorkspaceLanes = 4;
+
+}  // namespace pyblaz::internal

@@ -353,6 +353,9 @@ void dense_transform_axis(const double* src, double* dst, const double* matrix,
     case 32:
       apply_axis<32>(src, dst, matrix, n, outer, inner, forward);
       return;
+    case 64:
+      apply_axis<64>(src, dst, matrix, n, outer, inner, forward);
+      return;
     default:
       apply_axis<0>(src, dst, matrix, n, outer, inner, forward);
       return;
@@ -363,7 +366,7 @@ bool fast_axis_supported(TransformKind kind, index_t n) {
   if (n == 1) return true;
   switch (kind) {
     case TransformKind::kDCT:
-      return n == 2 || n == 4 || n == 8 || n == 16 || n == 32;
+      return n == 2 || n == 4 || n == 8 || n == 16 || n == 32 || n == 64;
     case TransformKind::kHaar:
       return is_power_of_two(n);
   }
@@ -512,6 +515,9 @@ void fast_transform_axis(TransformKind kind, double* data, double* tmp,
       break;
     case 32:
       dct_axis<32>(data, tmp, outer, inner, forward);
+      break;
+    case 64:
+      dct_axis<64>(data, tmp, outer, inner, forward);
       break;
     default:
       // Loud failure rather than silently returning untransformed data: this

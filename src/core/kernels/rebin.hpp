@@ -93,6 +93,52 @@ inline void decode_axpby(const Bin1T* __restrict f1, double s1,
     c[j] = s1 * static_cast<double>(f1[j]) + s2 * static_cast<double>(f2[j]);
 }
 
+/// Accumulating variant of decode_axpby: c[j] += s1 f1[j] + s2 f2[j].  Lets
+/// decode_lincomb sweep the coefficient row once per *pair* of operands.
+template <typename BinT>
+inline void decode_axpby_accumulate(const BinT* __restrict f1, double s1,
+                                    const BinT* __restrict f2, double s2,
+                                    index_t count, double* __restrict c) {
+#pragma omp simd
+  for (index_t j = 0; j < count; ++j)
+    c[j] += s1 * static_cast<double>(f1[j]) + s2 * static_cast<double>(f2[j]);
+}
+
+/// Accumulating single-operand decode: c[j] += s f[j] (tail of an odd-arity
+/// decode_lincomb).
+template <typename BinT>
+inline void decode_accumulate(const BinT* __restrict f, double s, index_t count,
+                              double* __restrict c) {
+#pragma omp simd
+  for (index_t j = 0; j < count; ++j) c[j] += s * static_cast<double>(f[j]);
+}
+
+/// Fused n-ary decode of one block's linear combination,
+/// c[j] = Σ_i s[i] f[i][j]: the core of ops::lincomb.  All operands share one
+/// bin type (binary compressed ops require matching index types).  Operands
+/// stream pairwise so the coefficient row — which stays cache-resident — is
+/// swept ceil(n/2) times instead of n.  For n = 2 this is exactly
+/// decode_axpby, so the binary ops rewired through lincomb quantize
+/// bit-identically to their previous dedicated loops.
+template <typename BinT>
+inline void decode_lincomb(const BinT* const* __restrict f,
+                           const double* __restrict s, index_t num_operands,
+                           index_t count, double* __restrict c) {
+  index_t i = 0;
+  if (num_operands >= 2) {
+    decode_axpby(f[0], s[0], f[1], s[1], count, c);
+    i = 2;
+  } else if (num_operands == 1) {
+    unbin_block(f[0], count, s[0], c);
+    i = 1;
+  } else {
+    std::fill(c, c + count, 0.0);
+  }
+  for (; i + 1 < num_operands; i += 2)
+    decode_axpby_accumulate(f[i], s[i], f[i + 1], s[i + 1], count, c);
+  if (i < num_operands) decode_accumulate(f[i], s[i], count, c);
+}
+
 /// Round a coefficient row through the storage float type in place.  The
 /// float32 case (the default) is a tight vectorizable loop; the 16-bit types
 /// go through their bit-exact conversion helpers.

@@ -33,11 +33,14 @@ std::vector<double> blockwise_mean_vector(const CompressedArray& a) {
 
 }  // namespace internal
 
-std::vector<double> specified_coefficients(const CompressedArray& a) {
+void specified_coefficients_into(const CompressedArray& a,
+                                 std::span<double> out) {
   const index_t num_blocks = a.num_blocks();
   const index_t kept = a.kept_per_block();
   const double r = static_cast<double>(a.radius());
-  std::vector<double> coefficients(static_cast<std::size_t>(num_blocks * kept));
+  if (out.size() < static_cast<std::size_t>(num_blocks * kept))
+    throw std::invalid_argument(
+        "specified_coefficients_into: output span too small");
 
   a.indices.visit([&](const auto* fdata) {
     parallel::parallel_for(
@@ -46,9 +49,15 @@ std::vector<double> specified_coefficients(const CompressedArray& a) {
           for (index_t kb = begin; kb < end; ++kb)
             kernels::unbin_block(fdata + kb * kept, kept,
                                  a.biggest[static_cast<std::size_t>(kb)] / r,
-                                 coefficients.data() + kb * kept);
+                                 out.data() + kb * kept);
         });
   });
+}
+
+std::vector<double> specified_coefficients(const CompressedArray& a) {
+  std::vector<double> coefficients(
+      static_cast<std::size_t>(a.num_blocks() * a.kept_per_block()));
+  specified_coefficients_into(a, coefficients);
   return coefficients;
 }
 
@@ -60,46 +69,22 @@ CompressedArray negate(const CompressedArray& a) {
 
 CompressedArray add(const CompressedArray& a, const CompressedArray& b) {
   // Ĉ = F1 ⊙ N1 ⊘ r + F2 ⊙ N2 ⊘ r (specified coefficients of the sum),
-  // summed and re-binned block by block: exactly the alpha = beta = 1 case of
-  // the fused linear-combination kernel pipeline.
-  return linear_combination(1.0, a, 1.0, b);
+  // summed and re-binned block by block: exactly the unit-weight case of the
+  // fused n-ary lincomb pipeline.
+  return lincomb({{1.0, &a}, {1.0, &b}});
 }
 
 CompressedArray subtract(const CompressedArray& a, const CompressedArray& b) {
-  return add(a, negate(b));
+  // A - B as a single fused pass: the -1 weight folds b's negation into the
+  // decode scale, so no negated copy of b is ever materialized.
+  return lincomb({{1.0, &a}, {-1.0, &b}});
 }
 
 CompressedArray add_scalar(const CompressedArray& a, double x) {
+  // Unconditional even for x = 0, matching the documented contract.
   internal::require_dc(a, "scalar addition");
-  const index_t num_blocks = a.num_blocks();
-  const index_t kept = a.kept_per_block();
-  const double r = static_cast<double>(a.radius());
-  const double shift = x * internal::dc_scale(a.block_shape);
-
-  CompressedArray out = a;
-  out.indices = BinIndices(a.index_type, a.indices.size());
-
-  // Decode, DC-shift, and rebin one block at a time (the streaming structure
-  // of add()) instead of materializing a whole-array coefficient buffer.
-  a.indices.visit([&](const auto* fdata) {
-    out.indices.visit_mutable([&](auto* out_data) {
-      parallel::parallel_for(
-          0, num_blocks, parallel::default_grain(num_blocks),
-          [&](index_t begin, index_t end) {
-            std::vector<double> coeffs(static_cast<std::size_t>(kept));
-            for (index_t kb = begin; kb < end; ++kb) {
-              kernels::unbin_block(fdata + kb * kept, kept,
-                                   a.biggest[static_cast<std::size_t>(kb)] / r,
-                                   coeffs.data());
-              // require_dc guarantees the DC slot is slot 0.
-              coeffs[0] += shift;
-              out.biggest[static_cast<std::size_t>(kb)] = kernels::rebin_block(
-                  coeffs.data(), kept, r, a.float_type, out_data + kb * kept);
-            }
-          });
-    });
-  });
-  return out;
+  // The unary lincomb: decode, DC-shift by x * sqrt(prod(i)), rebin once.
+  return lincomb({{1.0, &a}}, x);
 }
 
 CompressedArray multiply_scalar(const CompressedArray& a, double x) {

@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/codec/workspace.hpp"
 #include "core/kernels/rebin.hpp"
 #include "core/ops/ops.hpp"
 #include "core/ops/ops_internal.hpp"
@@ -10,41 +11,6 @@
 #include "core/transform/block_transform.hpp"
 
 namespace pyblaz::ops {
-
-CompressedArray linear_combination(double alpha, const CompressedArray& a,
-                                   double beta, const CompressedArray& b) {
-  a.require_layout_match(b);
-  const index_t num_blocks = a.num_blocks();
-  const index_t kept = a.kept_per_block();
-  const double r = static_cast<double>(a.radius());
-
-  CompressedArray out = a;
-  out.indices = BinIndices(a.index_type, a.indices.size());
-
-  a.indices.visit([&](const auto* f1_data) {
-    b.indices.visit([&](const auto* f2_data) {
-      out.indices.visit_mutable([&](auto* out_data) {
-        parallel::parallel_for(
-            0, num_blocks, parallel::default_grain(num_blocks),
-            [&](index_t begin, index_t end) {
-              std::vector<double> coeffs(static_cast<std::size_t>(kept));
-              for (index_t kb = begin; kb < end; ++kb) {
-                const double s1 =
-                    alpha * a.biggest[static_cast<std::size_t>(kb)] / r;
-                const double s2 =
-                    beta * b.biggest[static_cast<std::size_t>(kb)] / r;
-                kernels::decode_axpby(f1_data + kb * kept, s1,
-                                      f2_data + kb * kept, s2, kept,
-                                      coeffs.data());
-                out.biggest[static_cast<std::size_t>(kb)] = kernels::rebin_block(
-                    coeffs.data(), kept, r, a.float_type, out_data + kb * kept);
-              }
-            });
-      });
-    });
-  });
-  return out;
-}
 
 double mean_squared_error(const CompressedArray& a, const CompressedArray& b) {
   a.require_layout_match(b);
@@ -117,9 +83,21 @@ double dot(const CompressedArray& a, const NDArray<double>& y,
     total = parallel::parallel_reduce(
         index_t{0}, num_blocks, index_t{4}, 0.0,
         [&](index_t chunk_begin, index_t chunk_end, double acc) {
-      std::vector<double> block(static_cast<std::size_t>(block_volume));
-      std::vector<double> scratch(static_cast<std::size_t>(block_volume));
-      std::vector<index_t> block_coords(static_cast<std::size_t>(d));
+      // Gather and transform scratch from the per-thread workspace (two live
+      // rows, hence two lanes; holding them across transform.forward is fine
+      // — the transform layer is workspace-free by contract) instead of a
+      // fresh allocation per chunk.
+      double* block = pyblaz::internal::coefficient_workspace(
+          static_cast<std::size_t>(block_volume), 0);
+      double* scratch = pyblaz::internal::coefficient_workspace(
+          static_cast<std::size_t>(block_volume), 1);
+      index_t coords_stack[16];
+      std::vector<index_t> coords_heap;
+      index_t* block_coords = coords_stack;
+      if (d > 16) {
+        coords_heap.resize(static_cast<std::size_t>(d));
+        block_coords = coords_heap.data();
+      }
       for (index_t kb = chunk_begin; kb < chunk_end; ++kb) {
         // Gather block kb of y with zero padding.
         {
@@ -147,7 +125,7 @@ double dot(const CompressedArray& a, const NDArray<double>& y,
           block[static_cast<std::size_t>(j)] = inside ? y[src] : 0.0;
         }
 
-        transform.forward(block.data(), scratch.data());
+        transform.forward(block, scratch);
 
         const double scale = a.biggest[static_cast<std::size_t>(kb)] / r;
         const auto* f = fdata + kb * kept;

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <initializer_list>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/codec/compressed_array.hpp"
@@ -22,6 +25,14 @@ namespace pyblaz::ops {
 /// Ĉ (Algorithm 3): the specified coefficients N ⊙ F ⊘ r, laid out as
 /// num_blocks() * kept_per_block() in block-major, kept-slot-minor order.
 std::vector<double> specified_coefficients(const CompressedArray& a);
+
+/// Decode Ĉ into caller-provided storage (same layout as
+/// specified_coefficients) so hot callers can reuse one buffer across calls
+/// instead of paying a fresh allocation each time.  @p out must hold at least
+/// num_blocks() * kept_per_block() doubles (throws std::invalid_argument
+/// otherwise).
+void specified_coefficients_into(const CompressedArray& a,
+                                 std::span<double> out);
 
 /// Algorithm 1: -A, by negating F.  Exact.
 CompressedArray negate(const CompressedArray& a);
@@ -149,8 +160,29 @@ double variance_unpadded(const CompressedArray& a);
 // error characteristics.
 // ---------------------------------------------------------------------------
 
+/// Fused n-ary linear combination with a single terminal rebin:
+/// Σ_i weights[i] * operands[i] + bias, evaluated entirely in compressed
+/// space.  Per block, all operands' specified coefficients accumulate into
+/// one reusable per-thread row and the result rebins **once** — where the
+/// equivalent chained add/multiply_scalar sequence pays one rebin (the only
+/// error source of Table I addition) per binary op.  An n-term update is
+/// therefore both one pass instead of n and carries a strictly tighter error
+/// bound.  @p bias shifts the DC coefficient like add_scalar (requires the
+/// DC coefficient to be kept when nonzero).  All operands must share the
+/// layout of operands[0]; weights.size() must equal operands.size() and be
+/// at least 1.  add/subtract/add_scalar/linear_combination are thin wrappers
+/// over this kernel and quantize bit-identically to it.
+CompressedArray lincomb(std::span<const CompressedArray* const> operands,
+                        std::span<const double> weights, double bias = 0.0);
+
+/// Brace-friendly lincomb: ops::lincomb({{1.0, &a}, {-dt, &b}}, bias).
+CompressedArray lincomb(
+    std::initializer_list<std::pair<double, const CompressedArray*>> terms,
+    double bias = 0.0);
+
 /// α A + β B in one fused pass (generalizes Algorithm 2; rebinning is the
-/// only error source).  Layouts must match.
+/// only error source).  Layouts must match.  Equivalent to the 2-operand
+/// lincomb.
 CompressedArray linear_combination(double alpha, const CompressedArray& a,
                                    double beta, const CompressedArray& b);
 

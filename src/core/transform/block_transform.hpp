@@ -16,7 +16,7 @@ namespace pyblaz {
 /// transposes.  Both directions are exact inverses up to floating-point
 /// rounding because every H_d is orthonormal.
 /// Axes whose length the factorized kernels support (power-of-two sizes up
-/// to 32 for the DCT, any power of two for Haar; see core/kernels) run in
+/// to 64 for the DCT, any power of two for Haar; see core/kernels) run in
 /// O(n log n) butterflies; other axes fall back to the dense matrix apply.
 /// TransformImpl::kDense forces the dense path everywhere — the oracle the
 /// kernel-equivalence tests and benchmarks compare against.

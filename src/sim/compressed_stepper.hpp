@@ -1,0 +1,151 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/codec/compressor.hpp"
+#include "core/ndarray/ndarray.hpp"
+#include "sim/fission/fission.hpp"
+#include "sim/shallow_water/swe.hpp"
+
+namespace sim {
+
+using pyblaz::CompressedArray;
+using pyblaz::Compressor;
+using pyblaz::CompressorSettings;
+
+/// How a multi-term compressed-state update is evaluated.
+enum class LincombPath {
+  /// One ops::lincomb call over all terms: a single terminal rebin per
+  /// update — fewer passes and a tighter error bound (rebinning is the only
+  /// error source of compressed addition).
+  kFused,
+  /// The pre-fusion baseline: a chained ops::multiply_scalar + ops::add per
+  /// term (one rebin each).  Kept so benchmarks and tests can quantify what
+  /// fusion buys.
+  kChained,
+};
+
+/// Persistent compressed simulation state advanced by linear-combination
+/// updates, never round-tripping through NDArray: the state decompresses
+/// only when a caller explicitly asks (read()), not per step.  Each update
+/// is state <- state + Σ w_i * term_i + bias, evaluated either as one fused
+/// n-ary lincomb (one rebin) or as the chained per-op baseline (one rebin
+/// per term).
+class CompressedStateStepper {
+ public:
+  /// Compresses @p initial once; every later update stays in (N, F) form.
+  CompressedStateStepper(Compressor compressor, const NDArray<double>& initial,
+                         LincombPath path = LincombPath::kFused);
+
+  /// state <- state + Σ weights[i] * terms[i] + bias.  Terms must match the
+  /// state's layout (same compressor settings).
+  void accumulate(std::span<const CompressedArray* const> terms,
+                  std::span<const double> weights, double bias = 0.0);
+
+  /// Convenience for freshly produced tendencies: compresses each raw field
+  /// once (new data has to enter compressed space somewhere), then
+  /// accumulates.  The state itself is never decompressed.
+  void accumulate(std::span<const NDArray<double>* const> terms,
+                  std::span<const double> weights, double bias = 0.0);
+
+  const CompressedArray& state() const { return state_; }
+
+  /// Decompress the current state (diagnostics/output path only).
+  NDArray<double> read() const { return compressor_.decompress(state_); }
+
+  const Compressor& compressor() const { return compressor_; }
+  LincombPath path() const { return path_; }
+
+  /// Rebin passes applied to the state so far — the quantity the fused path
+  /// minimizes (each pass is both a sweep over the coefficients and the sole
+  /// error source of Table I addition).
+  long rebin_passes() const { return rebin_passes_; }
+
+ private:
+  Compressor compressor_;
+  CompressedArray state_;
+  LincombPath path_;
+  long rebin_passes_ = 0;
+};
+
+/// Compressed-form shallow-water stepping (the ROADMAP's "stay in (N, F)
+/// form" item): the C-grid model advances normally, and the surface height
+/// additionally lives as persistent compressed state updated per step with
+/// the *same* tendencies the model applied —
+/// eta' = eta - dt * flux_x - dt * flux_y — as one fused 3-operand lincomb
+/// (or the chained baseline).  The compressed track is what the paper's
+/// Fig. 4 use case keeps: snapshots that never exist uncompressed, with one
+/// compression of each fresh tendency field as the only raw-data touchpoint.
+/// Run with SweConfig::precision == kFloat64 (the default) so the raw model
+/// applies exactly the exported tendencies.
+class CompressedShallowWaterStepper {
+ public:
+  CompressedShallowWaterStepper(const SweConfig& config,
+                                const CompressorSettings& settings,
+                                LincombPath path = LincombPath::kFused);
+
+  /// One model step + one compressed-height update (a single rebin when
+  /// fused).
+  void step();
+  void run(int steps);
+
+  const ShallowWaterModel& model() const { return model_; }
+  const CompressedArray& compressed_height() const { return height_.state(); }
+  NDArray<double> decompressed_height() const { return height_.read(); }
+
+  /// max |decompressed compressed-track height - model height|: the
+  /// accumulated compressed-stepping error vs. the uncompressed reference.
+  double max_abs_height_error() const;
+
+  long rebin_passes() const { return height_.rebin_passes(); }
+
+ private:
+  ShallowWaterModel model_;
+  CompressedStateStepper height_;
+};
+
+/// Compressed-form fission exposure integral: the trapezoid-rule time
+/// integral of the negative-log neutron density over the dataset's sampled
+/// steps, E += (Δt/2) ρ_k + (Δt/2) ρ_{k+1}, accumulated as persistent
+/// compressed state (fused: one 3-operand lincomb per interval; chained: two
+/// rebins).  Also maintains the exact uncompressed integral for error
+/// accounting.
+class CompressedFissionExposure {
+ public:
+  CompressedFissionExposure(const FissionConfig& config,
+                            const CompressorSettings& settings,
+                            LincombPath path = LincombPath::kFused);
+
+  /// True once every sampled interval has been accumulated.
+  bool done() const;
+
+  /// Accumulate the next trapezoid interval.
+  void advance();
+  void run_to_end();
+
+  const CompressedArray& exposure() const { return state_.state(); }
+  NDArray<double> decompressed_exposure() const { return state_.read(); }
+
+  /// The exact (uncompressed, double) trapezoid integral over the same
+  /// intervals advanced so far.
+  const NDArray<double>& reference_exposure() const { return reference_; }
+
+  /// max |decompressed exposure - reference exposure|.
+  double max_abs_error() const;
+
+  long rebin_passes() const { return state_.rebin_passes(); }
+
+ private:
+  FissionConfig config_;
+  CompressedStateStepper state_;
+  NDArray<double> reference_;
+  // The previous interval's right endpoint, cached raw and compressed:
+  // adjacent trapezoids share it, so each sampled density is generated and
+  // compressed exactly once across the whole integral.
+  NDArray<double> previous_density_;
+  CompressedArray previous_compressed_;
+  std::size_t next_interval_ = 1;
+};
+
+}  // namespace sim

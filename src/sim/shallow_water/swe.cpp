@@ -73,7 +73,9 @@ void ShallowWaterModel::apply_precision() {
   eta_.map_inplace([p](double x) { return pyblaz::quantize(x, p); });
 }
 
-void ShallowWaterModel::step() {
+void ShallowWaterModel::step() { step(nullptr); }
+
+void ShallowWaterModel::step(SweTendencies* tendencies) {
   const index_t nx = config_.nx;
   const index_t ny = config_.ny;
   const double g = config_.gravity;
@@ -85,6 +87,10 @@ void ShallowWaterModel::step() {
 
   NDArray<double> u_new = u_;
   NDArray<double> v_new = v_;
+  if (tendencies) {
+    tendencies->flux_x = NDArray<double>(eta_.shape());
+    tendencies->flux_y = NDArray<double>(eta_.shape());
+  }
 
   // --- Momentum step (forward): uses current eta. ---
   // u update at interior u points (i = 1..nx-1).
@@ -171,6 +177,10 @@ void ShallowWaterModel::step() {
       const double flux_y = (h_yp * v_new[i * (ny + 1) + j + 1] - h_ym * v_new[i * (ny + 1) + j]) * inv_dy;
 
       eta_[i * ny + j] -= dt * (flux_x + flux_y);
+      if (tendencies) {
+        tendencies->flux_x[i * ny + j] = flux_x;
+        tendencies->flux_y[i * ny + j] = flux_y;
+      }
     }
   }
   });

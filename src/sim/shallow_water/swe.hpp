@@ -48,6 +48,18 @@ struct SweConfig {
   std::uint64_t seed = 1;
 };
 
+/// Per-step tendency fields of the forward-backward update, exported for the
+/// compressed-form stepper (sim/compressed_stepper.hpp): the step applies
+/// eta' = eta - dt * flux_x - dt * flux_y.  Only the continuity fluxes are
+/// exported — they are what the compressed height track consumes; momentum
+/// tendencies can join the struct when a compressed u/v track exists (a
+/// named ROADMAP follow-on) rather than being populated for nothing in the
+/// momentum hot loops.
+struct SweTendencies {
+  NDArray<double> flux_x;  ///< (nx, ny): x-contribution of div(H u).
+  NDArray<double> flux_y;  ///< (nx, ny): y-contribution of div(H u).
+};
+
 /// 2-D shallow-water model on an Arakawa C-grid with forward-backward time
 /// stepping: the substrate of the paper's Fig. 4 precision study.
 ///
@@ -62,6 +74,13 @@ class ShallowWaterModel {
   /// Advance one forward-backward step, then round the state through the
   /// configured precision.
   void step();
+
+  /// step(), additionally exporting the tendency fields the step applied so
+  /// a compressed shadow of the state can be advanced by the same update
+  /// (one fused lincomb per field) without re-deriving the physics.  The
+  /// arithmetic is identical to step(): the tendencies are the exact values
+  /// the state update multiplied by dt.
+  void step(SweTendencies* tendencies);
 
   /// Advance @p steps steps.
   void run(int steps);

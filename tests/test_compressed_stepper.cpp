@@ -1,0 +1,183 @@
+/// The compressed-form simulation stepper (src/sim/compressed_stepper.*):
+/// persistent compressed state advanced by fused lincomb chains.  Pins the
+/// acceptance property — compressed-form SWE stepping is no less accurate
+/// than the chained per-op path against the uncompressed reference — plus
+/// rebin accounting (fused does one pass per update), the fission exposure
+/// integral, thread-count invariance, and the generic accumulate engine.
+
+#include "sim/compressed_stepper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/ops.hpp"
+#include "core/parallel/thread_pool.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+CompressorSettings swe_track_settings() {
+  return {.block_shape = Shape{16, 16},
+          .float_type = FloatType::kFloat32,
+          .index_type = IndexType::kInt16};
+}
+
+sim::SweConfig small_swe() {
+  sim::SweConfig config;
+  config.nx = 32;
+  config.ny = 64;
+  config.lx = 3.2e5;
+  config.ly = 6.4e5;
+  config.seamount_sigma = 4e4;
+  return config;
+}
+
+TEST(SweTendencies, StepWithTendenciesMatchesPlainStep) {
+  // Exporting the tendencies must not perturb the model: two models from the
+  // same config, one stepping plainly and one exporting, stay bit-identical.
+  sim::ShallowWaterModel plain(small_swe());
+  sim::ShallowWaterModel exporting(small_swe());
+  for (int k = 0; k < 5; ++k) {
+    plain.step();
+    sim::SweTendencies tendencies;
+    exporting.step(&tendencies);
+    ASSERT_EQ(tendencies.flux_x.shape(), plain.surface_height().shape());
+    ASSERT_EQ(tendencies.flux_y.shape(), plain.surface_height().shape());
+  }
+  EXPECT_EQ(plain.surface_height(), exporting.surface_height());
+  EXPECT_EQ(plain.max_speed(), exporting.max_speed());
+}
+
+TEST(SweTendencies, TendenciesReconstructTheHeightUpdate) {
+  // eta' = eta - dt * flux_x - dt * flux_y, exactly the update the model
+  // applied (float64 precision, so no post-step rounding intervenes).
+  sim::ShallowWaterModel model(small_swe());
+  model.run(3);
+  const NDArray<double> before = model.surface_height();
+  sim::SweTendencies tendencies;
+  model.step(&tendencies);
+  const NDArray<double>& after = model.surface_height();
+  const double dt = model.config().dt;
+  for (index_t k = 0; k < after.size(); ++k) {
+    const double reconstructed =
+        before[k] - dt * (tendencies.flux_x[k] + tendencies.flux_y[k]);
+    EXPECT_NEAR(after[k], reconstructed, 1e-15) << "cell " << k;
+  }
+}
+
+TEST(CompressedSweStepper, FusedErrorNoWorseThanChained) {
+  // The acceptance property: compressed-form stepping (one fused lincomb per
+  // step) tracks the uncompressed reference at least as accurately as the
+  // chained per-op path it replaces, because it performs strictly fewer
+  // rebins — the only error source of compressed addition.
+  const int steps = 30;
+  sim::CompressedShallowWaterStepper fused(small_swe(), swe_track_settings(),
+                                           sim::LincombPath::kFused);
+  sim::CompressedShallowWaterStepper chained(small_swe(), swe_track_settings(),
+                                             sim::LincombPath::kChained);
+  fused.run(steps);
+  chained.run(steps);
+
+  // Both steppers advanced the same model trajectory.
+  EXPECT_EQ(fused.model().surface_height(), chained.model().surface_height());
+
+  const double fused_error = fused.max_abs_height_error();
+  const double chained_error = chained.max_abs_height_error();
+  EXPECT_LE(fused_error, chained_error + 1e-12);
+
+  // And the compressed track is a faithful shadow of the reference field.
+  const double field_scale = max_abs(fused.model().surface_height());
+  ASSERT_GT(field_scale, 0.0);
+  EXPECT_LT(fused_error, 0.05 * field_scale);
+}
+
+TEST(CompressedSweStepper, RebinAccounting) {
+  // Fused: one rebin per step.  Chained: one per tendency term (two here).
+  const int steps = 4;
+  sim::CompressedShallowWaterStepper fused(small_swe(), swe_track_settings(),
+                                           sim::LincombPath::kFused);
+  sim::CompressedShallowWaterStepper chained(small_swe(), swe_track_settings(),
+                                             sim::LincombPath::kChained);
+  fused.run(steps);
+  chained.run(steps);
+  EXPECT_EQ(fused.rebin_passes(), steps);
+  EXPECT_EQ(chained.rebin_passes(), 2 * steps);
+}
+
+TEST(CompressedSweStepper, BitIdenticalAcrossThreadCounts) {
+  auto run_track = [] {
+    sim::CompressedShallowWaterStepper stepper(
+        small_swe(), swe_track_settings(), sim::LincombPath::kFused);
+    stepper.run(3);
+    return std::make_tuple(stepper.compressed_height().biggest,
+                           stepper.compressed_height().indices);
+  };
+  parallel::set_num_threads(1);
+  const auto reference = run_track();
+  for (int threads : {1, 4}) {
+    parallel::set_num_threads(threads);
+    EXPECT_EQ(run_track(), reference) << threads << " threads";
+  }
+  parallel::set_num_threads(0);
+}
+
+TEST(CompressedFissionExposure, FusedErrorNoWorseThanChainedAndSmall) {
+  sim::FissionConfig config;
+  config.grid = Shape{16, 16, 32};
+  const CompressorSettings settings{.block_shape = Shape{8, 8, 8},
+                                    .float_type = FloatType::kFloat32,
+                                    .index_type = IndexType::kInt16};
+  sim::CompressedFissionExposure fused(config, settings,
+                                       sim::LincombPath::kFused);
+  sim::CompressedFissionExposure chained(config, settings,
+                                         sim::LincombPath::kChained);
+  fused.run_to_end();
+  chained.run_to_end();
+  EXPECT_TRUE(fused.done());
+
+  const double fused_error = fused.max_abs_error();
+  const double chained_error = chained.max_abs_error();
+  EXPECT_LE(fused_error, chained_error + 1e-12);
+
+  const double scale = max_abs(fused.reference_exposure());
+  ASSERT_GT(scale, 0.0);
+  EXPECT_LT(fused_error, 0.02 * scale);
+
+  // 14 trapezoid intervals: one fused rebin each vs. two chained.
+  EXPECT_EQ(fused.rebin_passes(), 14);
+  EXPECT_EQ(chained.rebin_passes(), 28);
+}
+
+TEST(CompressedStateStepper, AccumulateMatchesDirectLincomb) {
+  // The generic engine applied to plain fields: state + Σ w_i t_i must equal
+  // what one explicit ops::lincomb over the same compressed operands yields.
+  Compressor compressor({.block_shape = Shape{8, 8},
+                         .float_type = FloatType::kFloat32,
+                         .index_type = IndexType::kInt16});
+  Rng rng(5501);
+  const NDArray<double> initial = random_smooth(Shape{32, 32}, rng, 5);
+  const NDArray<double> t1 = random_smooth(Shape{32, 32}, rng, 5);
+  const NDArray<double> t2 = random_smooth(Shape{32, 32}, rng, 5);
+
+  sim::CompressedStateStepper stepper(compressor, initial,
+                                      sim::LincombPath::kFused);
+  const NDArray<double>* terms[] = {&t1, &t2};
+  const double weights[] = {0.5, -0.25};
+  stepper.accumulate(std::span<const NDArray<double>* const>(terms),
+                     std::span<const double>(weights));
+
+  const CompressedArray state0 = compressor.compress(initial);
+  const CompressedArray c1 = compressor.compress(t1);
+  const CompressedArray c2 = compressor.compress(t2);
+  const CompressedArray expected =
+      ops::lincomb({{1.0, &state0}, {0.5, &c1}, {-0.25, &c2}});
+  EXPECT_EQ(stepper.state().indices, expected.indices);
+  EXPECT_EQ(stepper.state().biggest, expected.biggest);
+}
+
+}  // namespace
+}  // namespace pyblaz

@@ -1,0 +1,287 @@
+/// The fused n-ary lincomb pipeline (ops::lincomb): wrapper equivalences
+/// (add/subtract/add_scalar/linear_combination are bit-identical thin
+/// wrappers), exactness vs. the chained baseline where the arithmetic
+/// coincides, the error-bound property (one terminal rebin never loses to a
+/// chained per-op rebin sequence, measured against the exact combination of
+/// the decoded operands), thread-count invariance, the reusable-workspace
+/// decode kernel, and the span accessor for specified coefficients.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/codec/compressor.hpp"
+#include "core/kernels/rebin.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/ops.hpp"
+#include "core/parallel/thread_pool.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+CompressorSettings settings_for(Shape block, FloatType ftype = FloatType::kFloat32,
+                                IndexType itype = IndexType::kInt8) {
+  return {.block_shape = std::move(block),
+          .float_type = ftype,
+          .index_type = itype};
+}
+
+double max_abs_difference(const NDArray<double>& a, const NDArray<double>& b) {
+  double worst = 0.0;
+  for (index_t k = 0; k < a.size(); ++k)
+    worst = std::max(worst, std::fabs(a[k] - b[k]));
+  return worst;
+}
+
+TEST(OpsLincomb, WrappersAreBitIdenticalToLincomb) {
+  Compressor compressor(settings_for(Shape{8, 8}));
+  Rng rng(2301);
+  const CompressedArray a = compressor.compress(random_smooth(Shape{40, 24}, rng, 5));
+  const CompressedArray b = compressor.compress(random_smooth(Shape{40, 24}, rng, 5));
+
+  const CompressedArray sum = ops::add(a, b);
+  const CompressedArray sum_lc = ops::lincomb({{1.0, &a}, {1.0, &b}});
+  EXPECT_EQ(sum.indices, sum_lc.indices);
+  EXPECT_EQ(sum.biggest, sum_lc.biggest);
+
+  const CompressedArray diff = ops::subtract(a, b);
+  const CompressedArray diff_lc = ops::lincomb({{1.0, &a}, {-1.0, &b}});
+  EXPECT_EQ(diff.indices, diff_lc.indices);
+  EXPECT_EQ(diff.biggest, diff_lc.biggest);
+
+  const CompressedArray shifted = ops::add_scalar(a, 1.75);
+  const CompressedArray shifted_lc = ops::lincomb({{1.0, &a}}, 1.75);
+  EXPECT_EQ(shifted.indices, shifted_lc.indices);
+  EXPECT_EQ(shifted.biggest, shifted_lc.biggest);
+
+  const CompressedArray combo = ops::linear_combination(2.5, a, -0.75, b);
+  const CompressedArray combo_lc = ops::lincomb({{2.5, &a}, {-0.75, &b}});
+  EXPECT_EQ(combo.indices, combo_lc.indices);
+  EXPECT_EQ(combo.biggest, combo_lc.biggest);
+}
+
+TEST(OpsLincomb, SubtractStillMatchesAddOfNegation) {
+  // The fused subtract folds the sign into the decode scale; the result must
+  // stay bit-identical to the textbook A + (-B) formulation it replaced.
+  Compressor compressor(settings_for(Shape{4, 4, 4}));
+  Rng rng(2309);
+  const CompressedArray a =
+      compressor.compress(random_smooth(Shape{16, 12, 20}, rng, 4));
+  const CompressedArray b =
+      compressor.compress(random_smooth(Shape{16, 12, 20}, rng, 4));
+  const CompressedArray fused = ops::subtract(a, b);
+  const CompressedArray via_negate = ops::add(a, ops::negate(b));
+  EXPECT_EQ(fused.indices, via_negate.indices);
+  EXPECT_EQ(fused.biggest, via_negate.biggest);
+}
+
+TEST(OpsLincomb, TwoOperandFusedEqualsChainedWithEqualBinScales) {
+  // With float64 coefficient storage, multiply_scalar's biggest-rescale is
+  // exact (no float-type rounding of the bin scale), so the chained
+  // multiply/multiply/add evaluates exactly the scales the fused kernel
+  // feeds its one rebin: the two paths must agree bit for bit.
+  Compressor compressor(settings_for(Shape{8, 8}, FloatType::kFloat64,
+                                     IndexType::kInt16));
+  Rng rng(2311);
+  const CompressedArray a = compressor.compress(random_smooth(Shape{32, 32}, rng, 5));
+  const CompressedArray b = compressor.compress(random_smooth(Shape{32, 32}, rng, 5));
+  const double alpha = 1.5, beta = -2.25;
+
+  const CompressedArray fused = ops::lincomb({{alpha, &a}, {beta, &b}});
+  const CompressedArray chained = ops::add(ops::multiply_scalar(a, alpha),
+                                           ops::multiply_scalar(b, beta));
+  EXPECT_EQ(fused.indices, chained.indices);
+  EXPECT_EQ(fused.biggest, chained.biggest);
+}
+
+TEST(OpsLincomb, FusedErrorNeverExceedsChainedError) {
+  // Property (the Table I error argument): the fused n-ary path rebins once,
+  // the chained path once per binary op, and rebinning is the only error
+  // source — so against the exact combination of the decoded operands the
+  // fused result is at least as accurate, across shapes, block shapes, and
+  // arities.
+  struct Case {
+    Shape array_shape;
+    Shape block_shape;
+    int operands;
+    std::uint64_t seed;
+  };
+  const Case cases[] = {
+      {Shape{32, 32}, Shape{8, 8}, 3, 1},
+      {Shape{40, 24}, Shape{8, 8}, 4, 2},
+      {Shape{33, 21}, Shape{8, 8}, 3, 3},  // Ragged edges.
+      {Shape{16, 16, 16}, Shape{4, 4, 4}, 5, 4},
+      {Shape{64}, Shape{16}, 3, 5},
+  };
+  for (const Case& c : cases) {
+    Compressor compressor(settings_for(c.block_shape));
+    Rng rng(7000 + c.seed);
+    std::vector<CompressedArray> arrays;
+    std::vector<NDArray<double>> decoded;
+    std::vector<double> weights;
+    for (int i = 0; i < c.operands; ++i) {
+      arrays.push_back(
+          compressor.compress(random_smooth(c.array_shape, rng, 5)));
+      decoded.push_back(compressor.decompress(arrays.back()));
+      weights.push_back(rng.uniform(-2.0, 2.0));
+    }
+
+    // Exact combination of what the operands actually store.
+    NDArray<double> exact(c.array_shape);
+    for (index_t k = 0; k < exact.size(); ++k) {
+      double total = 0.0;
+      for (int i = 0; i < c.operands; ++i)
+        total += weights[static_cast<std::size_t>(i)]
+                 * decoded[static_cast<std::size_t>(i)][k];
+      exact[k] = total;
+    }
+
+    std::vector<const CompressedArray*> pointers;
+    for (const CompressedArray& a : arrays) pointers.push_back(&a);
+    const CompressedArray fused =
+        ops::lincomb(std::span<const CompressedArray* const>(pointers),
+                     std::span<const double>(weights));
+
+    CompressedArray chained =
+        ops::multiply_scalar(arrays[0], weights[0]);
+    for (int i = 1; i < c.operands; ++i)
+      chained = ops::add(chained,
+                         ops::multiply_scalar(arrays[static_cast<std::size_t>(i)],
+                                              weights[static_cast<std::size_t>(i)]));
+
+    const double fused_error =
+        max_abs_difference(compressor.decompress(fused), exact);
+    const double chained_error =
+        max_abs_difference(compressor.decompress(chained), exact);
+    EXPECT_LE(fused_error, chained_error + 1e-12)
+        << c.array_shape.to_string() << " blocks "
+        << c.block_shape.to_string() << " n=" << c.operands;
+    // And the fused error itself stays within a couple of binning quanta.
+    EXPECT_LT(fused_error, 0.1) << c.array_shape.to_string();
+  }
+}
+
+TEST(OpsLincomb, BiasMatchesScalarAdditionOnTopOfCombination) {
+  Compressor compressor(settings_for(Shape{8, 8}, FloatType::kFloat64,
+                                     IndexType::kInt32));
+  Rng rng(2333);
+  NDArray<double> x = random_smooth(Shape{32, 32}, rng, 5);
+  NDArray<double> y = random_smooth(Shape{32, 32}, rng, 5);
+  const CompressedArray a = compressor.compress(x);
+  const CompressedArray b = compressor.compress(y);
+  const NDArray<double> result = compressor.decompress(
+      ops::lincomb({{2.0, &a}, {1.0, &b}}, 0.5));
+  NDArray<double> truth = add_scalar(add(scale(x, 2.0), y), 0.5);
+  EXPECT_LT(max_abs_difference(result, truth), 2e-5 * max_abs(truth));
+}
+
+TEST(OpsLincomb, ValidatesArguments) {
+  Compressor compressor(settings_for(Shape{8, 8}));
+  Rng rng(2341);
+  const CompressedArray a = compressor.compress(random_smooth(Shape{16, 16}, rng));
+  const CompressedArray* operands[] = {&a};
+  const double weights_ok[] = {1.0};
+  const double weights_bad[] = {1.0, 2.0};
+
+  EXPECT_THROW(ops::lincomb(std::span<const CompressedArray* const>(),
+                            std::span<const double>()),
+               std::invalid_argument);
+  EXPECT_THROW(ops::lincomb(std::span<const CompressedArray* const>(operands),
+                            std::span<const double>(weights_bad)),
+               std::invalid_argument);
+
+  // Layout mismatch.
+  Compressor other(settings_for(Shape{4, 4}));
+  const CompressedArray c = other.compress(random_smooth(Shape{16, 16}, rng));
+  EXPECT_THROW(ops::lincomb({{1.0, &a}, {1.0, &c}}), std::invalid_argument);
+
+  // Bias requires the DC coefficient.
+  CompressorSettings pruned = settings_for(Shape{8, 8});
+  std::vector<std::uint8_t> flags(64, 0);
+  for (std::size_t k = 1; k <= 8; ++k) flags[k] = 1;  // DC (offset 0) pruned.
+  pruned.mask = PruningMask::from_flags(Shape{8, 8}, std::move(flags));
+  Compressor pruned_compressor(pruned);
+  const CompressedArray d =
+      pruned_compressor.compress(random_smooth(Shape{16, 16}, rng));
+  EXPECT_THROW(ops::lincomb({{1.0, &d}}, 1.0), std::invalid_argument);
+  EXPECT_NO_THROW(ops::lincomb({{1.0, &d}}, 0.0));
+
+  (void)weights_ok;
+}
+
+TEST(OpsLincomb, BitIdenticalAcrossThreadCounts) {
+  Rng rng(2351);
+  Compressor compressor(settings_for(Shape{8, 4, 8}));
+  const CompressedArray a =
+      compressor.compress(random_smooth(Shape{37, 18, 29}, rng, 5));
+  const CompressedArray b =
+      compressor.compress(random_smooth(Shape{37, 18, 29}, rng, 5));
+  const CompressedArray c =
+      compressor.compress(random_smooth(Shape{37, 18, 29}, rng, 5));
+
+  parallel::set_num_threads(1);
+  const CompressedArray reference =
+      ops::lincomb({{1.0, &a}, {-0.5, &b}, {0.25, &c}});
+  for (int threads : {1, 4}) {
+    parallel::set_num_threads(threads);
+    const CompressedArray again =
+        ops::lincomb({{1.0, &a}, {-0.5, &b}, {0.25, &c}});
+    EXPECT_EQ(again.indices, reference.indices) << threads << " threads";
+    EXPECT_EQ(again.biggest, reference.biggest) << threads << " threads";
+  }
+  parallel::set_num_threads(0);
+}
+
+TEST(KernelsDecodeLincomb, MatchesScalarDefinitionForAllArities) {
+  Rng rng(2361);
+  const index_t count = 96;
+  for (index_t arity : {index_t{1}, index_t{2}, index_t{3}, index_t{4},
+                        index_t{5}, index_t{7}}) {
+    std::vector<std::vector<std::int8_t>> rows(static_cast<std::size_t>(arity));
+    std::vector<const std::int8_t*> row_ptrs;
+    std::vector<double> scales;
+    for (auto& row : rows) {
+      row.resize(static_cast<std::size_t>(count));
+      for (auto& v : row)
+        v = static_cast<std::int8_t>(rng.uniform(-127.0, 127.0));
+      row_ptrs.push_back(row.data());
+      scales.push_back(rng.uniform(-1.0, 1.0));
+    }
+    std::vector<double> out(static_cast<std::size_t>(count), 123.0);
+    kernels::decode_lincomb(row_ptrs.data(), scales.data(), arity, count,
+                            out.data());
+    for (index_t j = 0; j < count; ++j) {
+      double expected = 0.0;
+      for (index_t i = 0; i < arity; ++i)
+        expected += scales[static_cast<std::size_t>(i)] *
+                    static_cast<double>(
+                        rows[static_cast<std::size_t>(i)]
+                            [static_cast<std::size_t>(j)]);
+      EXPECT_NEAR(out[static_cast<std::size_t>(j)], expected, 1e-12)
+          << "arity " << arity << " slot " << j;
+    }
+  }
+}
+
+TEST(OpsSpecifiedCoefficients, SpanAccessorMatchesVectorAccessor) {
+  Compressor compressor(settings_for(Shape{8, 8}));
+  Rng rng(2371);
+  const CompressedArray a =
+      compressor.compress(random_smooth(Shape{24, 40}, rng, 5));
+  const std::vector<double> via_vector = ops::specified_coefficients(a);
+
+  std::vector<double> buffer(via_vector.size(), -1.0);
+  ops::specified_coefficients_into(a, buffer);
+  EXPECT_EQ(buffer, via_vector);
+
+  std::vector<double> too_small(via_vector.size() - 1);
+  EXPECT_THROW(ops::specified_coefficients_into(a, too_small),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pyblaz

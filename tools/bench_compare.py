@@ -26,6 +26,35 @@ def load_results(path):
     }
 
 
+def fusion_ratios(results):
+    """fused-over-chained speedup per (name, kind, shape) measured under both
+    lincomb paths (the fused-op series from bench_fused_lincomb)."""
+    ratios = {}
+    for (name, kind, impl, shape), seconds in results.items():
+        if impl != "fused":
+            continue
+        chained = results.get((name, kind, "chained", shape))
+        if chained is not None and seconds > 0:
+            ratios[(name, kind, shape)] = chained / seconds
+    return ratios
+
+
+def print_fusion_summary(baseline, candidate):
+    """Side-by-side fused-over-chained ratios.  Informational only: the
+    regression gate already covers the underlying seconds_per_call entries,
+    so a fusion-win shrinking shows up here without double-failing the run."""
+    base = fusion_ratios(baseline)
+    cand = fusion_ratios(candidate)
+    keys = sorted(set(base) | set(cand))
+    if not keys:
+        return
+    print(f"\n{'fused-over-chained speedup':<50} {'baseline':>12} {'candidate':>12}")
+    for key in keys:
+        label = " ".join(filter(None, key))
+        fmt = lambda r: f"{r:.2f}x" if r is not None else "-"
+        print(f"{label:<50} {fmt(base.get(key)):>12} {fmt(cand.get(key)):>12}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -60,6 +89,8 @@ def main():
         print(f"{label:<50} {base * 1e9:>10.1f}ns {cand * 1e9:>10.1f}ns {ratio:>7.2f}x{flag}")
     for key in sorted(set(candidate) - set(baseline)):
         print(f"{' '.join(filter(None, key)):<50} {'(new in candidate)':>34}")
+
+    print_fusion_summary(baseline, candidate)
 
     failed = False
     if missing:
