@@ -10,7 +10,8 @@
 ///
 /// Args: [max_size] [--fused] (default 128).  One table per (ftype, itype)
 /// setting.  --fused appends two columns timing the 3-operand expression
-/// a + 0.5 b - 0.25 c both ways: `lincomb3` (one fused pass, one terminal
+/// a + 0.5 b - 0.25 c both ways: `expr3` (the natural expression-template
+/// syntax, which compiles to one fused lincomb — one pass, one terminal
 /// rebin) and `chain3` (the chained add/multiply_scalar sequence), so the
 /// figure can report both compressed-arithmetic paths.
 
@@ -23,6 +24,7 @@
 
 #include "core/codec/compressor.hpp"
 #include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/expr.hpp"
 #include "core/ops/ops.hpp"
 #include "core/util/rng.hpp"
 #include "core/util/table.hpp"
@@ -64,7 +66,7 @@ int main(int argc, char** argv) {
                                       "add", "multiply", "dot", "l2", "cosine",
                                       "mean", "variance", "ssim"};
   if (fused) {
-    columns.push_back("lincomb3");
+    columns.push_back("expr3");
     columns.push_back("chain3");
   }
   std::vector<std::string> csv_columns = columns;
@@ -105,11 +107,12 @@ int main(int argc, char** argv) {
                                         Table::sci(t_cos, 2), Table::sci(t_mean, 2),
                                         Table::sci(t_var, 2), Table::sci(t_ssim, 2)};
         if (fused) {
-          // The same 3-operand expression both ways: one fused pass with a
-          // single terminal rebin vs the chained per-op sequence.
+          // The same 3-operand expression both ways: the natural syntax
+          // (one fused pass with a single terminal rebin) vs the chained
+          // per-op sequence.
           CompressedArray c = ops::negate(a);
           const double t_fused = best_time([&] {
-            (void)ops::lincomb({{1.0, &a}, {0.5, &b}, {-0.25, &c}});
+            (void)CompressedArray(a + 0.5 * b - 0.25 * c);
           });
           const double t_chain = best_time([&] {
             (void)ops::add(ops::add(a, ops::multiply_scalar(b, 0.5)),

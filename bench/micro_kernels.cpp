@@ -1,8 +1,10 @@
 /// JSON-emitting micro-benchmark harness for the codec kernel layer: times
 /// the block transform (factorized fast path vs dense matrix oracle), the
 /// shared rebin/unbin kernels, end-to-end compress/decompress,
-/// compressed-space add, and the fused n-ary lincomb vs the chained per-op
-/// sequence it replaces, per block shape.
+/// compressed-space add, the fused n-ary lincomb vs the chained per-op
+/// sequence it replaces, and the expression-template front end vs the
+/// handwritten lincomb call it compiles to (expected ~zero overhead), per
+/// block shape.
 ///
 /// Usage: bench_micro_kernels [OUTPUT.json]
 ///
@@ -26,6 +28,7 @@
 #include "core/kernels/fast_transform.hpp"
 #include "core/kernels/rebin.hpp"
 #include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/expr.hpp"
 #include "core/ops/ops.hpp"
 #include "core/parallel/thread_pool.hpp"
 #include "core/transform/block_transform.hpp"
@@ -143,6 +146,27 @@ class Harness {
     return out;
   }
 
+  /// Expression-front-end cost relative to the handwritten ops::lincomb call
+  /// it flattens to, for every (name, shape) measured under both: the "expr"
+  /// series divided by the "fused" series.  The front end only rearranges a
+  /// few stack words before making the identical lincomb call, so this ratio
+  /// is the zero-overhead assertion (~1.0 at t1, within timer noise).
+  struct ExprOverhead {
+    std::string name, shape;
+    double expr_over_fused;
+  };
+  std::vector<ExprOverhead> expr_overheads() const {
+    std::vector<ExprOverhead> out;
+    for (const auto& expr : results_) {
+      if (expr.impl != "expr") continue;
+      const Result* fused = find(expr.name, expr.kind, "fused", expr.shape);
+      if (fused)
+        out.push_back({expr.name, expr.shape,
+                       expr.seconds_per_call / fused->seconds_per_call});
+    }
+    return out;
+  }
+
   bool write_json(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (!f) return false;
@@ -179,6 +203,16 @@ class Harness {
                    fusion[i].name.c_str(), fusion[i].shape.c_str(),
                    fusion[i].fused_over_chained,
                    i + 1 < fusion.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"expr_overheads\": [\n");
+    const auto overheads = expr_overheads();
+    for (std::size_t i = 0; i < overheads.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"shape\": \"%s\", "
+                   "\"expr_over_fused\": %.3f}%s\n",
+                   overheads[i].name.c_str(), overheads[i].shape.c_str(),
+                   overheads[i].expr_over_fused,
+                   i + 1 < overheads.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -308,10 +342,13 @@ void bench_compressed_ops(Harness& harness) {
               [&] { dot += ops::dot(a, b); });
 }
 
-/// The tentpole comparison: fused n-ary lincomb (one pass over all operands,
-/// one terminal rebin, workspace-backed coefficient row) against the chained
-/// add/multiply_scalar sequence it replaces (one rebin and one intermediate
-/// CompressedArray per binary op).  The 3-operand case is the shape of a
+/// The fused-pipeline comparison: fused n-ary lincomb (one pass over all
+/// operands, one terminal rebin, workspace-backed coefficient row) against
+/// the chained add/multiply_scalar sequence it replaces (one rebin and one
+/// intermediate CompressedArray per binary op), plus the expression-template
+/// front end writing the same combination naturally (which must compile to
+/// the identical lincomb call — the "expr" series exists to keep that
+/// zero-overhead claim measured).  The 3-operand case is the shape of a
 /// simulation height update (eta' = eta - dt fx - dt fy); the 5-operand case
 /// is an RK-style combine.
 void bench_fused_lincomb(Harness& harness) {
@@ -334,6 +371,9 @@ void bench_fused_lincomb(Harness& harness) {
   harness.run("compressed_lincomb3", "", "fused", array_shape, volume, [&] {
     out = ops::lincomb({{1.0, &a}, {-0.5, &b}, {0.25, &c}});
   });
+  harness.run("compressed_lincomb3", "", "expr", array_shape, volume, [&] {
+    out = a - 0.5 * b + 0.25 * c;
+  });
   harness.run("compressed_lincomb3", "", "chained", array_shape, volume, [&] {
     out = ops::add(ops::add(a, ops::multiply_scalar(b, -0.5)),
                    ops::multiply_scalar(c, 0.25));
@@ -342,6 +382,9 @@ void bench_fused_lincomb(Harness& harness) {
   harness.run("compressed_lincomb5", "", "fused", array_shape, volume, [&] {
     out = ops::lincomb(
         {{1.0, &a}, {0.5, &b}, {0.25, &c}, {0.125, &d}, {-0.75, &e}});
+  });
+  harness.run("compressed_lincomb5", "", "expr", array_shape, volume, [&] {
+    out = a + 0.5 * b + 0.25 * c + 0.125 * d - 0.75 * e;
   });
   harness.run("compressed_lincomb5", "", "chained", array_shape, volume, [&] {
     out = ops::add(
@@ -441,6 +484,20 @@ int main(int argc, char** argv) {
   for (const auto& s : harness.fusion_speedups())
     std::printf("  %-22s %-12s %6.2fx\n", s.name.c_str(), s.shape.c_str(),
                 s.fused_over_chained);
+
+  std::printf("\nexpression-front-end cost over handwritten lincomb"
+              " (~1.00x expected):\n");
+  bool expr_overhead_suspect = false;
+  for (const auto& o : harness.expr_overheads()) {
+    std::printf("  %-22s %-12s %6.2fx\n", o.name.c_str(), o.shape.c_str(),
+                o.expr_over_fused);
+    expr_overhead_suspect |= o.expr_over_fused > 1.10;
+  }
+  if (expr_overhead_suspect)
+    std::fprintf(stderr,
+                 "warning: expression front end measured >10%% over the "
+                 "handwritten lincomb call; expected ~zero overhead — rerun "
+                 "on a quiet machine before trusting this\n");
 
   std::printf("\nthread scaling (t1 over tN, 64x64x64):\n");
   for (const char* name : {"compress_threads", "decompress_threads",

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/codec/compressor.hpp"
+#include "core/ops/expr.hpp"
 #include "core/ops/ops.hpp"
 #include "sim/fission/fission.hpp"
 
@@ -43,7 +44,7 @@ int main() {
   int w_peak_at = 0;
   double w_peak = -1.0;
   for (std::size_t k = 1; k < steps.size(); ++k) {
-    const double l2 = ops::l2_norm(ops::subtract(coarse[k], coarse[k - 1]));
+    const double l2 = ops::l2_norm(coarse[k] - coarse[k - 1]);
     const double w2 = ops::wasserstein_distance(finer[k], finer[k - 1], 2.0);
     const double w68 = ops::wasserstein_distance(finer[k], finer[k - 1], 68.0);
     std::printf("%5d->%5d %14.4f %14.6g %14.6g\n", steps[k - 1], steps[k], l2,

@@ -9,6 +9,7 @@
 #include "core/codec/ratio.hpp"
 #include "core/codec/serialization.hpp"
 #include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/expr.hpp"
 #include "core/ops/ops.hpp"
 #include "core/reference/reference.hpp"
 #include "core/util/rng.hpp"
@@ -59,20 +60,29 @@ int main() {
               ops::wasserstein_distance(cx, cy, 2.0),
               reference::wasserstein_distance(x, y, 2.0));
 
-  // 5. Compressed-space arithmetic: 2 * (x - y) + 0.5, then decompress once.
-  CompressedArray expr = ops::add_scalar(
-      ops::multiply_scalar(ops::subtract(cx, cy), 2.0), 0.5);
-  NDArray<double> result = compressor.decompress(expr);
+  // 5. Compressed-space arithmetic, written naturally.  The expression
+  //    front end (core/ops/expr.hpp) compiles 2 * (cx - cy) + 0.5 into ONE
+  //    fused lincomb — every operand decoded in a single pass, one terminal
+  //    rebin, no intermediate compressed arrays.
+  NDArray<double> result = compressor.decompress(2.0 * (cx - cy) + 0.5);
   NDArray<double> truth = add_scalar(scale(subtract(x, y), 2.0), 0.5);
-  std::printf("\npipeline 2(x-y)+0.5: mean abs error %.4g (max |truth| %.3f)\n",
+  std::printf("\nexpression 2(x-y)+0.5: mean abs error %.4g (max |truth| %.3f)\n",
               reference::mean_absolute_error(result, truth), max_abs(truth));
 
-  // 6. The same expression as one fused lincomb — every operand decoded in a
-  // single pass and rebinned once at the end, so the chain above's per-op
-  // rebinning error collapses to one quantization.
-  NDArray<double> fused = compressor.decompress(
-      ops::lincomb({{2.0, &cx}, {-2.0, &cy}}, 0.5));
-  std::printf("fused lincomb 2x-2y+0.5: mean abs error %.4g\n",
-              reference::mean_absolute_error(fused, truth));
+  // 6. The same update written as the pre-fusion chain of per-op calls pays
+  //    one rebin — the only error source of compressed addition — per op,
+  //    so it is both slower and (slightly) less accurate than the fused
+  //    expression above.
+  CompressedArray chained = ops::add_scalar(
+      ops::multiply_scalar(ops::subtract(cx, cy), 2.0), 0.5);
+  std::printf("chained per-op pipeline: mean abs error %.4g\n",
+              reference::mean_absolute_error(compressor.decompress(chained),
+                                             truth));
+
+  // 7. Compound assignment stays compressed too: one fused update per step.
+  CompressedArray state = cx;
+  state += 0.1 * cy - 0.05 * cx;  // one lincomb, one rebin
+  std::printf("after `state += 0.1 y - 0.05 x`: mean(state) %.6f\n",
+              ops::mean(state));
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/codec/compressor.hpp"
+#include "core/ops/expr.hpp"
 #include "core/ops/ops.hpp"
 #include "core/reference/reference.hpp"
 #include "sim/shallow_water/swe.hpp"
@@ -53,7 +54,9 @@ int main(int argc, char** argv) {
     CompressedArray ca = compressor.compress(model_lo.surface_height());
     CompressedArray cb = compressor.compress(model_hi.surface_height());
 
-    const double l2_compressed = ops::l2_norm(ops::subtract(ca, cb));
+    // Natural syntax: ca - cb builds a lazy two-term expression that
+    // evaluates as one fused lincomb right where l2_norm consumes it.
+    const double l2_compressed = ops::l2_norm(ca - cb);
     const double l2_raw = reference::l2_distance(model_lo.surface_height(),
                                                  model_hi.surface_height());
     const double w2 = ops::wasserstein_distance(ca, cb, 2.0);

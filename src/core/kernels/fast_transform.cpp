@@ -356,6 +356,9 @@ void dense_transform_axis(const double* src, double* dst, const double* matrix,
     case 64:
       apply_axis<64>(src, dst, matrix, n, outer, inner, forward);
       return;
+    case 128:
+      apply_axis<128>(src, dst, matrix, n, outer, inner, forward);
+      return;
     default:
       apply_axis<0>(src, dst, matrix, n, outer, inner, forward);
       return;
@@ -366,7 +369,8 @@ bool fast_axis_supported(TransformKind kind, index_t n) {
   if (n == 1) return true;
   switch (kind) {
     case TransformKind::kDCT:
-      return n == 2 || n == 4 || n == 8 || n == 16 || n == 32 || n == 64;
+      return n == 2 || n == 4 || n == 8 || n == 16 || n == 32 || n == 64 ||
+             n == 128;
     case TransformKind::kHaar:
       return is_power_of_two(n);
   }
@@ -416,9 +420,9 @@ double best_of_three(Op&& op) {
 /// borderline size never flips between runs (or processes) on timer noise:
 /// absent a decisive verdict, dispatch equals FastAxisPolicy::kFixed.
 struct AxisProbeTable {
-  // prefer_fast[kind][log2(n)], probed up to n = 64; longer Haar axes reuse
-  // the n = 64 verdict (the butterfly's advantage only grows with n).
-  static constexpr int kMaxLog2 = 6;
+  // prefer_fast[kind][log2(n)], probed up to n = 128; longer Haar axes reuse
+  // the n = 128 verdict (the butterfly's advantage only grows with n).
+  static constexpr int kMaxLog2 = 7;
   bool prefer_fast[2][kMaxLog2 + 1] = {};
 
   AxisProbeTable() {
@@ -518,6 +522,9 @@ void fast_transform_axis(TransformKind kind, double* data, double* tmp,
       break;
     case 64:
       dct_axis<64>(data, tmp, outer, inner, forward);
+      break;
+    case 128:
+      dct_axis<128>(data, tmp, outer, inner, forward);
       break;
     default:
       // Loud failure rather than silently returning untransformed data: this

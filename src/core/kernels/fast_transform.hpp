@@ -9,7 +9,8 @@ namespace pyblaz::kernels {
 
 /// True when the factorized O(n log n) path can transform an axis of length
 /// @p n: always for n = 1 (identity), the Lee/recursive DCT-II for
-/// n in {2, 4, 8, 16, 32, 64}, and the butterfly Haar for any power of two.
+/// n in {2, 4, 8, 16, 32, 64, 128}, and the butterfly Haar for any power of
+/// two.
 bool fast_axis_supported(TransformKind kind, index_t n);
 
 /// How fast_axis_preferred() decides between the factorized and the dense

@@ -2,6 +2,7 @@
 #include <cmath>
 
 #include "core/kernels/rebin.hpp"
+#include "core/ops/expr.hpp"
 #include "core/ops/ops.hpp"
 #include "core/ops/ops_internal.hpp"
 #include "core/parallel/thread_pool.hpp"
@@ -69,22 +70,23 @@ CompressedArray negate(const CompressedArray& a) {
 
 CompressedArray add(const CompressedArray& a, const CompressedArray& b) {
   // Ĉ = F1 ⊙ N1 ⊘ r + F2 ⊙ N2 ⊘ r (specified coefficients of the sum),
-  // summed and re-binned block by block: exactly the unit-weight case of the
-  // fused n-ary lincomb pipeline.
-  return lincomb({{1.0, &a}, {1.0, &b}});
+  // summed and re-binned block by block: the unit-weight two-term expression,
+  // which flattens to exactly one fused lincomb.
+  return (a + b).eval();
 }
 
 CompressedArray subtract(const CompressedArray& a, const CompressedArray& b) {
   // A - B as a single fused pass: the -1 weight folds b's negation into the
   // decode scale, so no negated copy of b is ever materialized.
-  return lincomb({{1.0, &a}, {-1.0, &b}});
+  return (a - b).eval();
 }
 
 CompressedArray add_scalar(const CompressedArray& a, double x) {
-  // Unconditional even for x = 0, matching the documented contract.
+  // Unconditional even for x = 0, matching the documented contract (the
+  // expression itself only demands the DC coefficient for a nonzero bias).
   internal::require_dc(a, "scalar addition");
   // The unary lincomb: decode, DC-shift by x * sqrt(prod(i)), rebin once.
-  return lincomb({{1.0, &a}}, x);
+  return (a + x).eval();
 }
 
 CompressedArray multiply_scalar(const CompressedArray& a, double x) {

@@ -1,0 +1,16 @@
+#include "core/ops/expr.hpp"
+
+#include <span>
+
+#include "core/ops/ops.hpp"
+
+namespace pyblaz::expr_detail {
+
+CompressedArray eval_terms(const CompressedArray* const* operands,
+                           const double* weights, std::size_t count,
+                           double bias) {
+  return ops::lincomb(std::span<const CompressedArray* const>(operands, count),
+                      std::span<const double>(weights, count), bias);
+}
+
+}  // namespace pyblaz::expr_detail

@@ -1,14 +1,25 @@
+#include <atomic>
 #include <stdexcept>
 #include <type_traits>
 #include <vector>
 
 #include "core/codec/workspace.hpp"
 #include "core/kernels/rebin.hpp"
+#include "core/ops/expr.hpp"
 #include "core/ops/ops.hpp"
 #include "core/ops/ops_internal.hpp"
 #include "core/parallel/thread_pool.hpp"
 
 namespace pyblaz::ops {
+
+namespace {
+/// One increment per lincomb call = one terminal rebin pass over the result.
+std::atomic<long> g_lincomb_rebin_passes{0};
+}  // namespace
+
+long lincomb_rebin_passes() {
+  return g_lincomb_rebin_passes.load(std::memory_order_relaxed);
+}
 
 /// The fused expression kernel behind the whole compressed-arithmetic family:
 /// gather every operand's specified coefficients per block, accumulate the
@@ -74,6 +85,7 @@ CompressedArray lincomb(std::span<const CompressedArray* const> operands,
           }
         });
   });
+  g_lincomb_rebin_passes.fetch_add(1, std::memory_order_relaxed);
   return out;
 }
 
@@ -94,7 +106,8 @@ CompressedArray lincomb(
 
 CompressedArray linear_combination(double alpha, const CompressedArray& a,
                                    double beta, const CompressedArray& b) {
-  return lincomb({{alpha, &a}, {beta, &b}});
+  // A two-term expression: flattens to the identical lincomb call.
+  return (alpha * a + beta * b).eval();
 }
 
 }  // namespace pyblaz::ops

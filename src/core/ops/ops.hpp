@@ -180,6 +180,16 @@ CompressedArray lincomb(
     std::initializer_list<std::pair<double, const CompressedArray*>> terms,
     double bias = 0.0);
 
+/// Process-wide count of terminal rebin passes performed by ops::lincomb —
+/// exactly one per call, which is the fused pipeline's defining property.
+/// Everything that routes through lincomb (add, subtract, add_scalar,
+/// linear_combination, and every expression-template evaluation from
+/// core/ops/expr.hpp) bumps it once; the exact rebin-free operations
+/// (negate, multiply_scalar) never do.  Monotonic and thread-safe; intended
+/// for rebin-count accounting in tests and diagnostics — take a delta around
+/// the region of interest.
+long lincomb_rebin_passes();
+
 /// α A + β B in one fused pass (generalizes Algorithm 2; rebinning is the
 /// only error source).  Layouts must match.  Equivalent to the 2-operand
 /// lincomb.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/codec/serialization.hpp"
+#include "core/ops/expr.hpp"
 
 namespace pyblaz {
 
@@ -31,7 +32,7 @@ std::vector<double> CompressedSeries::adjacent_l2() const {
   if (frames_.size() < 2) return curve;
   curve.reserve(frames_.size() - 1);
   for (std::size_t k = 1; k < frames_.size(); ++k)
-    curve.push_back(ops::l2_norm(ops::subtract(frames_[k], frames_[k - 1])));
+    curve.push_back(ops::l2_norm(frames_[k] - frames_[k - 1]));
   return curve;
 }
 

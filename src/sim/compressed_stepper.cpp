@@ -10,6 +10,17 @@ namespace sim {
 
 namespace ops = pyblaz::ops;
 
+namespace {
+
+double max_abs_difference(const NDArray<double>& a, const NDArray<double>& b) {
+  double worst = 0.0;
+  for (pyblaz::index_t k = 0; k < a.size(); ++k)
+    worst = std::max(worst, std::fabs(a[k] - b[k]));
+  return worst;
+}
+
+}  // namespace
+
 CompressedStateStepper::CompressedStateStepper(Compressor compressor,
                                                const NDArray<double>& initial,
                                                LincombPath path)
@@ -17,66 +28,50 @@ CompressedStateStepper::CompressedStateStepper(Compressor compressor,
       state_(compressor_.compress(initial)),
       path_(path) {}
 
-void CompressedStateStepper::accumulate(
-    std::span<const CompressedArray* const> terms,
-    std::span<const double> weights, double bias) {
-  if (terms.size() != weights.size())
-    throw std::invalid_argument(
-        "CompressedStateStepper: weights.size() must equal terms.size()");
-  if (path_ == LincombPath::kFused) {
-    // {state, term_0, ..., term_{n-1}} in one pass, one terminal rebin.
-    std::vector<const CompressedArray*> operands;
-    std::vector<double> all_weights;
-    operands.reserve(terms.size() + 1);
-    all_weights.reserve(terms.size() + 1);
-    operands.push_back(&state_);
-    all_weights.push_back(1.0);
-    operands.insert(operands.end(), terms.begin(), terms.end());
-    all_weights.insert(all_weights.end(), weights.begin(), weights.end());
-    state_ = ops::lincomb(std::span<const CompressedArray* const>(operands),
-                          std::span<const double>(all_weights), bias);
-    ++rebin_passes_;
-    return;
-  }
-  // Chained baseline: one rebin per term (multiply_scalar is exact, each add
-  // rebins), plus one more when a bias is applied.
-  for (std::size_t i = 0; i < terms.size(); ++i) {
-    state_ = ops::add(state_, ops::multiply_scalar(*terms[i], weights[i]));
+void CompressedStateStepper::advance_chained(
+    const CompressedArray* const* operands, const double* weights,
+    std::size_t count, double bias) {
+  // The pre-fusion baseline replayed from the expression's term list:
+  // multiply_scalar is exact (and a unit weight on the leading state operand
+  // is the bit-exact identity), each add rebins, and a bias costs one more
+  // rebin via add_scalar.
+  CompressedArray acc = ops::multiply_scalar(*operands[0], weights[0]);
+  for (std::size_t i = 1; i < count; ++i) {
+    acc = ops::add(acc, ops::multiply_scalar(*operands[i], weights[i]));
     ++rebin_passes_;
   }
   if (bias != 0.0) {
-    state_ = ops::add_scalar(state_, bias);
+    acc = ops::add_scalar(acc, bias);
     ++rebin_passes_;
   }
-}
-
-void CompressedStateStepper::accumulate(
-    std::span<const NDArray<double>* const> terms,
-    std::span<const double> weights, double bias) {
-  std::vector<CompressedArray> compressed;
-  compressed.reserve(terms.size());
-  for (const NDArray<double>* term : terms)
-    compressed.push_back(compressor_.compress(*term));
-  std::vector<const CompressedArray*> pointers;
-  pointers.reserve(compressed.size());
-  for (const CompressedArray& c : compressed) pointers.push_back(&c);
-  accumulate(std::span<const CompressedArray* const>(pointers), weights, bias);
+  state_ = std::move(acc);
 }
 
 CompressedShallowWaterStepper::CompressedShallowWaterStepper(
     const SweConfig& config, const CompressorSettings& settings,
     LincombPath path)
     : model_(config),
-      height_(Compressor(settings), model_.surface_height(), path) {}
+      height_(Compressor(settings), model_.surface_height(), path),
+      u_(Compressor(settings), model_.velocity_u(), path),
+      v_(Compressor(settings), model_.velocity_v(), path) {}
 
 void CompressedShallowWaterStepper::step() {
   SweTendencies tendencies;
   model_.step(&tendencies);
   const double dt = model_.config().dt;
-  const NDArray<double>* terms[] = {&tendencies.flux_x, &tendencies.flux_y};
-  const double weights[] = {-dt, -dt};
-  height_.accumulate(std::span<const NDArray<double>* const>(terms),
-                     std::span<const double>(weights));
+
+  // Each track advances by the natural form of the model's own update; every
+  // expression flattens to one fused lincomb (one rebin) over the persistent
+  // compressed state plus the freshly compressed tendency fields.
+  const CompressedArray fx = height_.encode(tendencies.flux_x);
+  const CompressedArray fy = height_.encode(tendencies.flux_y);
+  height_.advance(height_.state() - dt * (fx + fy));
+
+  const CompressedArray du = u_.encode(tendencies.du);
+  u_.advance(u_.state() + dt * du);
+
+  const CompressedArray dv = v_.encode(tendencies.dv);
+  v_.advance(v_.state() + dt * dv);
 }
 
 void CompressedShallowWaterStepper::run(int steps) {
@@ -84,12 +79,15 @@ void CompressedShallowWaterStepper::run(int steps) {
 }
 
 double CompressedShallowWaterStepper::max_abs_height_error() const {
-  const NDArray<double> decoded = height_.read();
-  const NDArray<double>& truth = model_.surface_height();
-  double worst = 0.0;
-  for (pyblaz::index_t k = 0; k < truth.size(); ++k)
-    worst = std::max(worst, std::fabs(decoded[k] - truth[k]));
-  return worst;
+  return max_abs_difference(height_.read(), model_.surface_height());
+}
+
+double CompressedShallowWaterStepper::max_abs_u_error() const {
+  return max_abs_difference(u_.read(), model_.velocity_u());
+}
+
+double CompressedShallowWaterStepper::max_abs_v_error() const {
+  return max_abs_difference(v_.read(), model_.velocity_v());
 }
 
 CompressedFissionExposure::CompressedFissionExposure(
@@ -100,7 +98,7 @@ CompressedFissionExposure::CompressedFissionExposure(
       reference_(config.grid),
       previous_density_(
           negative_log_density(fission_time_steps().front(), config)),
-      previous_compressed_(state_.compressor().compress(previous_density_)) {}
+      previous_compressed_(state_.encode(previous_density_)) {}
 
 bool CompressedFissionExposure::done() const {
   return next_interval_ >= fission_time_steps().size();
@@ -111,15 +109,14 @@ void CompressedFissionExposure::advance() {
     throw std::logic_error("CompressedFissionExposure: already at the end");
   const std::vector<int>& steps = fission_time_steps();
   NDArray<double> rho_b = negative_log_density(steps[next_interval_], config_);
-  CompressedArray rho_b_compressed = state_.compressor().compress(rho_b);
+  CompressedArray rho_b_compressed = state_.encode(rho_b);
   const double half_dt =
       0.5 * static_cast<double>(steps[next_interval_] -
                                 steps[next_interval_ - 1]);
 
-  const CompressedArray* terms[] = {&previous_compressed_, &rho_b_compressed};
-  const double weights[] = {half_dt, half_dt};
-  state_.accumulate(std::span<const CompressedArray* const>(terms),
-                    std::span<const double>(weights));
+  // One trapezoid interval as a single fused expression (one rebin).
+  state_.advance(state_.state() + half_dt * previous_compressed_ +
+                 half_dt * rho_b_compressed);
 
   for (pyblaz::index_t k = 0; k < reference_.size(); ++k)
     reference_[k] += half_dt * (previous_density_[k] + rho_b[k]);
@@ -133,11 +130,7 @@ void CompressedFissionExposure::run_to_end() {
 }
 
 double CompressedFissionExposure::max_abs_error() const {
-  const NDArray<double> decoded = state_.read();
-  double worst = 0.0;
-  for (pyblaz::index_t k = 0; k < reference_.size(); ++k)
-    worst = std::max(worst, std::fabs(decoded[k] - reference_[k]));
-  return worst;
+  return max_abs_difference(state_.read(), reference_);
 }
 
 }  // namespace sim

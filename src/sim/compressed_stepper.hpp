@@ -1,10 +1,10 @@
 #pragma once
 
-#include <span>
-#include <vector>
+#include <cstddef>
 
 #include "core/codec/compressor.hpp"
 #include "core/ndarray/ndarray.hpp"
+#include "core/ops/expr.hpp"
 #include "sim/fission/fission.hpp"
 #include "sim/shallow_water/swe.hpp"
 
@@ -13,6 +13,7 @@ namespace sim {
 using pyblaz::CompressedArray;
 using pyblaz::Compressor;
 using pyblaz::CompressorSettings;
+using pyblaz::LinExpr;
 
 /// How a multi-term compressed-state update is evaluated.
 enum class LincombPath {
@@ -28,26 +29,43 @@ enum class LincombPath {
 
 /// Persistent compressed simulation state advanced by linear-combination
 /// updates, never round-tripping through NDArray: the state decompresses
-/// only when a caller explicitly asks (read()), not per step.  Each update
-/// is state <- state + Σ w_i * term_i + bias, evaluated either as one fused
-/// n-ary lincomb (one rebin) or as the chained per-op baseline (one rebin
-/// per term).
+/// only when a caller explicitly asks (read()), not per step.  Updates are
+/// written as natural expressions over the expression-template front end
+/// (core/ops/expr.hpp) —
+///
+///     stepper.advance(stepper.state() - dt * (fx + fy));
+///
+/// — and evaluate either as one fused lincomb (one rebin) or, under
+/// LincombPath::kChained, as the per-term multiply/add baseline the same
+/// expression structure describes (one rebin per binary op).
 class CompressedStateStepper {
  public:
   /// Compresses @p initial once; every later update stays in (N, F) form.
   CompressedStateStepper(Compressor compressor, const NDArray<double>& initial,
                          LincombPath path = LincombPath::kFused);
 
-  /// state <- state + Σ weights[i] * terms[i] + bias.  Terms must match the
-  /// state's layout (same compressor settings).
-  void accumulate(std::span<const CompressedArray* const> terms,
-                  std::span<const double> weights, double bias = 0.0);
+  /// Compress a fresh raw field into the state's layout.  New data has to
+  /// enter compressed space somewhere (typically a just-produced tendency
+  /// field); the state itself never decompresses.
+  CompressedArray encode(const NDArray<double>& field) const {
+    return compressor_.compress(field);
+  }
 
-  /// Convenience for freshly produced tendencies: compresses each raw field
-  /// once (new data has to enter compressed space somewhere), then
-  /// accumulates.  The state itself is never decompressed.
-  void accumulate(std::span<const NDArray<double>* const> terms,
-                  std::span<const double> weights, double bias = 0.0);
+  /// state <- the given expression (which normally references state()
+  /// itself, e.g. `state() + dt * tendency`).  Fused: the expression's own
+  /// single-lincomb evaluation, one rebin.  Chained: the same (operand,
+  /// weight) list replayed as the pre-fusion multiply_scalar/add/add_scalar
+  /// chain for comparison runs.
+  template <std::size_t N>
+  void advance(const LinExpr<N>& update) {
+    if (path_ == LincombPath::kFused) {
+      state_ = update.eval();
+      ++rebin_passes_;
+      return;
+    }
+    advance_chained(update.operands.data(), update.weights.data(), N,
+                    update.bias);
+  }
 
   const CompressedArray& state() const { return state_; }
 
@@ -63,46 +81,68 @@ class CompressedStateStepper {
   long rebin_passes() const { return rebin_passes_; }
 
  private:
+  void advance_chained(const CompressedArray* const* operands,
+                       const double* weights, std::size_t count, double bias);
+
   Compressor compressor_;
   CompressedArray state_;
   LincombPath path_;
   long rebin_passes_ = 0;
 };
 
-/// Compressed-form shallow-water stepping (the ROADMAP's "stay in (N, F)
-/// form" item): the C-grid model advances normally, and the surface height
-/// additionally lives as persistent compressed state updated per step with
-/// the *same* tendencies the model applied —
-/// eta' = eta - dt * flux_x - dt * flux_y — as one fused 3-operand lincomb
-/// (or the chained baseline).  The compressed track is what the paper's
-/// Fig. 4 use case keeps: snapshots that never exist uncompressed, with one
-/// compression of each fresh tendency field as the only raw-data touchpoint.
-/// Run with SweConfig::precision == kFloat64 (the default) so the raw model
-/// applies exactly the exported tendencies.
+/// Compressed-form shallow-water stepping with the FULL prognostic state —
+/// height, u, and v — living as persistent compressed tracks (the regime
+/// ZFP inline-compression stability analyses study: every iterative field
+/// compressed across steps, not just one diagnostic).  The C-grid model
+/// advances normally and exports the exact tendencies it applied
+/// (ShallowWaterModel::step(SweTendencies*)); each track then advances by
+/// one natural expression —
+///
+///     height: h' = h - dt * (fx + fy)      (one fused 3-operand lincomb)
+///     u:      u' = u + dt * du             (one fused 2-operand lincomb)
+///     v:      v' = v + dt * dv
+///
+/// — so the only raw-data touchpoint is one compression of each fresh
+/// tendency field.  Run with SweConfig::precision == kFloat64 (the default)
+/// so the raw model applies exactly the exported tendencies.
 class CompressedShallowWaterStepper {
  public:
   CompressedShallowWaterStepper(const SweConfig& config,
                                 const CompressorSettings& settings,
                                 LincombPath path = LincombPath::kFused);
 
-  /// One model step + one compressed-height update (a single rebin when
-  /// fused).
+  /// One model step + one fused update per compressed track (three rebins
+  /// total when fused; four when chained — two for the 3-term height update,
+  /// one for each 2-term momentum update).
   void step();
   void run(int steps);
 
   const ShallowWaterModel& model() const { return model_; }
+
   const CompressedArray& compressed_height() const { return height_.state(); }
+  const CompressedArray& compressed_u() const { return u_.state(); }
+  const CompressedArray& compressed_v() const { return v_.state(); }
+
   NDArray<double> decompressed_height() const { return height_.read(); }
+  NDArray<double> decompressed_u() const { return u_.read(); }
+  NDArray<double> decompressed_v() const { return v_.read(); }
 
-  /// max |decompressed compressed-track height - model height|: the
-  /// accumulated compressed-stepping error vs. the uncompressed reference.
+  /// max |decompressed track - model field|: the accumulated
+  /// compressed-stepping error of each track vs. the uncompressed reference.
   double max_abs_height_error() const;
+  double max_abs_u_error() const;
+  double max_abs_v_error() const;
 
-  long rebin_passes() const { return height_.rebin_passes(); }
+  /// Total rebin passes across the three tracks.
+  long rebin_passes() const {
+    return height_.rebin_passes() + u_.rebin_passes() + v_.rebin_passes();
+  }
 
  private:
   ShallowWaterModel model_;
   CompressedStateStepper height_;
+  CompressedStateStepper u_;
+  CompressedStateStepper v_;
 };
 
 /// Compressed-form fission exposure integral: the trapezoid-rule time

@@ -90,6 +90,11 @@ void ShallowWaterModel::step(SweTendencies* tendencies) {
   if (tendencies) {
     tendencies->flux_x = NDArray<double>(eta_.shape());
     tendencies->flux_y = NDArray<double>(eta_.shape());
+    // Zero-initialized, so the closed-wall faces (where the velocities are
+    // pinned to zero and stay zero) carry exactly the zero tendency the
+    // update contract promises.
+    tendencies->du = NDArray<double>(u_.shape());
+    tendencies->dv = NDArray<double>(v_.shape());
   }
 
   // --- Momentum step (forward): uses current eta. ---
@@ -119,8 +124,13 @@ void ShallowWaterModel::step(SweTendencies* tendencies) {
       const double lap = (u_xp - 2.0 * u_c + u_xm) * inv_dx * inv_dx +
                          (u_yp - 2.0 * u_c + u_ym) * inv_dy * inv_dy;
 
-      u_new[i * ny + j] = u_c + dt * (f * v_avg - g * deta_dx - drag * u_c +
-                                      nu * lap + wind_u_[i * ny + j]);
+      // Named so the exported momentum tendency is the exact value the
+      // update multiplies by dt (same arithmetic as the former inline form;
+      // -ffp-contract=off keeps the two spellings bit-identical).
+      const double du = f * v_avg - g * deta_dx - drag * u_c + nu * lap +
+                        wind_u_[i * ny + j];
+      u_new[i * ny + j] = u_c + dt * du;
+      if (tendencies) tendencies->du[i * ny + j] = du;
     }
   }
   });
@@ -151,8 +161,9 @@ void ShallowWaterModel::step(SweTendencies* tendencies) {
       const double lap = (v_xp - 2.0 * v_c + v_xm) * inv_dx * inv_dx +
                          (v_yp - 2.0 * v_c + v_ym) * inv_dy * inv_dy;
 
-      v_new[i * (ny + 1) + j] =
-          v_c + dt * (-f * u_avg - g * deta_dy - drag * v_c + nu * lap);
+      const double dv = -f * u_avg - g * deta_dy - drag * v_c + nu * lap;
+      v_new[i * (ny + 1) + j] = v_c + dt * dv;
+      if (tendencies) tendencies->dv[i * (ny + 1) + j] = dv;
     }
   }
   });

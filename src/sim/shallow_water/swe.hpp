@@ -49,15 +49,23 @@ struct SweConfig {
 };
 
 /// Per-step tendency fields of the forward-backward update, exported for the
-/// compressed-form stepper (sim/compressed_stepper.hpp): the step applies
-/// eta' = eta - dt * flux_x - dt * flux_y.  Only the continuity fluxes are
-/// exported — they are what the compressed height track consumes; momentum
-/// tendencies can join the struct when a compressed u/v track exists (a
-/// named ROADMAP follow-on) rather than being populated for nothing in the
-/// momentum hot loops.
+/// compressed-form stepper (sim/compressed_stepper.hpp).  The step applies
+/// exactly
+///   u'   = u   + dt * du,
+///   v'   = v   + dt * dv,
+///   eta' = eta - dt * flux_x - dt * flux_y,
+/// so a compressed shadow of each prognostic field can advance by one fused
+/// lincomb per step.  The tendencies are populated only when a caller asks
+/// (step(&tendencies)); a plain step() touches none of these arrays.
 struct SweTendencies {
   NDArray<double> flux_x;  ///< (nx, ny): x-contribution of div(H u).
   NDArray<double> flux_y;  ///< (nx, ny): y-contribution of div(H u).
+  /// (nx+1, ny): momentum tendency at u points — Coriolis, pressure
+  /// gradient, drag, viscosity, and wind forcing combined.  Zero on the
+  /// closed x-walls, where u is pinned to zero.
+  NDArray<double> du;
+  /// (nx, ny+1): momentum tendency at v points.  Zero on the closed y-walls.
+  NDArray<double> dv;
 };
 
 /// 2-D shallow-water model on an Arakawa C-grid with forward-backward time
@@ -87,6 +95,12 @@ class ShallowWaterModel {
 
   /// Surface height eta, shaped (nx, ny) — the field Fig. 4 visualizes.
   const NDArray<double>& surface_height() const { return eta_; }
+
+  /// Zonal velocity u at x-faces, shaped (nx+1, ny).
+  const NDArray<double>& velocity_u() const { return u_; }
+
+  /// Meridional velocity v at y-faces, shaped (nx, ny+1).
+  const NDArray<double>& velocity_v() const { return v_; }
 
   /// Topography H(x, y) = depth - seamount, shaped (nx, ny).
   const NDArray<double>& topography() const { return depth_field_; }

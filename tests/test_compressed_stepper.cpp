@@ -1,18 +1,20 @@
 /// The compressed-form simulation stepper (src/sim/compressed_stepper.*):
-/// persistent compressed state advanced by fused lincomb chains.  Pins the
-/// acceptance property — compressed-form SWE stepping is no less accurate
-/// than the chained per-op path against the uncompressed reference — plus
-/// rebin accounting (fused does one pass per update), the fission exposure
-/// integral, thread-count invariance, and the generic accumulate engine.
+/// persistent compressed state advanced by natural expression-template
+/// updates.  Pins the acceptance properties — full compressed u/v/h SWE
+/// stepping tracks the uncompressed reference within the chained-path error
+/// envelope, momentum tendencies reconstruct the model's own update exactly
+/// — plus rebin accounting (fused does one pass per track per update), the
+/// fission exposure integral, thread-count invariance, and the generic
+/// expression-advance engine.
 
 #include "sim/compressed_stepper.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <span>
 
 #include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/expr.hpp"
 #include "core/ops/ops.hpp"
 #include "core/parallel/thread_pool.hpp"
 #include "core/util/rng.hpp"
@@ -47,8 +49,12 @@ TEST(SweTendencies, StepWithTendenciesMatchesPlainStep) {
     exporting.step(&tendencies);
     ASSERT_EQ(tendencies.flux_x.shape(), plain.surface_height().shape());
     ASSERT_EQ(tendencies.flux_y.shape(), plain.surface_height().shape());
+    ASSERT_EQ(tendencies.du.shape(), plain.velocity_u().shape());
+    ASSERT_EQ(tendencies.dv.shape(), plain.velocity_v().shape());
   }
   EXPECT_EQ(plain.surface_height(), exporting.surface_height());
+  EXPECT_EQ(plain.velocity_u(), exporting.velocity_u());
+  EXPECT_EQ(plain.velocity_v(), exporting.velocity_v());
   EXPECT_EQ(plain.max_speed(), exporting.max_speed());
 }
 
@@ -69,11 +75,46 @@ TEST(SweTendencies, TendenciesReconstructTheHeightUpdate) {
   }
 }
 
+TEST(SweTendencies, TendenciesReconstructTheMomentumUpdates) {
+  // u' = u + dt * du and v' = v + dt * dv, bit-exactly: the model applies
+  // the named tendency locals it exports, and the closed-wall faces carry
+  // zero tendency (the velocities there are pinned to zero).
+  sim::ShallowWaterModel model(small_swe());
+  model.run(3);
+  const NDArray<double> u_before = model.velocity_u();
+  const NDArray<double> v_before = model.velocity_v();
+  sim::SweTendencies tendencies;
+  model.step(&tendencies);
+  const double dt = model.config().dt;
+
+  const NDArray<double>& u_after = model.velocity_u();
+  for (index_t k = 0; k < u_after.size(); ++k)
+    EXPECT_EQ(u_after[k], u_before[k] + dt * tendencies.du[k]) << "u " << k;
+  const NDArray<double>& v_after = model.velocity_v();
+  for (index_t k = 0; k < v_after.size(); ++k)
+    EXPECT_EQ(v_after[k], v_before[k] + dt * tendencies.dv[k]) << "v " << k;
+
+  // Wall faces: u is pinned on the x-walls, v on the y-walls.
+  const index_t nx = model.config().nx;
+  const index_t ny = model.config().ny;
+  for (index_t j = 0; j < ny; ++j) {
+    EXPECT_EQ(tendencies.du[0 * ny + j], 0.0);
+    EXPECT_EQ(tendencies.du[nx * ny + j], 0.0);
+  }
+  for (index_t i = 0; i < nx; ++i) {
+    EXPECT_EQ(tendencies.dv[i * (ny + 1) + 0], 0.0);
+    EXPECT_EQ(tendencies.dv[i * (ny + 1) + ny], 0.0);
+  }
+}
+
 TEST(CompressedSweStepper, FusedErrorNoWorseThanChained) {
   // The acceptance property: compressed-form stepping (one fused lincomb per
-  // step) tracks the uncompressed reference at least as accurately as the
-  // chained per-op path it replaces, because it performs strictly fewer
-  // rebins — the only error source of compressed addition.
+  // track per step) tracks the uncompressed reference at least as accurately
+  // as the chained per-op path it replaces.  The 3-term height update does
+  // strictly fewer rebins fused (1 vs 2), so its bound is strict; the 2-term
+  // momentum updates rebin once on both paths and differ only in the chained
+  // path's float-type rounding of the scaled bin scales, so u/v are pinned
+  // to the chained-path error *envelope* rather than strict dominance.
   const int steps = 30;
   sim::CompressedShallowWaterStepper fused(small_swe(), swe_track_settings(),
                                            sim::LincombPath::kFused);
@@ -84,19 +125,35 @@ TEST(CompressedSweStepper, FusedErrorNoWorseThanChained) {
 
   // Both steppers advanced the same model trajectory.
   EXPECT_EQ(fused.model().surface_height(), chained.model().surface_height());
+  EXPECT_EQ(fused.model().velocity_u(), chained.model().velocity_u());
 
-  const double fused_error = fused.max_abs_height_error();
-  const double chained_error = chained.max_abs_height_error();
-  EXPECT_LE(fused_error, chained_error + 1e-12);
+  const double fused_h = fused.max_abs_height_error();
+  const double chained_h = chained.max_abs_height_error();
+  EXPECT_LE(fused_h, chained_h + 1e-12);
 
-  // And the compressed track is a faithful shadow of the reference field.
-  const double field_scale = max_abs(fused.model().surface_height());
-  ASSERT_GT(field_scale, 0.0);
-  EXPECT_LT(fused_error, 0.05 * field_scale);
+  const double fused_u = fused.max_abs_u_error();
+  const double chained_u = chained.max_abs_u_error();
+  EXPECT_LE(fused_u, 1.05 * chained_u + 1e-12);
+  const double fused_v = fused.max_abs_v_error();
+  const double chained_v = chained.max_abs_v_error();
+  EXPECT_LE(fused_v, 1.05 * chained_v + 1e-12);
+
+  // And every compressed track is a faithful shadow of its reference field.
+  const double h_scale = max_abs(fused.model().surface_height());
+  ASSERT_GT(h_scale, 0.0);
+  EXPECT_LT(fused_h, 0.05 * h_scale);
+  const double u_scale = max_abs(fused.model().velocity_u());
+  ASSERT_GT(u_scale, 0.0);
+  EXPECT_LT(fused_u, 0.05 * u_scale);
+  const double v_scale = max_abs(fused.model().velocity_v());
+  ASSERT_GT(v_scale, 0.0);
+  EXPECT_LT(fused_v, 0.05 * v_scale);
 }
 
 TEST(CompressedSweStepper, RebinAccounting) {
-  // Fused: one rebin per step.  Chained: one per tendency term (two here).
+  // Fused: one rebin per track per step (h, u, v).  Chained: one per binary
+  // op — two for the 3-term height update, one for each 2-term momentum
+  // update.
   const int steps = 4;
   sim::CompressedShallowWaterStepper fused(small_swe(), swe_track_settings(),
                                            sim::LincombPath::kFused);
@@ -104,8 +161,8 @@ TEST(CompressedSweStepper, RebinAccounting) {
                                              sim::LincombPath::kChained);
   fused.run(steps);
   chained.run(steps);
-  EXPECT_EQ(fused.rebin_passes(), steps);
-  EXPECT_EQ(chained.rebin_passes(), 2 * steps);
+  EXPECT_EQ(fused.rebin_passes(), 3 * steps);
+  EXPECT_EQ(chained.rebin_passes(), 4 * steps);
 }
 
 TEST(CompressedSweStepper, BitIdenticalAcrossThreadCounts) {
@@ -113,8 +170,10 @@ TEST(CompressedSweStepper, BitIdenticalAcrossThreadCounts) {
     sim::CompressedShallowWaterStepper stepper(
         small_swe(), swe_track_settings(), sim::LincombPath::kFused);
     stepper.run(3);
-    return std::make_tuple(stepper.compressed_height().biggest,
-                           stepper.compressed_height().indices);
+    return std::make_tuple(
+        stepper.compressed_height().biggest, stepper.compressed_height().indices,
+        stepper.compressed_u().biggest, stepper.compressed_u().indices,
+        stepper.compressed_v().biggest, stepper.compressed_v().indices);
   };
   parallel::set_num_threads(1);
   const auto reference = run_track();
@@ -152,9 +211,10 @@ TEST(CompressedFissionExposure, FusedErrorNoWorseThanChainedAndSmall) {
   EXPECT_EQ(chained.rebin_passes(), 28);
 }
 
-TEST(CompressedStateStepper, AccumulateMatchesDirectLincomb) {
-  // The generic engine applied to plain fields: state + Σ w_i t_i must equal
-  // what one explicit ops::lincomb over the same compressed operands yields.
+TEST(CompressedStateStepper, AdvanceMatchesDirectLincomb) {
+  // The generic engine applied to plain fields: advancing by a natural
+  // expression must equal the one explicit ops::lincomb call the expression
+  // flattens to.
   Compressor compressor({.block_shape = Shape{8, 8},
                          .float_type = FloatType::kFloat32,
                          .index_type = IndexType::kInt16});
@@ -165,18 +225,28 @@ TEST(CompressedStateStepper, AccumulateMatchesDirectLincomb) {
 
   sim::CompressedStateStepper stepper(compressor, initial,
                                       sim::LincombPath::kFused);
-  const NDArray<double>* terms[] = {&t1, &t2};
-  const double weights[] = {0.5, -0.25};
-  stepper.accumulate(std::span<const NDArray<double>* const>(terms),
-                     std::span<const double>(weights));
+  const CompressedArray c1 = stepper.encode(t1);
+  const CompressedArray c2 = stepper.encode(t2);
+  stepper.advance(stepper.state() + 0.5 * c1 - 0.25 * c2);
+  EXPECT_EQ(stepper.rebin_passes(), 1);
 
   const CompressedArray state0 = compressor.compress(initial);
-  const CompressedArray c1 = compressor.compress(t1);
-  const CompressedArray c2 = compressor.compress(t2);
   const CompressedArray expected =
       ops::lincomb({{1.0, &state0}, {0.5, &c1}, {-0.25, &c2}});
   EXPECT_EQ(stepper.state().indices, expected.indices);
   EXPECT_EQ(stepper.state().biggest, expected.biggest);
+
+  // The chained engine replays the same term list as the per-op baseline.
+  sim::CompressedStateStepper baseline(compressor, initial,
+                                       sim::LincombPath::kChained);
+  baseline.advance(baseline.state() + 0.5 * c1 - 0.25 * c2);
+  EXPECT_EQ(baseline.rebin_passes(), 2);
+  const CompressedArray chained = ops::add(
+      ops::add(ops::multiply_scalar(state0, 1.0),
+               ops::multiply_scalar(c1, 0.5)),
+      ops::multiply_scalar(c2, -0.25));
+  EXPECT_EQ(baseline.state().indices, chained.indices);
+  EXPECT_EQ(baseline.state().biggest, chained.biggest);
 }
 
 }  // namespace

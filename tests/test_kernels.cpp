@@ -95,6 +95,7 @@ INSTANTIATE_TEST_SUITE_P(
         KernelCase{TransformKind::kDCT, Shape{16}},
         KernelCase{TransformKind::kDCT, Shape{32}},
         KernelCase{TransformKind::kDCT, Shape{64}},
+        KernelCase{TransformKind::kDCT, Shape{128}},
         KernelCase{TransformKind::kDCT, Shape{2, 2}},
         KernelCase{TransformKind::kDCT, Shape{4, 4}},
         KernelCase{TransformKind::kDCT, Shape{8, 8}},
@@ -102,6 +103,8 @@ INSTANTIATE_TEST_SUITE_P(
         KernelCase{TransformKind::kDCT, Shape{32, 32}},
         KernelCase{TransformKind::kDCT, Shape{64, 8}},
         KernelCase{TransformKind::kDCT, Shape{4, 64}},
+        KernelCase{TransformKind::kDCT, Shape{128, 4}},
+        KernelCase{TransformKind::kDCT, Shape{2, 128}},
         KernelCase{TransformKind::kDCT, Shape{8, 8, 8}},
         KernelCase{TransformKind::kDCT, Shape{4, 8, 16}},
         KernelCase{TransformKind::kDCT, Shape{32, 4, 2}},
@@ -158,7 +161,7 @@ TEST(FastKernelAxis, MatchesDenseContractionForAllSupportedSizes) {
   Rng rng(131);
   for (TransformKind kind : {TransformKind::kDCT, TransformKind::kHaar}) {
     for (index_t n : {index_t{2}, index_t{4}, index_t{8}, index_t{16},
-                      index_t{32}, index_t{64}}) {
+                      index_t{32}, index_t{64}, index_t{128}}) {
       ASSERT_TRUE(kernels::fast_axis_supported(kind, n));
       const auto h = kind == TransformKind::kDCT
                          ? dct_matrix(static_cast<int>(n))
@@ -199,7 +202,8 @@ TEST(FastAxisSupported, MatchesDocumentedSizes) {
   EXPECT_TRUE(kernels::fast_axis_supported(TransformKind::kDCT, 1));
   EXPECT_TRUE(kernels::fast_axis_supported(TransformKind::kDCT, 32));
   EXPECT_TRUE(kernels::fast_axis_supported(TransformKind::kDCT, 64));
-  EXPECT_FALSE(kernels::fast_axis_supported(TransformKind::kDCT, 128));
+  EXPECT_TRUE(kernels::fast_axis_supported(TransformKind::kDCT, 128));
+  EXPECT_FALSE(kernels::fast_axis_supported(TransformKind::kDCT, 256));
   EXPECT_FALSE(kernels::fast_axis_supported(TransformKind::kDCT, 3));
   EXPECT_TRUE(kernels::fast_axis_supported(TransformKind::kHaar, 64));
   EXPECT_FALSE(kernels::fast_axis_supported(TransformKind::kHaar, 6));
@@ -208,7 +212,7 @@ TEST(FastAxisSupported, MatchesDocumentedSizes) {
 TEST(FastAxisPreferred, FixedPolicyMatchesDocumentedHeuristic) {
   const kernels::FastAxisPolicy saved = kernels::fast_axis_policy();
   kernels::set_fast_axis_policy(kernels::FastAxisPolicy::kFixed);
-  for (index_t n : {2, 4, 8, 16, 32, 64})
+  for (index_t n : {2, 4, 8, 16, 32, 64, 128})
     EXPECT_TRUE(kernels::fast_axis_preferred(TransformKind::kDCT, n)) << n;
   EXPECT_TRUE(kernels::fast_axis_preferred(TransformKind::kHaar, 8));
   EXPECT_TRUE(kernels::fast_axis_preferred(TransformKind::kHaar, 64));
@@ -223,7 +227,7 @@ TEST(FastAxisPreferred, AutotuneProbeOnlyPrefersSupportedSizes) {
   // The probe's verdicts are host-dependent, so only structural properties
   // are pinned: unsupported sizes are never preferred, n = 1 always is, and
   // repeated queries are stable within the process (the probe runs once).
-  EXPECT_FALSE(kernels::fast_axis_preferred(TransformKind::kDCT, 128));
+  EXPECT_FALSE(kernels::fast_axis_preferred(TransformKind::kDCT, 256));
   EXPECT_FALSE(kernels::fast_axis_preferred(TransformKind::kDCT, 3));
   EXPECT_TRUE(kernels::fast_axis_preferred(TransformKind::kDCT, 1));
   for (index_t n : {2, 4, 8, 16, 32}) {

@@ -55,6 +55,42 @@ def print_fusion_summary(baseline, candidate):
         print(f"{label:<50} {fmt(base.get(key)):>12} {fmt(cand.get(key)):>12}")
 
 
+def expr_overhead_ratios(results):
+    """expression-front-end cost per (name, kind, shape): the "expr" series
+    (natural syntax through core/ops/expr.hpp) over the handwritten "fused"
+    ops::lincomb series it flattens to.  ~1.0 is the zero-overhead claim."""
+    ratios = {}
+    for (name, kind, impl, shape), seconds in results.items():
+        if impl != "expr":
+            continue
+        fused = results.get((name, kind, "fused", shape))
+        if fused is not None and fused > 0:
+            ratios[(name, kind, shape)] = seconds / fused
+    return ratios
+
+
+def print_expr_overhead_summary(baseline, candidate):
+    """Side-by-side expr-over-fused ratios.  Informational like the fusion
+    summary (the seconds_per_call gate covers the entries), but flags a
+    candidate ratio drifting past 1.10 — the expression layer is supposed to
+    be free, so sustained overhead there is a front-end bug, not noise."""
+    base = expr_overhead_ratios(baseline)
+    cand = expr_overhead_ratios(candidate)
+    keys = sorted(set(base) | set(cand))
+    if not keys:
+        return
+    print(f"\n{'expression cost over handwritten lincomb':<50} "
+          f"{'baseline':>12} {'candidate':>12}")
+    for key in keys:
+        label = " ".join(filter(None, key))
+        fmt = lambda r: f"{r:.2f}x" if r is not None else "-"
+        flag = ""
+        ratio = cand.get(key)
+        if ratio is not None and ratio > 1.10:
+            flag = "  <-- expected ~1.00x"
+        print(f"{label:<50} {fmt(base.get(key)):>12} {fmt(ratio):>12}{flag}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -91,6 +127,7 @@ def main():
         print(f"{' '.join(filter(None, key)):<50} {'(new in candidate)':>34}")
 
     print_fusion_summary(baseline, candidate)
+    print_expr_overhead_summary(baseline, candidate)
 
     failed = False
     if missing:
