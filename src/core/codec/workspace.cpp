@@ -1,17 +1,41 @@
 #include "core/codec/workspace.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 namespace pyblaz::internal {
 
+namespace {
+
+/// One frame: the per-lane buffers of one execution scope on one thread.
+/// Heap-allocated behind a unique_ptr so growing the frame stack never moves
+/// a frame — rows held in an outer frame stay valid while a deeper scope is
+/// created.
+struct WorkspaceFrame {
+  std::vector<double> lanes[kWorkspaceLanes];
+};
+
+thread_local std::vector<std::unique_ptr<WorkspaceFrame>> t_frames;
+thread_local int t_depth = 0;
+
+}  // namespace
+
 double* coefficient_workspace(std::size_t count, int lane) {
   if (lane < 0 || lane >= kWorkspaceLanes)
     throw std::invalid_argument("coefficient_workspace: bad lane");
-  thread_local std::vector<double> buffers[kWorkspaceLanes];
-  std::vector<double>& buffer = buffers[lane];
+  const auto depth = static_cast<std::size_t>(t_depth);
+  if (t_frames.size() <= depth) t_frames.resize(depth + 1);
+  if (!t_frames[depth]) t_frames[depth] = std::make_unique<WorkspaceFrame>();
+  std::vector<double>& buffer = t_frames[depth]->lanes[lane];
   if (buffer.size() < count) buffer.resize(count);
   return buffer.data();
 }
+
+WorkspaceScope::WorkspaceScope() { ++t_depth; }
+
+WorkspaceScope::~WorkspaceScope() { --t_depth; }
+
+int workspace_frame_depth() { return t_depth; }
 
 }  // namespace pyblaz::internal

@@ -17,14 +17,40 @@ namespace pyblaz::internal {
 /// @p lane selects one of a small number of independent buffers, for call
 /// sites that need two live scratch rows at once (e.g. a block gather plus a
 /// transform scratch).  The returned pointer stays valid until the next
-/// workspace(count, same lane) call on the same thread with a larger count —
-/// callers must not hold it across calls into other pyblaz layers that may
-/// use the same lane.  The transform kernels (core/kernels, core/transform)
-/// deliberately take caller-provided scratch and must stay workspace-free,
-/// so rows MAY be held across BlockTransform::forward/inverse calls.
+/// workspace(count, same lane) call on the same thread *within the same
+/// execution frame* with a larger count — callers must not hold it across
+/// calls into other pyblaz layers that may use the same lane.  The transform
+/// kernels (core/kernels, core/transform) deliberately take caller-provided
+/// scratch and must stay workspace-free, so rows MAY be held across
+/// BlockTransform::forward/inverse calls.
 double* coefficient_workspace(std::size_t count, int lane = 0);
 
 /// Number of independent lanes.
 inline constexpr int kWorkspaceLanes = 4;
+
+/// RAII frame scope making the workspace safe under the concurrent-region
+/// scheduler (core/parallel): each parallel execution scope on a thread —
+/// a drain of pool chunks, or a nested region running inline inside a chunk
+/// body — pushes a fresh frame, and coefficient_workspace() hands out rows
+/// from the current frame only.  A chunk body that holds a lane row and then
+/// enters a nested parallel region (whose chunks use the same lane) therefore
+/// keeps its row intact: the nested chunks write into the deeper frame.
+/// Frames are per (thread, depth) and persist after the scope pops, so the
+/// no-allocation-after-warm-up property is preserved — re-entering a depth
+/// reuses its grown buffers.
+///
+/// The parallel runtime owns all scope push/pops; operation code never
+/// instantiates this directly.
+class WorkspaceScope {
+ public:
+  WorkspaceScope();
+  ~WorkspaceScope();
+  WorkspaceScope(const WorkspaceScope&) = delete;
+  WorkspaceScope& operator=(const WorkspaceScope&) = delete;
+};
+
+/// Current frame depth on this thread (0 outside any parallel execution
+/// scope).  Exposed for the scheduler tests.
+int workspace_frame_depth();
 
 }  // namespace pyblaz::internal

@@ -3,14 +3,17 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/codec/workspace.hpp"
+
 namespace pyblaz::parallel {
 
 namespace {
 
-/// True on any thread currently executing pool chunks (workers and the
-/// participating caller).  Nested parallel calls from such a thread run
-/// inline: re-entering the pool would deadlock on entry_mutex_ and
-/// oversubscribe the machine.
+/// True on any thread currently executing scheduler chunks (workers and the
+/// participating callers).  Nested parallel calls from such a thread run
+/// inline: re-entering the scheduler would oversubscribe the machine, and a
+/// worker parked inside a nested submission could deadlock the region it is
+/// already draining.
 thread_local bool t_inside_pool = false;
 
 struct InsidePoolGuard {
@@ -21,15 +24,32 @@ struct InsidePoolGuard {
   ~InsidePoolGuard() { t_inside_pool = previous; }
 };
 
-int default_thread_count() {
-  if (const char* env = std::getenv("CC_THREADS")) {
+/// @p name parsed as a positive int, clamped to @p max_value; @p fallback
+/// when unset or unparsable.
+int env_int(const char* name, int fallback, int max_value) {
+  if (const char* env = std::getenv(name)) {
     char* end = nullptr;
     const long parsed = std::strtol(env, &end, 10);
     if (end != env && *end == '\0' && parsed > 0)
-      return static_cast<int>(std::min<long>(parsed, 1024));
+      return static_cast<int>(std::min<long>(parsed, max_value));
   }
+  return fallback;
+}
+
+bool env_flag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && std::string(env) != "0" && std::string(env) != "";
+}
+
+int default_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return env_int("CC_THREADS", hw == 0 ? 1 : static_cast<int>(hw), 1024);
+}
+
+/// Shards bound submission/scan contention, not parallelism, so a small
+/// fixed default serves any machine; CC_SHARDS overrides (tests sweep it).
+int default_shard_count() {
+  return env_int("CC_SHARDS", 8, ThreadPool::kMaxShards);
 }
 
 }  // namespace
@@ -39,83 +59,179 @@ ThreadPool& ThreadPool::instance() {
   return pool;
 }
 
-ThreadPool::ThreadPool() : target_threads_(default_thread_count()) {}
+ThreadPool::ThreadPool()
+    : target_threads_(default_thread_count()),
+      num_shards_(default_shard_count()),
+      serialize_regions_(env_flag("CC_SERIALIZE_REGIONS")) {}
 
-ThreadPool::~ThreadPool() { stop_workers(); }
-
-void ThreadPool::set_num_threads(int n) {
-  std::lock_guard<std::mutex> entry(entry_mutex_);
-  stop_workers();
-  target_threads_.store(n > 0 ? std::min(n, 1024) : default_thread_count(),
-                        std::memory_order_relaxed);
-}
-
-void ThreadPool::ensure_workers() {
-  const int wanted = num_threads() - 1;  // The caller is a participant.
-  if (static_cast<int>(workers_.size()) == wanted) return;
-  stop_workers();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = false;
-  }
-  workers_.reserve(static_cast<std::size_t>(wanted));
-  for (int w = 0; w < wanted; ++w)
-    workers_.emplace_back([this] { worker_loop(); });
-}
-
-void ThreadPool::stop_workers() {
+ThreadPool::~ThreadPool() {
+  std::vector<std::thread> stopped;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
+    stopped.swap(workers_);
   }
-  wake_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-  workers_.clear();
+  worker_cv_.notify_all();
+  for (std::thread& worker : stopped) worker.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::reconfigure_quiescent(
+    bool restart_workers, const std::function<void()>& reconfigure) {
+  std::lock_guard<std::mutex> serial(reconfigure_mutex_);
+  std::vector<std::thread> stopped;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Closing the gate first guarantees progress against a stream of
+    // concurrent submitters: they queue at submit_cv_ while the regions
+    // already in flight drain to zero.
+    ++reconfigure_waiters_;
+    quiescent_cv_.wait(lock, [&] { return live_regions_ == 0; });
+    if (restart_workers) {
+      stop_ = true;
+      stopped.swap(workers_);
+    }
+  }
+  worker_cv_.notify_all();
+  for (std::thread& worker : stopped) worker.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = false;
+    reconfigure();
+    --reconfigure_waiters_;
+  }
+  submit_cv_.notify_all();
+}
+
+void ThreadPool::set_num_threads(int n) {
+  reconfigure_quiescent(/*restart_workers=*/true, [&] {
+    target_threads_.store(n > 0 ? std::min(n, 1024) : default_thread_count(),
+                          std::memory_order_relaxed);
+  });
+}
+
+void ThreadPool::set_num_shards(int n) {
+  // No worker restart: quiescence means every shard queue is empty, so the
+  // scan range can change out from under nobody.
+  reconfigure_quiescent(/*restart_workers=*/false, [&] {
+    num_shards_.store(n > 0 ? std::min(n, kMaxShards) : default_shard_count(),
+                      std::memory_order_relaxed);
+  });
+}
+
+void ThreadPool::ensure_workers_locked() {
+  stop_ = false;
+  const int wanted = std::max(0, num_threads() - 1);  // Callers participate.
+  for (int w = static_cast<int>(workers_.size()); w < wanted; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+void ThreadPool::worker_loop(int worker_index) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      // Only enter while a job is live (job_fn_ set): between jobs the state
-      // is torn down, and a worker that woke late must keep sleeping rather
-      // than cache counters the next job will reset.
-      wake_cv_.wait(lock, [&] {
-        return stop_ ||
-               (job_fn_ != nullptr && job_generation_ != seen_generation);
+      // Reading the generation under mutex_ before scanning closes the
+      // submit race: a region is listed in its shard before the generation
+      // is bumped, so either this scan sees the region or the next wait
+      // observes the newer generation and rescans.
+      worker_cv_.wait(lock, [&] {
+        return stop_ || submit_generation_ != seen_generation;
       });
       if (stop_) return;
-      seen_generation = job_generation_;
-      // Register as a job participant *under the lock*: the caller will not
-      // tear the job down (or start another) until job_active_ drops back
-      // to zero, so a worker can never make a claim against stale state.
-      ++job_active_;
+      seen_generation = submit_generation_;
     }
-    execute_chunks();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --job_active_;
+    for (;;) {
+      TaskContext* context = find_work(worker_index);
+      if (!context) break;
+      execute_region_chunks(context);
+      context->remove_drainer_and_notify();
     }
-    done_cv_.notify_all();
   }
 }
 
-void ThreadPool::execute_chunks() {
-  InsidePoolGuard guard;
-  const index_t total = job_total_;
-  const std::function<void(index_t)>* fn = job_fn_;
-  for (;;) {
-    const index_t chunk = job_next_.fetch_add(1, std::memory_order_relaxed);
-    if (chunk >= total) return;
-    try {
-      (*fn)(chunk);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!job_exception_) job_exception_ = std::current_exception();
+TaskContext* ThreadPool::find_work(int start_shard) {
+  const int shards = num_shards();
+  for (int offset = 0; offset < shards; ++offset) {
+    Shard& shard = shards_[(start_shard + offset) % shards];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (TaskContext* context : shard.regions) {
+      if (context->claimable()) {
+        // Registering under the shard mutex, while the context is still
+        // listed, is what keeps the submitting caller from tearing the
+        // region down before this worker's claims are accounted.
+        context->add_drainer();
+        return context;
+      }
     }
-    job_done_.fetch_add(1, std::memory_order_acq_rel);
   }
+  return nullptr;
+}
+
+void ThreadPool::execute_region_chunks(TaskContext* context) {
+  InsidePoolGuard guard;
+  // A fresh workspace frame per drain: chunk bodies of this region can never
+  // clobber coefficient rows held by an enclosing chunk body on this thread
+  // (nested inline regions) — see core/codec/workspace.hpp.
+  internal::WorkspaceScope workspace_frame;
+  for (;;) {
+    const index_t chunk = context->claim();
+    if (chunk >= context->num_chunks()) break;
+    try {
+      context->run(chunk);
+    } catch (...) {
+      context->record_exception(std::current_exception());
+    }
+    context->finish_chunk();
+  }
+  // Every drainer's last claim lands here, so the region is guaranteed
+  // delisted (idempotently) before its caller can pass wait_complete().
+  delist(context);
+}
+
+void ThreadPool::delist(TaskContext* context) {
+  Shard& shard = shards_[context->shard()];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto& regions = shard.regions;
+  regions.erase(std::remove(regions.begin(), regions.end(), context),
+                regions.end());
+}
+
+void ThreadPool::run_region(index_t num_chunks,
+                            const std::function<void(index_t)>& fn) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    submit_cv_.wait(lock, [&] { return reconfigure_waiters_ == 0; });
+    ++live_regions_;
+    ensure_workers_locked();
+  }
+
+  // The shard is fixed for the region's lifetime: a reconfigure cannot start
+  // while this region is counted live, so num_shards() is stable here.
+  const int shard =
+      static_cast<int>(next_shard_.fetch_add(1, std::memory_order_relaxed) %
+                       static_cast<std::uint64_t>(num_shards()));
+  TaskContext context(num_chunks, fn, shard);
+  {
+    std::lock_guard<std::mutex> lock(shards_[shard].mutex);
+    shards_[shard].regions.push_back(&context);
+  }
+  {
+    // Bump the generation only after listing, so a worker that wakes on it
+    // is guaranteed to find the region in its scan.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++submit_generation_;
+  }
+  worker_cv_.notify_all();
+
+  execute_region_chunks(&context);  // The caller drains alongside the workers.
+  context.wait_complete();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--live_regions_ == 0) quiescent_cv_.notify_all();
+  }
+  if (std::exception_ptr error = context.exception())
+    std::rethrow_exception(error);
 }
 
 void ThreadPool::run_chunks(index_t num_chunks,
@@ -123,40 +239,18 @@ void ThreadPool::run_chunks(index_t num_chunks,
   if (num_chunks <= 0) return;
   if (t_inside_pool || num_threads() <= 1 || num_chunks == 1) {
     InsidePoolGuard guard;
+    internal::WorkspaceScope workspace_frame;
     for (index_t chunk = 0; chunk < num_chunks; ++chunk) fn(chunk);
     return;
   }
-
-  std::lock_guard<std::mutex> entry(entry_mutex_);
-  ensure_workers();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    job_fn_ = &fn;
-    job_total_ = num_chunks;
-    job_next_.store(0, std::memory_order_relaxed);
-    job_done_.store(0, std::memory_order_relaxed);
-    ++job_generation_;
+  if (serialize_regions()) {
+    // Benchmark baseline: one region at a time, exactly the pre-sharding
+    // scheduler's queueing.
+    std::lock_guard<std::mutex> gate(serialize_mutex_);
+    run_region(num_chunks, fn);
+    return;
   }
-  wake_cv_.notify_all();
-
-  execute_chunks();  // The caller claims chunks alongside the workers.
-
-  // Wait until every chunk has finished *and* every worker that joined this
-  // job generation has left it.  The second condition is what makes results
-  // deterministic to tear down: no worker can still be between a claim and
-  // its completion when the next job reuses the counters.
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] {
-    return job_done_.load(std::memory_order_acquire) >= job_total_ &&
-           job_active_ == 0;
-  });
-  job_fn_ = nullptr;
-  if (job_exception_) {
-    std::exception_ptr error = job_exception_;
-    job_exception_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
-  }
+  run_region(num_chunks, fn);
 }
 
 }  // namespace pyblaz::parallel

@@ -12,34 +12,64 @@
 #include <vector>
 
 #include "core/ndarray/shape.hpp"
+#include "core/parallel/task_context.hpp"
 
 namespace pyblaz::parallel {
 
-/// Deterministic block-execution runtime.
+/// Deterministic sharded concurrent-region scheduler.
 ///
 /// The paper's whole premise is that blocks are independent, so every hot
 /// loop in the codec, the serializer, and the compressed-space operations is
-/// a fan-out over blocks.  This pool runs those fan-outs with one hard
-/// design constraint: **the result must not depend on the thread count**.
-/// Two rules deliver that:
+/// a fan-out over blocks.  This scheduler runs those fan-outs with one hard
+/// design constraint: **the result must not depend on the thread count or on
+/// what else is running**.  Three rules deliver that:
 ///
 ///   1. Work is split into chunks whose boundaries depend only on the range
-///      and the caller's grain — never on how many threads exist.  Chunks
-///      may execute in any order on any thread (claiming is a single atomic
-///      counter, no work stealing), so bodies that write disjoint slots are
+///      and the caller's grain — never on how many threads exist or how many
+///      regions are in flight.  Chunks may execute in any order on any
+///      thread (claiming is a single atomic counter per region, no work
+///      stealing), so bodies that write disjoint slots are
 ///      value-deterministic for free.
 ///   2. parallel_reduce() stores one partial per chunk and combines them in
 ///      chunk-index order after the barrier, so floating-point reductions
 ///      are bit-identical at 1, 4, or 64 threads.
+///   3. Each region's state lives in its own TaskContext, so two regions
+///      share nothing but the workers — concurrent callers can neither
+///      perturb each other's chunking nor each other's rounding.
+///
+/// Concurrency model: unlike the original single-job pool — which serialized
+/// every top-level region through one global entry mutex, so two concurrent
+/// user requests queued — N top-level callers submit N regions that run at
+/// once.  A submission lists its TaskContext in one of a small fixed set of
+/// shard queues (round-robin, so submissions contend on different mutexes);
+/// idle workers scan the shards from a per-worker home offset and drain any
+/// claimable region they find.  The submitting caller always drains its own
+/// region alongside the workers, which bounds latency even when every worker
+/// is busy elsewhere: a region never waits for another region to finish.
+/// Each concurrent caller therefore adds one executing thread on top of the
+/// shared workers — overlap is the point; the worker count is a parallelism
+/// target, not a hard cap on running threads.
 ///
 /// The worker count defaults to std::thread::hardware_concurrency() and is
 /// overridden by the CC_THREADS environment variable (checked once, at first
-/// use); tests and benchmarks adjust it at runtime with set_num_threads().
-/// Nested parallel regions run inline on the calling worker — the pool never
-/// deadlocks on reentry, it just declines to oversubscribe.
+/// use); tests and benchmarks adjust it at runtime with set_num_threads(),
+/// which waits for all in-flight regions to finish (holding new submissions
+/// at the gate) before resizing.  The shard count is CC_SHARDS /
+/// set_num_shards() with the same quiescence rule.  Nested parallel regions
+/// run inline on the calling worker — the scheduler never deadlocks on
+/// reentry, it just declines to oversubscribe.
+///
+/// CC_SERIALIZE_REGIONS=1 (or set_serialize_regions(true)) restores the old
+/// region-at-a-time queueing — kept as the measurable baseline for the
+/// multi-client overlap benchmarks (bench/multi_client.cpp), never as an
+/// operating mode.
 class ThreadPool {
  public:
-  /// The process-wide pool.  Workers are spawned lazily on the first
+  /// Upper bound on the shard count: queues are statically allocated, and
+  /// past ~one shard per few cores more queues only spread the scan.
+  static constexpr int kMaxShards = 16;
+
+  /// The process-wide scheduler.  Workers are spawned lazily on the first
   /// parallel call, so a CC_THREADS=1 process never creates a thread.
   static ThreadPool& instance();
 
@@ -49,58 +79,104 @@ class ThreadPool {
   /// Current target thread count (callers + workers), always >= 1.
   int num_threads() const { return target_threads_.load(std::memory_order_relaxed); }
 
-  /// Change the thread count at runtime (joins existing workers; new ones
-  /// spawn lazily).  n <= 0 restores the CC_THREADS / hardware default.
+  /// Change the thread count at runtime.  Waits for every in-flight region
+  /// to complete (new submissions queue at the gate meanwhile), joins the
+  /// existing workers, and lets new ones spawn lazily — so a resize racing
+  /// concurrent submitters is safe.  n <= 0 restores the CC_THREADS /
+  /// hardware default.  Must not be called from inside a parallel region.
   void set_num_threads(int n);
+
+  /// Current shard-queue count, in [1, kMaxShards].
+  int num_shards() const { return num_shards_.load(std::memory_order_relaxed); }
+
+  /// Change the shard count at runtime (same quiescence protocol as
+  /// set_num_threads; shard queues are guaranteed empty at the switch).
+  /// n <= 0 restores the CC_SHARDS / default.
+  void set_num_shards(int n);
+
+  /// When true, top-level regions serialize through one gate — the
+  /// pre-sharding scheduler's behavior.  Benchmark baseline only; toggle
+  /// while no regions are in flight.
+  bool serialize_regions() const {
+    return serialize_regions_.load(std::memory_order_relaxed);
+  }
+  void set_serialize_regions(bool on) {
+    serialize_regions_.store(on, std::memory_order_relaxed);
+  }
 
   /// Run fn(chunk) for every chunk in [0, num_chunks), distributed over the
   /// workers plus the calling thread.  Blocks until all chunks finished.
   /// The first exception thrown by any chunk is rethrown on the caller.
+  /// Safe to call from any number of threads at once; independent regions
+  /// overlap.
   void run_chunks(index_t num_chunks, const std::function<void(index_t)>& fn);
 
  private:
   ThreadPool();
   ~ThreadPool();
 
-  void ensure_workers();
-  void stop_workers();
-  void worker_loop();
-  void execute_chunks();
+  void run_region(index_t num_chunks, const std::function<void(index_t)>& fn);
+  void ensure_workers_locked();
+  void worker_loop(int worker_index);
+  TaskContext* find_work(int start_shard);
+  void execute_region_chunks(TaskContext* context);
+  void delist(TaskContext* context);
+  /// Close the submission gate, wait for live regions to drain, and run
+  /// @p reconfigure; joins and restarts workers when @p restart_workers.
+  void reconfigure_quiescent(bool restart_workers,
+                             const std::function<void()>& reconfigure);
 
   std::atomic<int> target_threads_;
+  std::atomic<int> num_shards_;
+  std::atomic<bool> serialize_regions_;
+  std::atomic<std::uint64_t> next_shard_{0};  // Round-robin submission cursor.
 
-  // Only one parallel region runs at a time; concurrent top-level callers
-  // serialize here (nested calls from inside a region run inline instead).
-  std::mutex entry_mutex_;
+  /// One region queue.  Its mutex is taken once per region for listing,
+  /// once per delist, and per worker scan — never per chunk; chunk claiming
+  /// stays lock-free on the region's own counter.
+  struct Shard {
+    std::mutex mutex;
+    std::vector<TaskContext*> regions;
+  };
+  Shard shards_[kMaxShards];
 
+  // Scheduler lifecycle state, all under mutex_.
   std::mutex mutex_;
-  std::condition_variable wake_cv_;  // Workers wait for a new job generation.
-  std::condition_variable done_cv_;  // The caller waits for job completion.
+  std::condition_variable worker_cv_;     // Workers: new submission or stop.
+  std::condition_variable submit_cv_;     // Submitters: reconfigure gate open.
+  std::condition_variable quiescent_cv_;  // Reconfigurers: live_regions_ == 0.
   std::vector<std::thread> workers_;
   bool stop_ = false;
+  int live_regions_ = 0;
+  int reconfigure_waiters_ = 0;
+  std::uint64_t submit_generation_ = 0;
 
-  // Active job state.  job_next_ hands out chunk indices; the chunk -> work
-  // mapping is fixed by the caller, so claim order never affects results.
-  // job_fn_ doubles as the "job live" flag: workers only enter a job while
-  // it is non-null (checked under mutex_), and the caller only tears a job
-  // down after job_active_ — the number of workers inside the job — returns
-  // to zero.  Together these rule out any claim against stale counters.
-  const std::function<void(index_t)>* job_fn_ = nullptr;
-  index_t job_total_ = 0;
-  std::atomic<index_t> job_next_{0};
-  std::atomic<index_t> job_done_{0};
-  int job_active_ = 0;
-  std::uint64_t job_generation_ = 0;
-  std::exception_ptr job_exception_;
+  std::mutex reconfigure_mutex_;  // Serializes concurrent reconfigurers.
+  std::mutex serialize_mutex_;    // Held across a region in serialize mode.
 };
 
-/// Effective thread count of the process-wide pool.
+/// Effective thread count of the process-wide scheduler.
 inline int num_threads() { return ThreadPool::instance().num_threads(); }
 
-/// Runtime override of the pool size (0 restores the CC_THREADS / hardware
-/// default).  Used by tests and benchmarks to compare thread counts within
-/// one process.
+/// Runtime override of the scheduler size (0 restores the CC_THREADS /
+/// hardware default).  Used by tests and benchmarks to compare thread counts
+/// within one process.
 inline void set_num_threads(int n) { ThreadPool::instance().set_num_threads(n); }
+
+/// Shard-queue count of the process-wide scheduler.
+inline int num_shards() { return ThreadPool::instance().num_shards(); }
+
+/// Runtime override of the shard count (0 restores the CC_SHARDS / default).
+inline void set_num_shards(int n) { ThreadPool::instance().set_num_shards(n); }
+
+/// Benchmark-baseline switch: serialize top-level regions like the
+/// pre-sharding scheduler did.
+inline void set_serialize_regions(bool on) {
+  ThreadPool::instance().set_serialize_regions(on);
+}
+inline bool serialize_regions() {
+  return ThreadPool::instance().serialize_regions();
+}
 
 /// Grain for loops whose per-element cost is modest: targets ~64 chunks so
 /// any plausible machine is saturated, with a floor that keeps per-chunk
@@ -113,7 +189,7 @@ inline index_t default_grain(index_t range, index_t min_grain = 16) {
 /// Run body(chunk_begin, chunk_end) over [begin, end) split into chunks of
 /// @p grain iterations (the last chunk may be short).  Chunk boundaries are a
 /// pure function of (begin, end, grain): bodies writing per-index outputs
-/// produce identical results at any thread count.
+/// produce identical results at any thread count and any concurrency level.
 template <typename Body>
 void parallel_for(index_t begin, index_t end, index_t grain, Body&& body) {
   const index_t range = end - begin;

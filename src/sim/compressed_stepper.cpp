@@ -49,13 +49,21 @@ void CompressedStateStepper::advance_chained(
 
 CompressedShallowWaterStepper::CompressedShallowWaterStepper(
     const SweConfig& config, const CompressorSettings& settings,
-    LincombPath path)
+    LincombPath path, SweScheme scheme)
     : model_(config),
       height_(Compressor(settings), model_.surface_height(), path),
       u_(Compressor(settings), model_.velocity_u(), path),
-      v_(Compressor(settings), model_.velocity_v(), path) {}
+      v_(Compressor(settings), model_.velocity_v(), path),
+      scheme_(scheme) {}
 
 void CompressedShallowWaterStepper::step() {
+  if (scheme_ == SweScheme::kRk2)
+    step_rk2();
+  else
+    step_forward_backward();
+}
+
+void CompressedShallowWaterStepper::step_forward_backward() {
   SweTendencies tendencies;
   model_.step(&tendencies);
   const double dt = model_.config().dt;
@@ -72,6 +80,31 @@ void CompressedShallowWaterStepper::step() {
 
   const CompressedArray dv = v_.encode(tendencies.dv);
   v_.advance(v_.state() + dt * dv);
+}
+
+void CompressedShallowWaterStepper::step_rk2() {
+  SweRk2Tendencies stages;
+  model_.step_rk2(&stages);
+  const double half_dt = 0.5 * model_.config().dt;
+
+  // The full 2-stage Heun combine per track, still ONE fused lincomb (one
+  // rebin) each: 5 operands for height, 3 per momentum component.  The
+  // chained replay pays a rebin per binary op, so RK2 is where the fused
+  // path's arity advantage is widest.
+  const CompressedArray fx1 = height_.encode(stages.stage1.flux_x);
+  const CompressedArray fy1 = height_.encode(stages.stage1.flux_y);
+  const CompressedArray fx2 = height_.encode(stages.stage2.flux_x);
+  const CompressedArray fy2 = height_.encode(stages.stage2.flux_y);
+  height_.advance(height_.state() - half_dt * fx1 - half_dt * fy1 -
+                  half_dt * fx2 - half_dt * fy2);
+
+  const CompressedArray du1 = u_.encode(stages.stage1.du);
+  const CompressedArray du2 = u_.encode(stages.stage2.du);
+  u_.advance(u_.state() + half_dt * du1 + half_dt * du2);
+
+  const CompressedArray dv1 = v_.encode(stages.stage1.dv);
+  const CompressedArray dv2 = v_.encode(stages.stage2.dv);
+  v_.advance(v_.state() + half_dt * dv1 + half_dt * dv2);
 }
 
 void CompressedShallowWaterStepper::run(int steps) {

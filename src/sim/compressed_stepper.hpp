@@ -90,6 +90,18 @@ class CompressedStateStepper {
   long rebin_passes_ = 0;
 };
 
+/// Time scheme of the compressed shallow-water stepper.
+enum class SweScheme {
+  /// One forward-backward stage per step (the model's native scheme): each
+  /// track advances by one 2- or 3-operand expression.
+  kForwardBackward,
+  /// RK2 (Heun) built from two forward-backward stages
+  /// (ShallowWaterModel::step_rk2): the height track advances by one fused
+  /// 5-operand expression per step — the `compressed_lincomb5` bench shape,
+  /// exercised end to end — and each momentum track by a 3-operand one.
+  kRk2,
+};
+
 /// Compressed-form shallow-water stepping with the FULL prognostic state —
 /// height, u, and v — living as persistent compressed tracks (the regime
 /// ZFP inline-compression stability analyses study: every iterative field
@@ -103,21 +115,31 @@ class CompressedStateStepper {
 ///     v:      v' = v + dt * dv
 ///
 /// — so the only raw-data touchpoint is one compression of each fresh
-/// tendency field.  Run with SweConfig::precision == kFloat64 (the default)
-/// so the raw model applies exactly the exported tendencies.
+/// tendency field.  Under SweScheme::kRk2 the model takes Heun steps
+/// (step_rk2) and each track's expression widens to both stages' tendencies
+/// (height: h - (dt/2)(fx1 + fy1 + fx2 + fy2) as ONE 5-operand lincomb) —
+/// still one rebin per track per step.  Run with SweConfig::precision ==
+/// kFloat64 (the default) so the raw model applies exactly the exported
+/// tendencies.
 class CompressedShallowWaterStepper {
  public:
   CompressedShallowWaterStepper(const SweConfig& config,
                                 const CompressorSettings& settings,
-                                LincombPath path = LincombPath::kFused);
+                                LincombPath path = LincombPath::kFused,
+                                SweScheme scheme = SweScheme::kForwardBackward);
 
-  /// One model step + one fused update per compressed track (three rebins
-  /// total when fused; four when chained — two for the 3-term height update,
-  /// one for each 2-term momentum update).
+  /// One model step + one fused update per compressed track: three rebins
+  /// total when fused, regardless of scheme (every expression is one
+  /// lincomb).  Chained pays one rebin per binary op instead: four under
+  /// kForwardBackward (two for the 3-term height update, one per 2-term
+  /// momentum update) and eight under kRk2 (four for the 5-term height
+  /// update, two per 3-term momentum update) — the arity gap RK-style
+  /// combines exist to measure.
   void step();
   void run(int steps);
 
   const ShallowWaterModel& model() const { return model_; }
+  SweScheme scheme() const { return scheme_; }
 
   const CompressedArray& compressed_height() const { return height_.state(); }
   const CompressedArray& compressed_u() const { return u_.state(); }
@@ -139,10 +161,14 @@ class CompressedShallowWaterStepper {
   }
 
  private:
+  void step_forward_backward();
+  void step_rk2();
+
   ShallowWaterModel model_;
   CompressedStateStepper height_;
   CompressedStateStepper u_;
   CompressedStateStepper v_;
+  SweScheme scheme_;
 };
 
 /// Compressed-form fission exposure integral: the trapezoid-rule time

@@ -202,6 +202,56 @@ void ShallowWaterModel::step(SweTendencies* tendencies) {
   ++steps_taken_;
 }
 
+void ShallowWaterModel::step_rk2() { step_rk2(nullptr); }
+
+void ShallowWaterModel::step_rk2(SweRk2Tendencies* tendencies) {
+  SweRk2Tendencies local;
+  SweRk2Tendencies* stages = tendencies ? tendencies : &local;
+
+  const NDArray<double> u0 = u_;
+  const NDArray<double> v0 = v_;
+  const NDArray<double> eta0 = eta_;
+
+  // Heun over the forward-backward operator: stage 1 is a full FB step from
+  // the start state (its exported tendencies are k1 and its result the
+  // predicted state); stage 2 evaluates the operator once more at the
+  // predicted state to get k2.  The second step's state advance is
+  // discarded — the corrector below rebuilds the final state from S0.
+  step(&stages->stage1);
+  step(&stages->stage2);
+  steps_taken_ -= 1;  // The two inner stages count as one RK2 step.
+
+  const double half_dt = 0.5 * config_.dt;
+  const SweTendencies& k1 = stages->stage1;
+  const SweTendencies& k2 = stages->stage2;
+
+  // Corrector: S' = S0 + (dt/2) k1 + (dt/2) k2, spelled term by term so the
+  // compressed shadow tracks advance by the exact same combine — a 5-term
+  // expression for height, 3-term for each momentum component (test-pinned;
+  // -ffp-contract=off keeps both spellings bit-identical).  Closed-wall
+  // faces carry zero tendencies in both stages, so walls stay pinned.
+  pyblaz::parallel::parallel_for(
+      0, u_.size(), pyblaz::parallel::default_grain(u_.size()),
+      [&](index_t begin, index_t end) {
+        for (index_t k = begin; k < end; ++k)
+          u_[k] = u0[k] + half_dt * k1.du[k] + half_dt * k2.du[k];
+      });
+  pyblaz::parallel::parallel_for(
+      0, v_.size(), pyblaz::parallel::default_grain(v_.size()),
+      [&](index_t begin, index_t end) {
+        for (index_t k = begin; k < end; ++k)
+          v_[k] = v0[k] + half_dt * k1.dv[k] + half_dt * k2.dv[k];
+      });
+  pyblaz::parallel::parallel_for(
+      0, eta_.size(), pyblaz::parallel::default_grain(eta_.size()),
+      [&](index_t begin, index_t end) {
+        for (index_t k = begin; k < end; ++k)
+          eta_[k] = eta0[k] - half_dt * k1.flux_x[k] - half_dt * k1.flux_y[k] -
+                    half_dt * k2.flux_x[k] - half_dt * k2.flux_y[k];
+      });
+  apply_precision();
+}
+
 void ShallowWaterModel::run(int steps) {
   for (int k = 0; k < steps; ++k) step();
 }

@@ -68,6 +68,18 @@ struct SweTendencies {
   NDArray<double> dv;
 };
 
+/// Both stages' tendencies of one RK2 (Heun) step, exported for the
+/// compressed-form stepper: the step applies exactly
+///   u'   = u   + (dt/2) * du1   + (dt/2) * du2,
+///   v'   = v   + (dt/2) * dv1   + (dt/2) * dv2,
+///   eta' = eta - (dt/2) * fx1 - (dt/2) * fy1 - (dt/2) * fx2 - (dt/2) * fy2,
+/// so a compressed shadow of the height advances by one fused 5-operand
+/// lincomb per step and each momentum track by one fused 3-operand lincomb.
+struct SweRk2Tendencies {
+  SweTendencies stage1;  ///< Tendencies evaluated at the step's start state.
+  SweTendencies stage2;  ///< Tendencies evaluated at the predicted state.
+};
+
 /// 2-D shallow-water model on an Arakawa C-grid with forward-backward time
 /// stepping: the substrate of the paper's Fig. 4 precision study.
 ///
@@ -89,6 +101,20 @@ class ShallowWaterModel {
   /// arithmetic is identical to step(): the tendencies are the exact values
   /// the state update multiplied by dt.
   void step(SweTendencies* tendencies);
+
+  /// Advance one RK2 (Heun) step built from two forward-backward stages:
+  /// stage 1 is a full step() from the current state (its applied update is
+  /// the predictor), stage 2 evaluates the same operator at the predicted
+  /// state, and the final state is the start state advanced by the average
+  /// of the two stages' updates, rounded through the configured precision.
+  /// Counts as ONE step in steps_taken().
+  void step_rk2();
+
+  /// step_rk2(), additionally exporting both stages' tendency fields so a
+  /// compressed shadow can advance by the identical 2-stage combine — a
+  /// 5-term expression for height, 3-term for each momentum component
+  /// (sim/compressed_stepper.hpp).
+  void step_rk2(SweRk2Tendencies* tendencies);
 
   /// Advance @p steps steps.
   void run(int steps);

@@ -1,0 +1,341 @@
+/// The concurrency contract of the sharded concurrent-region scheduler
+/// (src/core/parallel/): independent top-level parallel regions overlap
+/// instead of queueing, and overlapping changes NOTHING about the results —
+/// archives stay byte-identical and operation results bit-identical to
+/// sequential runs, at any thread count, any shard count, and any number of
+/// concurrent callers.  Chunk boundaries and the chunk -> work mapping are a
+/// pure function of range and grain, each region claims from its own
+/// TaskContext counter, and regions share nothing but the workers; the tests
+/// here drive real concurrent clients through every layer (codec, ops,
+/// serializer) and compare bitwise against sequential references.
+///
+/// Also covered: the quiescence protocol (set_num_threads / set_num_shards
+/// racing in-flight submitters), per-region exception isolation, the
+/// serialized-baseline mode, and the frame-scoped coefficient workspace.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/codec/compressor.hpp"
+#include "core/codec/serialization.hpp"
+#include "core/codec/workspace.hpp"
+#include "core/ndarray/ndarray_ops.hpp"
+#include "core/ops/expr.hpp"
+#include "core/ops/ops.hpp"
+#include "core/parallel/thread_pool.hpp"
+#include "core/util/rng.hpp"
+
+namespace pyblaz {
+namespace {
+
+/// Restores the default thread/shard counts and concurrency mode when a test
+/// exits, pass or fail.
+struct SchedulerGuard {
+  ~SchedulerGuard() {
+    parallel::set_serialize_regions(false);
+    parallel::set_num_threads(0);
+    parallel::set_num_shards(0);
+  }
+};
+
+CompressorSettings test_settings() {
+  CompressorSettings settings;
+  settings.block_shape = Shape{8, 8};
+  settings.float_type = FloatType::kFloat32;
+  settings.index_type = IndexType::kInt8;
+  settings.transform = TransformKind::kDCT;
+  return settings;
+}
+
+TEST(Scheduler, ShardKnobClampsAndRestores) {
+  SchedulerGuard guard;
+  const int default_shards = parallel::num_shards();
+  EXPECT_GE(default_shards, 1);
+  EXPECT_LE(default_shards, parallel::ThreadPool::kMaxShards);
+  parallel::set_num_shards(3);
+  EXPECT_EQ(parallel::num_shards(), 3);
+  parallel::set_num_shards(10'000);
+  EXPECT_EQ(parallel::num_shards(), parallel::ThreadPool::kMaxShards);
+  parallel::set_num_shards(0);
+  EXPECT_EQ(parallel::num_shards(), default_shards);
+}
+
+TEST(Scheduler, ConcurrentRegionsCoverEveryChunkExactlyOnce) {
+  SchedulerGuard guard;
+  constexpr int kClients = 4;
+  constexpr int kRegionsPerClient = 20;
+  constexpr index_t kRange = 257;
+  for (int shards : {1, 2, 8}) {
+    parallel::set_num_shards(shards);
+    parallel::set_num_threads(4);
+    std::vector<std::vector<std::atomic<int>>> hits(kClients);
+    for (auto& h : hits) {
+      h = std::vector<std::atomic<int>>(kRange);
+      for (auto& cell : h) cell.store(0);
+    }
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int r = 0; r < kRegionsPerClient; ++r) {
+          parallel::parallel_for(0, kRange, 16,
+                                 [&](index_t begin, index_t end) {
+                                   for (index_t k = begin; k < end; ++k)
+                                     hits[c][static_cast<std::size_t>(k)]++;
+                                 });
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    for (int c = 0; c < kClients; ++c)
+      for (index_t k = 0; k < kRange; ++k)
+        ASSERT_EQ(hits[c][static_cast<std::size_t>(k)].load(),
+                  kRegionsPerClient)
+            << "client " << c << " index " << k << " shards " << shards;
+  }
+}
+
+/// The tentpole determinism property: M clients concurrently compressing,
+/// combining (ops::lincomb via the expression front end), serializing, and
+/// decompressing their own arrays produce exactly the bytes and bits the
+/// sequential run produces — across thread counts, shard counts, and the
+/// serialized-baseline mode.
+TEST(Scheduler, ConcurrentClientsBitIdenticalToSequential) {
+  SchedulerGuard guard;
+  constexpr int kClients = 3;
+  constexpr int kRounds = 3;
+  Compressor compressor(test_settings());
+
+  // Distinct per-client inputs catch cross-region contamination that
+  // identical inputs would mask.
+  std::vector<NDArray<double>> inputs_a, inputs_b;
+  for (int c = 0; c < kClients; ++c) {
+    Rng rng(100 + static_cast<std::uint64_t>(c));
+    inputs_a.push_back(random_smooth(Shape{96, 96}, rng, 5));
+    inputs_b.push_back(random_smooth(Shape{96, 96}, rng, 5));
+  }
+
+  struct ClientResult {
+    std::vector<std::uint8_t> archive;
+    std::vector<double> mixed;
+    double dot = 0.0;
+  };
+  auto session = [&](int c) {
+    const CompressedArray a = compressor.compress(inputs_a[c]);
+    const CompressedArray b = compressor.compress(inputs_b[c]);
+    const CompressedArray mix = a - 0.5 * b + 0.25 * a;
+    return ClientResult{serialize(mix),
+                        compressor.decompress(mix).vector(),
+                        ops::dot(a, b)};
+  };
+
+  // Sequential references, one thread, no concurrency.
+  parallel::set_num_threads(1);
+  std::vector<ClientResult> reference;
+  for (int c = 0; c < kClients; ++c) reference.push_back(session(c));
+
+  for (bool serialized : {false, true}) {
+    parallel::set_serialize_regions(serialized);
+    for (int threads : {1, 4}) {
+      for (int shards : {1, 4, 8}) {
+        parallel::set_num_threads(threads);
+        parallel::set_num_shards(shards);
+        for (int round = 0; round < kRounds; ++round) {
+          std::vector<ClientResult> results(kClients);
+          std::vector<std::thread> clients;
+          for (int c = 0; c < kClients; ++c)
+            clients.emplace_back([&, c] { results[c] = session(c); });
+          for (auto& t : clients) t.join();
+          for (int c = 0; c < kClients; ++c) {
+            ASSERT_EQ(results[c].archive, reference[c].archive)
+                << "client " << c << " archive differs at threads=" << threads
+                << " shards=" << shards << " serialized=" << serialized;
+            ASSERT_EQ(results[c].mixed, reference[c].mixed);
+            ASSERT_EQ(results[c].dot, reference[c].dot);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// A throwing region must not poison concurrent healthy regions: the
+/// exception surfaces on the throwing caller only, and the scheduler stays
+/// usable.
+TEST(Scheduler, ExceptionsStayWithinTheirRegion) {
+  SchedulerGuard guard;
+  parallel::set_num_threads(4);
+  constexpr int kRounds = 10;
+  std::atomic<int> healthy_total{0};
+  std::atomic<int> caught{0};
+  std::thread thrower([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      try {
+        parallel::parallel_for(0, 64, 1, [&](index_t begin, index_t) {
+          if (begin == 13) throw std::runtime_error("chunk 13");
+        });
+      } catch (const std::runtime_error&) {
+        ++caught;
+      }
+    }
+  });
+  std::thread healthy([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      parallel::parallel_for(0, 64, 1, [&](index_t begin, index_t end) {
+        healthy_total += static_cast<int>(end - begin);
+      });
+    }
+  });
+  thrower.join();
+  healthy.join();
+  EXPECT_EQ(caught.load(), kRounds);
+  EXPECT_EQ(healthy_total.load(), kRounds * 64);
+  // Still usable afterwards.
+  std::atomic<int> total{0};
+  parallel::parallel_for(0, 100, 1, [&](index_t begin, index_t end) {
+    total += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+/// The set_num_threads quiescence fix: resizing while other threads are
+/// mid-submission must neither crash, deadlock, nor lose chunks.  (The
+/// pre-sharding pool left this unguarded — resize joined workers while a
+/// concurrent submitter could still be entering a job.)
+TEST(Scheduler, ResizeWaitsForInFlightRegions) {
+  SchedulerGuard guard;
+  parallel::set_num_threads(4);
+  constexpr int kSubmitters = 3;
+  std::atomic<bool> done{false};
+  std::atomic<int> started{0};
+  std::atomic<long> executed{0};
+  std::vector<std::thread> submitters;
+  for (int c = 0; c < kSubmitters; ++c) {
+    submitters.emplace_back([&] {
+      bool first = true;
+      while (!done.load()) {
+        parallel::parallel_for(0, 128, 4, [&](index_t begin, index_t end) {
+          executed += static_cast<long>(end - begin);
+        });
+        if (first) {
+          first = false;
+          ++started;
+        }
+      }
+    });
+  }
+  // Only start resizing once every submitter demonstrably has regions in
+  // flight (on a single-core host the resizes could otherwise win every
+  // race and never actually contend).
+  while (started.load() < kSubmitters) std::this_thread::yield();
+  // Hammer resizes (and shard changes) against the in-flight submitters.
+  for (int r = 0; r < 12; ++r) {
+    parallel::set_num_threads(1 + r % 4);
+    parallel::set_num_shards(1 + r % 3);
+  }
+  done.store(true);
+  for (auto& t : submitters) t.join();
+  // Coverage is exact: every region contributes exactly 128.
+  EXPECT_EQ(executed.load() % 128, 0);
+  EXPECT_GE(executed.load(), kSubmitters * 128);
+}
+
+/// Concurrent resizers must also serialize cleanly among themselves.
+TEST(Scheduler, ConcurrentResizersDoNotDeadlock) {
+  SchedulerGuard guard;
+  std::vector<std::thread> resizers;
+  for (int c = 0; c < 3; ++c)
+    resizers.emplace_back([c] {
+      for (int r = 0; r < 8; ++r) parallel::set_num_threads(1 + (c + r) % 4);
+    });
+  for (auto& t : resizers) t.join();
+  parallel::set_num_threads(0);
+  std::atomic<int> total{0};
+  parallel::parallel_for(0, 64, 1, [&](index_t begin, index_t end) {
+    total += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+// ---------------------------------------------------------------------------
+// Frame-scoped coefficient workspace (core/codec/workspace.*).
+
+/// A chunk body that holds a workspace row while running a nested parallel
+/// region whose chunks use the same lane must get its row back untouched:
+/// the nested region executes in a deeper workspace frame.
+TEST(WorkspaceFrames, NestedRegionsCannotClobberHeldRows) {
+  SchedulerGuard guard;
+  parallel::set_num_threads(4);
+  std::atomic<int> violations{0};
+  parallel::parallel_for(0, 8, 1, [&](index_t outer_begin, index_t) {
+    constexpr std::size_t kCount = 64;
+    double* held = internal::coefficient_workspace(kCount, 0);
+    const double sentinel = 1000.0 + static_cast<double>(outer_begin);
+    for (std::size_t k = 0; k < kCount; ++k) held[k] = sentinel;
+
+    // Nested region (runs inline on this thread) stomps lane 0 of ITS frame.
+    parallel::parallel_for(0, 8, 1, [&](index_t, index_t) {
+      double* inner = internal::coefficient_workspace(kCount, 0);
+      for (std::size_t k = 0; k < kCount; ++k) inner[k] = -1.0;
+    });
+
+    for (std::size_t k = 0; k < kCount; ++k)
+      if (held[k] != sentinel) ++violations;
+  });
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(WorkspaceFrames, DepthTracksExecutionScopes) {
+  SchedulerGuard guard;
+  parallel::set_num_threads(2);
+  EXPECT_EQ(internal::workspace_frame_depth(), 0);
+  parallel::parallel_for(0, 4, 1, [&](index_t, index_t) {
+    EXPECT_GE(internal::workspace_frame_depth(), 1);
+    const int outer_depth = internal::workspace_frame_depth();
+    parallel::parallel_for(0, 4, 1, [&](index_t, index_t) {
+      EXPECT_EQ(internal::workspace_frame_depth(), outer_depth + 1);
+    });
+    EXPECT_EQ(internal::workspace_frame_depth(), outer_depth);
+  });
+  EXPECT_EQ(internal::workspace_frame_depth(), 0);
+}
+
+/// Two clients running workspace-hungry lincombs at once: the per-thread,
+/// per-frame rows must never mix operands across regions.  (Bit-identity to
+/// the sequential run is the sensitive detector.)
+TEST(WorkspaceFrames, ConcurrentLincombsDoNotShareRows) {
+  SchedulerGuard guard;
+  Compressor compressor(test_settings());
+  constexpr int kClients = 2;
+  std::vector<CompressedArray> a, b, c;
+  for (int k = 0; k < kClients; ++k) {
+    Rng rng(500 + static_cast<std::uint64_t>(k));
+    a.push_back(compressor.compress(random_smooth(Shape{64, 64}, rng, 4)));
+    b.push_back(compressor.compress(random_smooth(Shape{64, 64}, rng, 4)));
+    c.push_back(compressor.compress(random_smooth(Shape{64, 64}, rng, 4)));
+  }
+  auto combine = [&](int k) {
+    const CompressedArray mix = a[k] + 0.5 * b[k] - 0.25 * c[k] + 0.125;
+    return std::make_pair(mix.biggest, mix.indices);
+  };
+  parallel::set_num_threads(1);
+  std::vector<decltype(combine(0))> reference;
+  for (int k = 0; k < kClients; ++k) reference.push_back(combine(k));
+
+  parallel::set_num_threads(4);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<decltype(combine(0))> results(kClients);
+    std::vector<std::thread> clients;
+    for (int k = 0; k < kClients; ++k)
+      clients.emplace_back([&, k] { results[k] = combine(k); });
+    for (auto& t : clients) t.join();
+    for (int k = 0; k < kClients; ++k) ASSERT_EQ(results[k], reference[k]);
+  }
+}
+
+}  // namespace
+}  // namespace pyblaz

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fold sections from one bench JSON into another (baseline refresh helper).
+
+Usage:
+    tools/bench_merge.py BASE.json EXTRA.json [-o OUT.json]
+
+The committed BENCH_kernels.json baseline is produced by two binaries:
+bench_micro_kernels writes the kernel sections (results/speedups/
+fusion_speedups/expr_overheads) and bench_multi_client writes concurrency[].
+This script folds every non-empty top-level list section of EXTRA into BASE —
+entries whose identity (name/kind/impl/shape/mode/clients) matches an
+existing one replace it, new identities append — and writes the merged file
+(in place by default), so refreshing the baseline is:
+
+    ./build/bench_micro_kernels BENCH_kernels.json
+    ./build/bench_multi_client  BENCH_multi.json
+    tools/bench_merge.py BENCH_kernels.json BENCH_multi.json
+
+(run bench_multi_client once per configuration you want recorded — e.g. the
+full-size run and the CI --smoke shape — merging after each.)
+"""
+
+import argparse
+import json
+import sys
+
+# The configuration keys that identify an entry within a section; everything
+# else in the entry is a measurement that a refresh replaces.
+IDENTITY_KEYS = ("name", "kind", "impl", "shape", "mode", "clients")
+
+
+def identity(entry):
+    return tuple(entry.get(k) for k in IDENTITY_KEYS)
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "pyblaz-bench-kernels-v1":
+        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    return data
+
+
+def merge_section(base_entries, extra_entries):
+    replacements = {identity(e): e for e in extra_entries}
+    merged, seen = [], set()
+    for entry in base_entries:
+        key = identity(entry)
+        merged.append(replacements.get(key, entry))
+        seen.add(key)
+    merged.extend(e for e in extra_entries if identity(e) not in seen)
+    return merged
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("base")
+    parser.add_argument("extra")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output path (default: overwrite BASE)")
+    args = parser.parse_args()
+
+    base = load(args.base)
+    extra = load(args.extra)
+
+    merged_sections = []
+    for key, value in extra.items():
+        if key == "schema" or not isinstance(value, list) or not value:
+            continue
+        base[key] = merge_section(base.get(key, []), value)
+        merged_sections.append(key)
+    if not merged_sections:
+        sys.exit(f"{args.extra}: no non-empty list sections to merge")
+
+    out_path = args.output or args.base
+    with open(out_path, "w") as f:
+        json.dump(base, f, indent=1)
+        f.write("\n")
+    print(f"merged {', '.join(merged_sections)} from {args.extra} "
+          f"into {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
