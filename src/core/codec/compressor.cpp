@@ -4,8 +4,10 @@
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
+#include "core/kernels/backend.hpp"
 #include "core/kernels/rebin.hpp"
 #include "core/ndarray/ndarray_ops.hpp"
 #include "core/parallel/thread_pool.hpp"
@@ -182,6 +184,11 @@ CompressedArray Compressor::compress(const NDArray<double>& array,
     diagnostics->pruning_l1.assign(static_cast<std::size_t>(num_blocks), 0.0);
   }
 
+  // Backend dispatch resolved once per compress call; chunks then call
+  // through plain function pointers (gather/scatter stay scalar — they are
+  // memcpy + rounding, not worth a per-ISA kernel).
+  const kernels::KernelTable& table = kernels::active();
+
   out.indices.visit_mutable([&](auto* bins_data) {
     parallel::parallel_for(0, num_blocks, kCodecGrain, [&](index_t chunk_begin,
                                                            index_t chunk_end) {
@@ -202,7 +209,7 @@ CompressedArray Compressor::compress(const NDArray<double>& array,
         // through the float type; indices are round(r C / N) clamped to
         // [-r, r], stored for kept offsets only.
         const double biggest =
-            quantize(kernels::max_abs(coeffs.data(), block_volume), ftype);
+            quantize(table.max_abs(coeffs.data(), block_volume), ftype);
         out.biggest[static_cast<std::size_t>(kb)] = biggest;
 
         auto* bins = bins_data + kb * kept;
@@ -210,7 +217,8 @@ CompressedArray Compressor::compress(const NDArray<double>& array,
         if (biggest == 0.0) {
           std::fill(bins, bins + kept, BinT{0});
         } else if (kept == block_volume) {
-          kernels::quantize_bins(coeffs.data(), bins, kept, r / biggest, r);
+          kernels::bins<BinT>(table).quantize_bins(coeffs.data(), bins, kept,
+                                                   r / biggest, r);
         } else {
           kernels::quantize_bins_gather(coeffs.data(), kept_offsets.data(),
                                         bins, kept, r / biggest, r);
@@ -263,6 +271,8 @@ NDArray<double> Compressor::decompress(const CompressedArray& array) const {
 
   NDArray<double> out(array.shape);
 
+  const kernels::KernelTable& table = kernels::active();
+
   array.indices.visit([&](const auto* bins_data) {
     parallel::parallel_for(0, num_blocks, kCodecGrain, [&](index_t chunk_begin,
                                                            index_t chunk_end) {
@@ -274,8 +284,10 @@ NDArray<double> Compressor::decompress(const CompressedArray& array) const {
         // to specified coefficients (Algorithm 3) through the shared kernels.
         const double scale = array.biggest[static_cast<std::size_t>(kb)] / r;
         const auto* bins = bins_data + kb * kept;
+        using BinT = std::remove_cvref_t<decltype(bins[0])>;
         if (kept == block_volume) {
-          kernels::unbin_block(bins, kept, scale, coeffs.data());
+          kernels::bins<BinT>(table).unbin_block(bins, kept, scale,
+                                                 coeffs.data());
         } else {
           std::fill(coeffs.begin(), coeffs.end(), 0.0);
           kernels::unbin_scatter(bins, kept_offsets.data(), kept, scale,

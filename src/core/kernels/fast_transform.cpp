@@ -504,6 +504,33 @@ void fast_transform_axis(TransformKind kind, double* data, double* tmp,
     }
     return;
   }
+  dct_fast_axis(data, tmp, n, outer, inner, forward);
+}
+
+const double* dct_secant_table(index_t m) {
+  switch (m) {
+    case 2:
+      return sec_table<2>();
+    case 4:
+      return sec_table<4>();
+    case 8:
+      return sec_table<8>();
+    case 16:
+      return sec_table<16>();
+    case 32:
+      return sec_table<32>();
+    case 64:
+      return sec_table<64>();
+    case 128:
+      return sec_table<128>();
+    default:
+      throw std::logic_error("dct_secant_table: unsupported size " +
+                             std::to_string(m));
+  }
+}
+
+void dct_fast_axis(double* data, double* tmp, index_t n, index_t outer,
+                   index_t inner, bool forward) {
   switch (n) {
     case 2:
       dct_axis<2>(data, tmp, outer, inner, forward);
@@ -531,7 +558,7 @@ void fast_transform_axis(TransformKind kind, double* data, double* tmp,
       // is reachable only if a size is added to fast_axis_supported() without
       // a matching dispatch case here.
       throw std::logic_error(
-          "fast_transform_axis: no factorized DCT kernel for n = " +
+          "dct_fast_axis: no factorized DCT kernel for n = " +
           std::to_string(n));
   }
 }

@@ -66,4 +66,17 @@ void dense_transform_axis(const double* src, double* dst, const double* matrix,
 void fast_transform_axis(TransformKind kind, double* data, double* tmp,
                          index_t n, index_t outer, index_t inner, bool forward);
 
+/// The DCT arm of fast_transform_axis on its own: in-place factorized Lee
+/// DCT along one axis.  Requires fast_axis_supported(kDCT, n) and n > 1.
+/// This is the scalar implementation behind KernelTable::dct_axis; the SIMD
+/// backends replace the panel kernels but must match it bit for bit.
+void dct_fast_axis(double* data, double* tmp, index_t n, index_t outer,
+                   index_t inner, bool forward);
+
+/// Lee's secant factors for a supported DCT size @p m: the length-m/2 table
+/// sec[p] = 1 / (2 cos(pi (2p+1) / (2m))).  Exposed so SIMD backends load
+/// the *same* table memory as the scalar recursion instead of recomputing
+/// values that libm could conceivably round differently.
+const double* dct_secant_table(index_t m);
+
 }  // namespace pyblaz::kernels

@@ -1,0 +1,271 @@
+/// NEON (AArch64 AdvSIMD) kernel backend.
+///
+/// Same bit-identity contract as the AVX2 backend (docs/PERF.md, "SIMD
+/// backends"): no FMA (separate vmulq/vaddq, never vfmaq), per-element
+/// operation order preserved, NaN semantics matched to the scalar kernels
+/// with explicit compare + select.  vrndaq_f64 is exactly std::round (round
+/// to nearest, ties away from zero), so no truncation synthesis is needed.
+///
+/// The backend accelerates the elementwise families (rebin/unbin and the
+/// fused lincomb decode) plus the dense one-axis transform.  The Lee DCT
+/// butterflies stay on the scalar kernel here: the recursion's
+/// reverse-permute interleave patterns are ISA-specific enough that we only
+/// ship them once validated on AArch64 hardware, and registering the scalar
+/// function keeps the table complete and bit-identical in the meantime.
+///
+/// This TU compiles to a nullptr-returning stub on non-AArch64 targets.
+
+#include "core/kernels/backend_tables.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/kernels/fast_transform.hpp"
+#include "core/kernels/rebin.hpp"
+
+namespace pyblaz::kernels {
+namespace {
+
+double max_abs_neon(const double* c, index_t count) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  index_t j = 0;
+  for (; j + 2 <= count; j += 2) {
+    const float64x2_t fab = vabsq_f64(vld1q_f64(c + j));
+    // Take fab only where it compares greater: a NaN |c[j]| keeps the
+    // accumulator, matching std::max(biggest, fab).
+    acc = vbslq_f64(vcgtq_f64(fab, acc), fab, acc);
+  }
+  double biggest = std::max(vgetq_lane_f64(acc, 0), vgetq_lane_f64(acc, 1));
+  for (; j < count; ++j) biggest = std::max(biggest, std::fabs(c[j]));
+  return biggest;
+}
+
+/// std::clamp's NaN behavior: a NaN value propagates (both compares are
+/// false, so v survives both selects).
+inline float64x2_t clamp_f64(float64x2_t v, float64x2_t lo, float64x2_t hi) {
+  const float64x2_t floored = vbslq_f64(vcltq_f64(v, lo), lo, v);
+  return vbslq_f64(vcgtq_f64(floored, hi), hi, floored);
+}
+
+inline float64x2_t load2_pd(const std::int8_t* p) {
+  return vcvtq_f64_s64(int64x2_t{p[0], p[1]});
+}
+inline float64x2_t load2_pd(const std::int16_t* p) {
+  return vcvtq_f64_s64(int64x2_t{p[0], p[1]});
+}
+inline float64x2_t load2_pd(const std::int32_t* p) {
+  return vcvtq_f64_s64(int64x2_t{p[0], p[1]});
+}
+
+/// Truncating double -> int stores.  vcvtq_s64_f64 truncates toward zero
+/// like the scalar cast, and maps NaN to 0 exactly as AArch64 fcvtzs does
+/// for gcc's scalar code; values are already clamped into range.
+template <typename BinT>
+inline void store2(BinT* p, float64x2_t v) {
+  const int64x2_t q = vcvtq_s64_f64(v);
+  p[0] = static_cast<BinT>(vgetq_lane_s64(q, 0));
+  p[1] = static_cast<BinT>(vgetq_lane_s64(q, 1));
+}
+
+template <typename BinT>
+void quantize_bins_neon(const double* c, BinT* bins, index_t count,
+                        double inv, double r) {
+  const float64x2_t vinv = vdupq_n_f64(inv);
+  const float64x2_t vlo = vdupq_n_f64(-r);
+  const float64x2_t vhi = vdupq_n_f64(r);
+  index_t j = 0;
+  for (; j + 2 <= count; j += 2) {
+    const float64x2_t scaled = vmulq_f64(vld1q_f64(c + j), vinv);
+    store2(bins + j, clamp_f64(vrndaq_f64(scaled), vlo, vhi));
+  }
+  for (; j < count; ++j)
+    bins[j] = static_cast<BinT>(std::clamp(std::round(c[j] * inv), -r, r));
+}
+
+template <typename BinT>
+void unbin_block_neon(const BinT* f, index_t count, double scale, double* c) {
+  const float64x2_t vs = vdupq_n_f64(scale);
+  index_t j = 0;
+  for (; j + 2 <= count; j += 2)
+    vst1q_f64(c + j, vmulq_f64(vs, load2_pd(f + j)));
+  for (; j < count; ++j) c[j] = scale * static_cast<double>(f[j]);
+}
+
+template <typename BinT>
+void decode_axpby_neon(const BinT* f1, double s1, const BinT* f2, double s2,
+                       index_t count, double* c) {
+  const float64x2_t vs1 = vdupq_n_f64(s1);
+  const float64x2_t vs2 = vdupq_n_f64(s2);
+  index_t j = 0;
+  for (; j + 2 <= count; j += 2)
+    vst1q_f64(c + j, vaddq_f64(vmulq_f64(vs1, load2_pd(f1 + j)),
+                               vmulq_f64(vs2, load2_pd(f2 + j))));
+  for (; j < count; ++j)
+    c[j] = s1 * static_cast<double>(f1[j]) + s2 * static_cast<double>(f2[j]);
+}
+
+template <typename BinT>
+void decode_axpby_accumulate_neon(const BinT* f1, double s1, const BinT* f2,
+                                  double s2, index_t count, double* c) {
+  const float64x2_t vs1 = vdupq_n_f64(s1);
+  const float64x2_t vs2 = vdupq_n_f64(s2);
+  index_t j = 0;
+  for (; j + 2 <= count; j += 2) {
+    const float64x2_t pair = vaddq_f64(vmulq_f64(vs1, load2_pd(f1 + j)),
+                                       vmulq_f64(vs2, load2_pd(f2 + j)));
+    vst1q_f64(c + j, vaddq_f64(vld1q_f64(c + j), pair));
+  }
+  for (; j < count; ++j)
+    c[j] += s1 * static_cast<double>(f1[j]) + s2 * static_cast<double>(f2[j]);
+}
+
+template <typename BinT>
+void decode_accumulate_neon(const BinT* f, double s, index_t count,
+                            double* c) {
+  const float64x2_t vs = vdupq_n_f64(s);
+  index_t j = 0;
+  for (; j + 2 <= count; j += 2)
+    vst1q_f64(c + j,
+              vaddq_f64(vld1q_f64(c + j), vmulq_f64(vs, load2_pd(f + j))));
+  for (; j < count; ++j) c[j] += s * static_cast<double>(f[j]);
+}
+
+template <typename BinT>
+void decode_lincomb_neon(const BinT* const* f, const double* s,
+                         index_t num_operands, index_t count, double* c) {
+  index_t i = 0;
+  if (num_operands >= 2) {
+    decode_axpby_neon(f[0], s[0], f[1], s[1], count, c);
+    i = 2;
+  } else if (num_operands == 1) {
+    unbin_block_neon(f[0], count, s[0], c);
+    i = 1;
+  } else {
+    std::fill(c, c + count, 0.0);
+  }
+  for (; i + 1 < num_operands; i += 2)
+    decode_axpby_accumulate_neon(f[i], s[i], f[i + 1], s[i + 1], count, c);
+  if (i < num_operands) decode_accumulate_neon(f[i], s[i], count, c);
+}
+
+void dense_transform_axis_neon(const double* src, double* dst,
+                               const double* h, index_t n, index_t outer,
+                               index_t inner, bool forward) {
+  if (n == 1) {
+    std::copy(src, src + outer * inner, dst);
+    return;
+  }
+  if (inner == 1) {
+    for (index_t o = 0; o < outer; ++o) {
+      const double* line = src + o * n;
+      double* out = dst + o * n;
+      if (forward) {
+        std::fill(out, out + n, 0.0);
+        for (index_t k = 0; k < n; ++k) {
+          const float64x2_t vv = vdupq_n_f64(line[k]);
+          const double* hrow = h + k * n;
+          index_t k2 = 0;
+          for (; k2 + 2 <= n; k2 += 2)
+            vst1q_f64(out + k2,
+                      vaddq_f64(vld1q_f64(out + k2),
+                                vmulq_f64(vv, vld1q_f64(hrow + k2))));
+          for (; k2 < n; ++k2) out[k2] += line[k] * hrow[k2];
+        }
+      } else {
+        index_t k2 = 0;
+        for (; k2 + 2 <= n; k2 += 2) {
+          float64x2_t total = vdupq_n_f64(0.0);
+          for (index_t k = 0; k < n; ++k) {
+            const float64x2_t col{h[(k2 + 0) * n + k], h[(k2 + 1) * n + k]};
+            total = vaddq_f64(total, vmulq_f64(vdupq_n_f64(line[k]), col));
+          }
+          vst1q_f64(out + k2, total);
+        }
+        for (; k2 < n; ++k2) {
+          const double* hrow = h + k2 * n;
+          double total = 0.0;
+          for (index_t k = 0; k < n; ++k) total += line[k] * hrow[k];
+          out[k2] = total;
+        }
+      }
+    }
+  } else {
+    for (index_t o = 0; o < outer; ++o) {
+      const double* base = src + o * n * inner;
+      double* sbase = dst + o * n * inner;
+      std::fill(sbase, sbase + n * inner, 0.0);
+      for (index_t k = 0; k < n; ++k) {
+        const double* line = base + k * inner;
+        for (index_t k2 = 0; k2 < n; ++k2) {
+          const double w = forward ? h[k * n + k2] : h[k2 * n + k];
+          const float64x2_t vw = vdupq_n_f64(w);
+          double* out = sbase + k2 * inner;
+          index_t in = 0;
+          for (; in + 2 <= inner; in += 2)
+            vst1q_f64(out + in,
+                      vaddq_f64(vld1q_f64(out + in),
+                                vmulq_f64(vw, vld1q_f64(line + in))));
+          for (; in < inner; ++in) out[in] += w * line[in];
+        }
+      }
+    }
+  }
+}
+
+template <typename BinT>
+constexpr BinKernels<BinT> neon_bin_kernels() {
+  return {&quantize_bins_neon<BinT>, &unbin_block_neon<BinT>,
+          &decode_lincomb_neon<BinT>};
+}
+
+/// int64 bins stay scalar: the 2^53 arithmetic radius would need the full
+/// int64 lane math validated on hardware first.
+void quantize_bins_i64(const double* c, std::int64_t* bins, index_t count,
+                       double inv, double r) {
+  quantize_bins<std::int64_t>(c, bins, count, inv, r);
+}
+void unbin_block_i64(const std::int64_t* f, index_t count, double scale,
+                     double* c) {
+  unbin_block<std::int64_t>(f, count, scale, c);
+}
+void decode_lincomb_i64(const std::int64_t* const* f, const double* s,
+                        index_t num_operands, index_t count, double* c) {
+  decode_lincomb<std::int64_t>(f, s, num_operands, count, c);
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelTable* neon_table() {
+  static const KernelTable table = {
+      "neon",
+      &max_abs_neon,
+      neon_bin_kernels<std::int8_t>(),
+      neon_bin_kernels<std::int16_t>(),
+      neon_bin_kernels<std::int32_t>(),
+      {&quantize_bins_i64, &unbin_block_i64, &decode_lincomb_i64},
+      &dense_transform_axis_neon,
+      &dct_fast_axis,
+      &huffman_decode_run_generic,
+  };
+  return &table;
+}
+
+}  // namespace internal
+}  // namespace pyblaz::kernels
+
+#else  // !defined(__aarch64__)
+
+namespace pyblaz::kernels::internal {
+
+const KernelTable* neon_table() { return nullptr; }
+
+}  // namespace pyblaz::kernels::internal
+
+#endif

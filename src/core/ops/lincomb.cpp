@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/codec/workspace.hpp"
+#include "core/kernels/backend.hpp"
 #include "core/kernels/rebin.hpp"
 #include "core/ops/expr.hpp"
 #include "core/ops/ops.hpp"
@@ -48,6 +49,11 @@ CompressedArray lincomb(std::span<const CompressedArray* const> operands,
   CompressedArray out = first;
   out.indices = BinIndices(first.index_type, first.indices.size());
 
+  // Dispatch resolved once per lincomb call, outside the block loop: every
+  // chunk then calls through plain function pointers (SIMD backends are
+  // bit-identical to scalar, so results cannot depend on the host ISA).
+  const kernels::KernelTable& table = kernels::active();
+
   out.indices.visit_mutable([&](auto* out_data) {
     using BinT = std::remove_cv_t<std::remove_pointer_t<decltype(out_data)>>;
     // Layout matching guarantees one shared index type, so a single dispatch
@@ -77,11 +83,12 @@ CompressedArray lincomb(std::span<const CompressedArray* const> operands,
                   weights[i] * operands[i]->biggest[static_cast<std::size_t>(kb)] /
                   r;
             }
-            kernels::decode_lincomb(rows.data(), scales.data(), num_operands,
-                                    kept, coeffs);
+            kernels::bins<BinT>(table).decode_lincomb(
+                rows.data(), scales.data(), num_operands, kept, coeffs);
             if (bias_shift != 0.0) coeffs[0] += bias_shift;
             out.biggest[static_cast<std::size_t>(kb)] = kernels::rebin_block(
-                coeffs, kept, r, first.float_type, out_data + kb * kept);
+                table, coeffs, kept, r, first.float_type,
+                out_data + kb * kept);
           }
         });
   });

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <functional>
@@ -94,11 +95,29 @@ class TaskContext {
     if (!exception_) exception_ = std::move(error);
   }
 
+  /// True once every chunk has finished (drainers may still be leaving).
+  /// The work-conserving waiter polls this between foreign chunks: it is the
+  /// signal to stop assisting and return to its own region.
+  bool chunks_complete() const {
+    return chunks_done_.load(std::memory_order_acquire) >= num_chunks_;
+  }
+
   /// Block the submitting caller until the region is fully torn down: all
   /// chunks finished and all drainers gone.
   void wait_complete() {
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] {
+      return chunks_done_.load(std::memory_order_acquire) >= num_chunks_ &&
+             drainers_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  /// wait_complete() with a timeout, for the work-conserving waiter's
+  /// rescan cadence.  Returns true when the region is fully torn down
+  /// (chunks finished AND drainers gone), false on timeout.
+  bool wait_complete_for(std::chrono::microseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return done_cv_.wait_for(lock, timeout, [&] {
       return chunks_done_.load(std::memory_order_acquire) >= num_chunks_ &&
              drainers_.load(std::memory_order_acquire) == 0;
     });

@@ -188,6 +188,47 @@ void ThreadPool::execute_region_chunks(TaskContext* context) {
   delist(context);
 }
 
+void ThreadPool::drain_foreign_chunks(TaskContext* context, TaskContext* own) {
+  InsidePoolGuard guard;
+  // Same workspace-frame contract as execute_region_chunks: a fresh frame
+  // per drain keeps the foreign region's chunk bodies from clobbering
+  // coefficient rows held by any enclosing chunk body on this thread.
+  internal::WorkspaceScope workspace_frame;
+  for (;;) {
+    const index_t chunk = context->claim();
+    if (chunk >= context->num_chunks()) {
+      // Observed exhaustion: this drainer delists, same rule as the workers.
+      delist(context);
+      break;
+    }
+    try {
+      context->run(chunk);
+    } catch (...) {
+      context->record_exception(std::current_exception());
+    }
+    context->finish_chunk();
+    // Return to the waiting caller as soon as its own region finishes.  The
+    // foreign region stays listed — it is still claimable, and delisting on
+    // an early stop would hide its remaining chunks from every scanner.
+    if (own->chunks_complete()) break;
+  }
+}
+
+void ThreadPool::assist_while_incomplete(TaskContext* own) {
+  while (!own->chunks_complete()) {
+    TaskContext* other = find_work(own->shard());
+    if (!other) {
+      // Nothing claimable anywhere: sleep on our own completion, but keep
+      // rescanning in case a new region arrives while our tail still runs.
+      if (own->wait_complete_for(std::chrono::microseconds(200))) return;
+      continue;
+    }
+    drain_foreign_chunks(other, own);
+    other->remove_drainer_and_notify();
+  }
+  own->wait_complete();
+}
+
 void ThreadPool::delist(TaskContext* context) {
   Shard& shard = shards_[context->shard()];
   std::lock_guard<std::mutex> lock(shard.mutex);
@@ -224,7 +265,7 @@ void ThreadPool::run_region(index_t num_chunks,
   worker_cv_.notify_all();
 
   execute_region_chunks(&context);  // The caller drains alongside the workers.
-  context.wait_complete();
+  assist_while_incomplete(&context);  // Work-conserving wait for the tail.
 
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -46,6 +46,10 @@ namespace pyblaz::parallel {
 /// claimable region they find.  The submitting caller always drains its own
 /// region alongside the workers, which bounds latency even when every worker
 /// is busy elsewhere: a region never waits for another region to finish.
+/// Waiting callers are work-conserving: while a region's tail chunks finish
+/// on other threads, its caller drains other regions' chunks — rechecking
+/// its own completion between chunks — instead of sleeping, so claimable
+/// work is never stranded behind a blocked or busy worker.
 /// Each concurrent caller therefore adds one executing thread on top of the
 /// shared workers — overlap is the point; the worker count is a parallelism
 /// target, not a hard cap on running threads.
@@ -120,6 +124,16 @@ class ThreadPool {
   void worker_loop(int worker_index);
   TaskContext* find_work(int start_shard);
   void execute_region_chunks(TaskContext* context);
+  /// Drain @p context's chunks like execute_region_chunks, but return to the
+  /// waiting caller as soon as @p own's chunks are all finished.  Early
+  /// return leaves @p context listed (still claimable by others); only an
+  /// observed claim overshoot delists it.
+  void drain_foreign_chunks(TaskContext* context, TaskContext* own);
+  /// Work conservation: instead of sleeping while @p own's tail chunks
+  /// finish on other threads, the submitting caller drains other regions'
+  /// chunks, rechecking its own completion between chunks.  Returns once
+  /// @p own is fully torn down (wait_complete semantics).
+  void assist_while_incomplete(TaskContext* own);
   void delist(TaskContext* context);
   /// Close the submission gate, wait for live regions to drain, and run
   /// @p reconfigure; joins and restarts workers when @p restart_workers.

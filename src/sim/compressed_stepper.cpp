@@ -57,10 +57,17 @@ CompressedShallowWaterStepper::CompressedShallowWaterStepper(
       scheme_(scheme) {}
 
 void CompressedShallowWaterStepper::step() {
-  if (scheme_ == SweScheme::kRk2)
-    step_rk2();
-  else
-    step_forward_backward();
+  switch (scheme_) {
+    case SweScheme::kRk2:
+      step_rk2();
+      return;
+    case SweScheme::kRk4:
+      step_rk4();
+      return;
+    case SweScheme::kForwardBackward:
+      break;
+  }
+  step_forward_backward();
 }
 
 void CompressedShallowWaterStepper::step_forward_backward() {
@@ -105,6 +112,45 @@ void CompressedShallowWaterStepper::step_rk2() {
   const CompressedArray dv1 = v_.encode(stages.stage1.dv);
   const CompressedArray dv2 = v_.encode(stages.stage2.dv);
   v_.advance(v_.state() + half_dt * dv1 + half_dt * dv2);
+}
+
+void CompressedShallowWaterStepper::step_rk4() {
+  SweRk4Tendencies stages;
+  model_.step_rk4(&stages);
+  const double dt = model_.config().dt;
+  const double sixth = dt / 6.0;
+  const double third = dt / 3.0;
+
+  // The full 4-stage Simpson combine per track, still ONE fused lincomb
+  // (one rebin) each: 9 operands for height — the widest expression in the
+  // tree — and 5 per momentum component.  The chained replay pays a rebin
+  // per binary op (16 per step), so RK4 maximizes the fused path's arity
+  // advantage.
+  const CompressedArray fx1 = height_.encode(stages.stage1.flux_x);
+  const CompressedArray fy1 = height_.encode(stages.stage1.flux_y);
+  const CompressedArray fx2 = height_.encode(stages.stage2.flux_x);
+  const CompressedArray fy2 = height_.encode(stages.stage2.flux_y);
+  const CompressedArray fx3 = height_.encode(stages.stage3.flux_x);
+  const CompressedArray fy3 = height_.encode(stages.stage3.flux_y);
+  const CompressedArray fx4 = height_.encode(stages.stage4.flux_x);
+  const CompressedArray fy4 = height_.encode(stages.stage4.flux_y);
+  height_.advance(height_.state() - sixth * fx1 - sixth * fy1 - third * fx2 -
+                  third * fy2 - third * fx3 - third * fy3 - sixth * fx4 -
+                  sixth * fy4);
+
+  const CompressedArray du1 = u_.encode(stages.stage1.du);
+  const CompressedArray du2 = u_.encode(stages.stage2.du);
+  const CompressedArray du3 = u_.encode(stages.stage3.du);
+  const CompressedArray du4 = u_.encode(stages.stage4.du);
+  u_.advance(u_.state() + sixth * du1 + third * du2 + third * du3 +
+             sixth * du4);
+
+  const CompressedArray dv1 = v_.encode(stages.stage1.dv);
+  const CompressedArray dv2 = v_.encode(stages.stage2.dv);
+  const CompressedArray dv3 = v_.encode(stages.stage3.dv);
+  const CompressedArray dv4 = v_.encode(stages.stage4.dv);
+  v_.advance(v_.state() + sixth * dv1 + third * dv2 + third * dv3 +
+             sixth * dv4);
 }
 
 void CompressedShallowWaterStepper::run(int steps) {

@@ -100,6 +100,12 @@ enum class SweScheme {
   /// 5-operand expression per step — the `compressed_lincomb5` bench shape,
   /// exercised end to end — and each momentum track by a 3-operand one.
   kRk2,
+  /// Classical RK4 built from four forward-backward stages
+  /// (ShallowWaterModel::step_rk4): the height track advances by one fused
+  /// 9-operand expression per step (state + all eight stage flux fields)
+  /// and each momentum track by a 5-operand one — the widest fused combine
+  /// in the tree, still one rebin per track per step.
+  kRk4,
 };
 
 /// Compressed-form shallow-water stepping with the FULL prognostic state —
@@ -132,9 +138,10 @@ class CompressedShallowWaterStepper {
   /// total when fused, regardless of scheme (every expression is one
   /// lincomb).  Chained pays one rebin per binary op instead: four under
   /// kForwardBackward (two for the 3-term height update, one per 2-term
-  /// momentum update) and eight under kRk2 (four for the 5-term height
-  /// update, two per 3-term momentum update) — the arity gap RK-style
-  /// combines exist to measure.
+  /// momentum update), eight under kRk2 (four for the 5-term height
+  /// update, two per 3-term momentum update), and sixteen under kRk4
+  /// (eight for the 9-term height update, four per 5-term momentum
+  /// update) — the arity gap RK-style combines exist to measure.
   void step();
   void run(int steps);
 
@@ -163,6 +170,7 @@ class CompressedShallowWaterStepper {
  private:
   void step_forward_backward();
   void step_rk2();
+  void step_rk4();
 
   ShallowWaterModel model_;
   CompressedStateStepper height_;

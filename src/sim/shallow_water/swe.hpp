@@ -80,6 +80,20 @@ struct SweRk2Tendencies {
   SweTendencies stage2;  ///< Tendencies evaluated at the predicted state.
 };
 
+/// All four stages' tendencies of one classical RK4 step, exported for the
+/// compressed-form stepper: with s = dt/6 and t = dt/3 the step applies
+///   u'   = u + s*du1 + t*du2 + t*du3 + s*du4,
+///   v'   = v + s*dv1 + t*dv2 + t*dv3 + s*dv4,
+///   eta' = eta - s*fx1 - s*fy1 - t*fx2 - t*fy2 - t*fx3 - t*fy3 - s*fx4 - s*fy4,
+/// so a compressed shadow of the height advances by one fused 9-operand
+/// lincomb per step and each momentum track by one fused 5-operand lincomb.
+struct SweRk4Tendencies {
+  SweTendencies stage1;  ///< Evaluated at the step's start state S0.
+  SweTendencies stage2;  ///< Evaluated at S0 + (dt/2) k1.
+  SweTendencies stage3;  ///< Evaluated at S0 + (dt/2) k2.
+  SweTendencies stage4;  ///< Evaluated at S0 + dt k3.
+};
+
 /// 2-D shallow-water model on an Arakawa C-grid with forward-backward time
 /// stepping: the substrate of the paper's Fig. 4 precision study.
 ///
@@ -115,6 +129,21 @@ class ShallowWaterModel {
   /// 5-term expression for height, 3-term for each momentum component
   /// (sim/compressed_stepper.hpp).
   void step_rk2(SweRk2Tendencies* tendencies);
+
+  /// Advance one classical RK4 step built from four forward-backward stages:
+  /// each stage is one step() whose exported tendencies are k_i; its state
+  /// advance is discarded and replaced by the next stage's evaluation point
+  /// S0 + c k_i (rounded through the configured precision, like any stored
+  /// state).  The final state is S0 advanced by the Simpson-weighted combine
+  /// (k1 + 2 k2 + 2 k3 + k4) / 6, rounded through the configured precision.
+  /// Counts as ONE step in steps_taken().
+  void step_rk4();
+
+  /// step_rk4(), additionally exporting all four stages' tendency fields so
+  /// a compressed shadow can advance by the identical 4-stage combine — a
+  /// 9-term expression for height, 5-term for each momentum component
+  /// (sim/compressed_stepper.hpp).
+  void step_rk4(SweRk4Tendencies* tendencies);
 
   /// Advance @p steps steps.
   void run(int steps);

@@ -149,6 +149,46 @@ void HuffmanCoder::build_canonical_codes() {
       }
     }
   }
+
+  // Two-symbol table for decode_run: reuse the first-symbol resolution
+  // above, then walk the window's remaining bits for a second complete code.
+  static_assert(kTableBits == pyblaz::kernels::kHuffmanLutBits,
+                "decode_run's LUT walker assumes the same window width");
+  decode_table2_.assign(std::size_t{1} << kTableBits,
+                        pyblaz::kernels::HuffmanLut2Entry{});
+  for (std::uint32_t idx = 0; idx < (1u << kTableBits); ++idx) {
+    const TableEntry first = decode_table_[static_cast<std::size_t>(idx)];
+    if (first.length == 0) continue;  // nsyms == 0: bit-serial fallback.
+    pyblaz::kernels::HuffmanLut2Entry& entry =
+        decode_table2_[static_cast<std::size_t>(idx)];
+    entry.sym0 = first.symbol;
+    entry.len0 = first.length;
+    entry.total_bits = first.length;
+    entry.nsyms = 1;
+    std::uint32_t prefix = 0;
+    for (int len = 1; len + first.length <= kTableBits; ++len) {
+      prefix = (prefix << 1) | ((idx >> (first.length + len - 1)) & 1u);
+      const std::uint32_t count = count_by_length_[static_cast<std::size_t>(len)];
+      if (count == 0) continue;
+      const std::uint32_t first_code = first_code_[static_cast<std::size_t>(len)];
+      if (prefix >= first_code && prefix < first_code + count) {
+        const std::uint32_t index =
+            first_symbol_[static_cast<std::size_t>(len)] + (prefix - first_code);
+        entry.sym1 = sorted_symbols_[static_cast<std::size_t>(index)];
+        entry.total_bits = static_cast<std::uint8_t>(first.length + len);
+        entry.nsyms = 2;
+        break;
+      }
+    }
+  }
+}
+
+pyblaz::index_t HuffmanCoder::decode_run(pyblaz::BitReader& reader,
+                                         std::int32_t* out,
+                                         pyblaz::index_t count,
+                                         std::int32_t stop_symbol) const {
+  return pyblaz::kernels::active().huffman_decode_run(
+      decode_table2_.data(), reader, out, count, stop_symbol);
 }
 
 void HuffmanCoder::encode(pyblaz::BitWriter& writer, int symbol) const {

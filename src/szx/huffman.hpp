@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/kernels/backend.hpp"
 #include "core/util/bitstream.hpp"
 
 namespace szx {
@@ -39,6 +40,25 @@ class HuffmanCoder {
   /// identical stream semantics to the bit-serial decoder it replaced.
   int decode(pyblaz::BitReader& reader) const;
 
+  /// Decode up to @p count symbols in one batched run through the active
+  /// kernel backend's 2-symbol LUT walker (the szx decode loop's hot path):
+  /// each 8-bit probe resolves up to two complete codes, so short-code
+  /// streams consume roughly half the probes of symbol-at-a-time decode().
+  ///
+  /// Returns the number of symbols written to @p out, which is less than
+  /// @p count when
+  ///  - the next code is longer than 8 bits: the stream is rewound to the
+  ///    code's start; call decode() once for it and resume, or
+  ///  - @p stop_symbol was just emitted (always as the last symbol of the
+  ///    run): the stream sits immediately after the stop symbol's code so
+  ///    the caller can consume its side data (szx outliers interleave raw
+  ///    bits) before resuming.
+  /// Consumes exactly the emitted codes' bits — identical stream semantics
+  /// to calling decode() in a loop.
+  pyblaz::index_t decode_run(pyblaz::BitReader& reader, std::int32_t* out,
+                             pyblaz::index_t count,
+                             std::int32_t stop_symbol = -1) const;
+
   /// Number of symbols in the alphabet.
   int alphabet_size() const { return static_cast<int>(lengths_.size()); }
 
@@ -71,6 +91,13 @@ class HuffmanCoder {
   };
   static constexpr int kTableBits = 8;
   std::vector<TableEntry> decode_table_;
+
+  // Two-symbol decode table for decode_run, same indexing as decode_table_:
+  // when the first code leaves room in the 8-bit window and a second code
+  // completes inside it, both symbols resolve from one probe.  Built by
+  // walking the window's bits exactly as the serial decoder would, so the
+  // batched and serial paths agree bit for bit.
+  std::vector<pyblaz::kernels::HuffmanLut2Entry> decode_table2_;
 };
 
 }  // namespace szx

@@ -205,21 +205,43 @@ NDArray<double> decompress(const Compressed& compressed) {
   std::vector<double> values(static_cast<std::size_t>(total));
   LorenzoPredictor predictor(shape, values);
   std::vector<index_t> idx(static_cast<std::size_t>(d), 0);
-  for (index_t offset = 0; offset < total; ++offset) {
-    const int symbol = coder.decode(reader);
-    if (symbol < 0 || reader.position() > reader.size_bits())
-      throw std::invalid_argument("szx: corrupt or truncated stream");
-    if (symbol == outlier_symbol) {
-      values[static_cast<std::size_t>(offset)] =
-          std::bit_cast<double>(reader.get_bits(64));
-    } else {
-      const double prediction = predictor.predict(idx, offset);
-      values[static_cast<std::size_t>(offset)] =
-          prediction + static_cast<double>(symbol - radius) * bin_width;
+
+  // The symbol stream is independent of the reconstruction (the Lorenzo
+  // predictor consumes reconstructed *values*, not symbols), so symbols
+  // batch-decode through the backend's 2-symbol LUT walker.  A run ends
+  // early at the outlier symbol — its 64 raw mantissa bits interleave into
+  // the stream — or when a long code needs one bit-serial decode() below.
+  constexpr index_t kDecodeRun = 512;
+  std::vector<std::int32_t> run(
+      static_cast<std::size_t>(std::min(total, kDecodeRun)));
+  index_t offset = 0;
+  while (offset < total) {
+    const index_t want = std::min(kDecodeRun, total - offset);
+    index_t got = coder.decode_run(reader, run.data(), want, outlier_symbol);
+    if (got < want &&
+        (got == 0 || run[static_cast<std::size_t>(got - 1)] != outlier_symbol)) {
+      // Long-code fallback: exactly one bit-serial symbol, then resume.
+      const int symbol = coder.decode(reader);
+      if (symbol < 0)
+        throw std::invalid_argument("szx: corrupt or truncated stream");
+      run[static_cast<std::size_t>(got++)] = symbol;
     }
-    for (int axis = d - 1; axis >= 0; --axis) {
-      if (++idx[static_cast<std::size_t>(axis)] < shape[axis]) break;
-      idx[static_cast<std::size_t>(axis)] = 0;
+    if (reader.position() > reader.size_bits())
+      throw std::invalid_argument("szx: corrupt or truncated stream");
+    for (index_t t = 0; t < got; ++t, ++offset) {
+      const std::int32_t symbol = run[static_cast<std::size_t>(t)];
+      if (symbol == outlier_symbol) {
+        values[static_cast<std::size_t>(offset)] =
+            std::bit_cast<double>(reader.get_bits(64));
+      } else {
+        const double prediction = predictor.predict(idx, offset);
+        values[static_cast<std::size_t>(offset)] =
+            prediction + static_cast<double>(symbol - radius) * bin_width;
+      }
+      for (int axis = d - 1; axis >= 0; --axis) {
+        if (++idx[static_cast<std::size_t>(axis)] < shape[axis]) break;
+        idx[static_cast<std::size_t>(axis)] = 0;
+      }
     }
   }
   return NDArray<double>(shape, std::move(values));

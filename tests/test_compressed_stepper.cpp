@@ -259,6 +259,81 @@ TEST(CompressedSweStepperRk2, BitIdenticalAcrossThreadCounts) {
   parallel::set_num_threads(0);
 }
 
+// ---------------------------------------------------------------------------
+// RK4 on the expression front end: the height track advances by one fused
+// 9-operand expression per step — the widest combine in the tree — each
+// momentum track by a 5-operand one.
+
+TEST(CompressedSweStepperRk4, TracksReferenceAndFusedHeightBeatsChained) {
+  const int steps = 15;
+  sim::CompressedShallowWaterStepper fused(small_swe(), swe_track_settings(),
+                                           sim::LincombPath::kFused,
+                                           sim::SweScheme::kRk4);
+  sim::CompressedShallowWaterStepper chained(small_swe(), swe_track_settings(),
+                                             sim::LincombPath::kChained,
+                                             sim::SweScheme::kRk4);
+  fused.run(steps);
+  chained.run(steps);
+
+  EXPECT_EQ(fused.model().steps_taken(), steps);
+  EXPECT_EQ(fused.model().surface_height(), chained.model().surface_height());
+
+  // 9-term height update: 1 rebin fused vs 8 chained — strict dominance,
+  // and the widest arity gap in the stepper.
+  EXPECT_LE(fused.max_abs_height_error(),
+            chained.max_abs_height_error() + 1e-12);
+  // 5-term momentum updates: 1 rebin fused vs 4 chained.
+  EXPECT_LE(fused.max_abs_u_error(), chained.max_abs_u_error() + 1e-12);
+  EXPECT_LE(fused.max_abs_v_error(), chained.max_abs_v_error() + 1e-12);
+
+  // Every compressed track faithfully shadows its RK4 reference field.
+  const double h_scale = max_abs(fused.model().surface_height());
+  ASSERT_GT(h_scale, 0.0);
+  EXPECT_LT(fused.max_abs_height_error(), 0.05 * h_scale);
+  const double u_scale = max_abs(fused.model().velocity_u());
+  ASSERT_GT(u_scale, 0.0);
+  EXPECT_LT(fused.max_abs_u_error(), 0.05 * u_scale);
+  const double v_scale = max_abs(fused.model().velocity_v());
+  ASSERT_GT(v_scale, 0.0);
+  EXPECT_LT(fused.max_abs_v_error(), 0.05 * v_scale);
+}
+
+TEST(CompressedSweStepperRk4, RebinAccounting) {
+  // Fused: still one rebin per track per step.  Chained: one per binary op —
+  // eight for the 9-term height combine, four for each 5-term momentum one.
+  const int steps = 3;
+  sim::CompressedShallowWaterStepper fused(small_swe(), swe_track_settings(),
+                                           sim::LincombPath::kFused,
+                                           sim::SweScheme::kRk4);
+  sim::CompressedShallowWaterStepper chained(small_swe(), swe_track_settings(),
+                                             sim::LincombPath::kChained,
+                                             sim::SweScheme::kRk4);
+  fused.run(steps);
+  chained.run(steps);
+  EXPECT_EQ(fused.rebin_passes(), 3 * steps);
+  EXPECT_EQ(chained.rebin_passes(), 16 * steps);
+}
+
+TEST(CompressedSweStepperRk4, BitIdenticalAcrossThreadCounts) {
+  auto run_track = [] {
+    sim::CompressedShallowWaterStepper stepper(
+        small_swe(), swe_track_settings(), sim::LincombPath::kFused,
+        sim::SweScheme::kRk4);
+    stepper.run(3);
+    return std::make_tuple(
+        stepper.compressed_height().biggest, stepper.compressed_height().indices,
+        stepper.compressed_u().biggest, stepper.compressed_u().indices,
+        stepper.compressed_v().biggest, stepper.compressed_v().indices);
+  };
+  parallel::set_num_threads(1);
+  const auto reference = run_track();
+  for (int threads : {1, 4}) {
+    parallel::set_num_threads(threads);
+    EXPECT_EQ(run_track(), reference) << threads << " threads";
+  }
+  parallel::set_num_threads(0);
+}
+
 TEST(CompressedFissionExposure, FusedErrorNoWorseThanChainedAndSmall) {
   sim::FissionConfig config;
   config.grid = Shape{16, 16, 32};

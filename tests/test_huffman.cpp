@@ -126,6 +126,149 @@ TEST(Huffman, RejectsDegenerateInput) {
                std::invalid_argument);
 }
 
+/// Batched decoding oracle: decode_run plus the documented serial-decode
+/// fallback must reproduce symbol-at-a-time decode() exactly — same symbols,
+/// same final bit position.
+std::vector<int> decode_all_batched(const HuffmanCoder& coder,
+                                    BitReader& reader, std::size_t total,
+                                    std::int32_t stop_symbol = -1) {
+  std::vector<int> out;
+  std::vector<std::int32_t> run(64);
+  while (out.size() < total) {
+    const auto want = static_cast<pyblaz::index_t>(
+        std::min(run.size(), total - out.size()));
+    pyblaz::index_t got = coder.decode_run(reader, run.data(), want, stop_symbol);
+    if (got < want &&
+        (got == 0 || run[static_cast<std::size_t>(got - 1)] != stop_symbol)) {
+      // The next code is longer than the LUT window: the stream sits at its
+      // start, so one serial decode resolves it.
+      const int symbol = coder.decode(reader);
+      EXPECT_GE(symbol, 0);
+      run[static_cast<std::size_t>(got++)] = symbol;
+    }
+    for (pyblaz::index_t t = 0; t < got; ++t)
+      out.push_back(static_cast<int>(run[static_cast<std::size_t>(t)]));
+  }
+  return out;
+}
+
+TEST(Huffman, DecodeRunMatchesSerialDecode) {
+  std::mt19937_64 rng(4321);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int alphabet = 2 + static_cast<int>(rng() % 200);
+    std::vector<std::uint64_t> freq(static_cast<std::size_t>(alphabet));
+    for (auto& f : freq) f = 1 + rng() % 1000;
+    // A steep skew gives a mix of short (LUT-window) and long codes.
+    freq[0] = 1u << 20;
+    HuffmanCoder coder(freq);
+
+    std::vector<int> message;
+    for (int k = 0; k < 2000; ++k)
+      message.push_back(static_cast<int>(rng() % static_cast<std::uint64_t>(alphabet)));
+    BitWriter writer;
+    for (int s : message) coder.encode(writer, s);
+
+    BitReader serial(writer.bytes());
+    std::vector<int> expected;
+    for (std::size_t k = 0; k < message.size(); ++k)
+      expected.push_back(coder.decode(serial));
+
+    BitReader batched(writer.bytes());
+    const std::vector<int> got =
+        decode_all_batched(coder, batched, message.size());
+    ASSERT_EQ(got, expected) << "trial " << trial;
+    ASSERT_EQ(batched.position(), serial.position()) << "trial " << trial;
+  }
+}
+
+TEST(Huffman, DecodeRunHandlesCodesLongerThanTheLutWindow) {
+  // 65538 symbols with flat frequencies forces code lengths far beyond the
+  // 8-bit LUT window, so decode_run returns short and the serial fallback
+  // carries every symbol (the nsyms == 0 rewind path).
+  const std::size_t alphabet = 65538;
+  std::vector<std::uint64_t> freq(alphabet, 1);
+  HuffmanCoder coder(freq);
+
+  std::mt19937_64 rng(7);
+  std::vector<int> message;
+  for (int k = 0; k < 300; ++k)
+    message.push_back(static_cast<int>(rng() % alphabet));
+  BitWriter writer;
+  for (int s : message) coder.encode(writer, s);
+
+  BitReader serial(writer.bytes());
+  std::vector<int> expected;
+  for (std::size_t k = 0; k < message.size(); ++k)
+    expected.push_back(coder.decode(serial));
+
+  BitReader batched(writer.bytes());
+  const std::vector<int> got =
+      decode_all_batched(coder, batched, message.size());
+  ASSERT_EQ(got, expected);
+  ASSERT_EQ(batched.position(), serial.position());
+}
+
+TEST(Huffman, DecodeRunStopsAfterStopSymbol) {
+  // Skewed enough that symbol 0 is one bit and pairs of it share one LUT
+  // probe — the case where a stop symbol could incorrectly be emitted as the
+  // second symbol of a two-symbol entry.
+  std::vector<std::uint64_t> freq = {1u << 20, 1000, 500, 100, 10};
+  HuffmanCoder coder(freq);
+  const std::int32_t stop = 0;
+
+  // stop appears mid-stream followed by more symbols; the run must end AT the
+  // stop with the stream positioned right after its code.
+  const std::vector<int> message = {1, 2, 0, 3, 4, 1};
+  BitWriter writer;
+  for (int s : message) coder.encode(writer, s);
+
+  BitReader reader(writer.bytes());
+  std::vector<std::int32_t> run(16);
+  const pyblaz::index_t got = coder.decode_run(reader, run.data(), 16, stop);
+  ASSERT_GE(got, 1);
+  EXPECT_EQ(run[static_cast<std::size_t>(got - 1)], stop);
+  for (pyblaz::index_t t = 0; t + 1 < got; ++t)
+    EXPECT_EQ(run[static_cast<std::size_t>(t)],
+              message[static_cast<std::size_t>(t)]);
+
+  // The stream sits immediately after the stop symbol's code: serial decode
+  // must pick up with the symbols that followed it.
+  BitReader oracle(writer.bytes());
+  for (pyblaz::index_t t = 0; t < got; ++t) (void)coder.decode(oracle);
+  EXPECT_EQ(reader.position(), oracle.position());
+  EXPECT_EQ(coder.decode(reader), 3);
+  EXPECT_EQ(coder.decode(reader), 4);
+  EXPECT_EQ(coder.decode(reader), 1);
+}
+
+TEST(Huffman, DecodeRunBackToBackStopSymbols) {
+  // Consecutive stop symbols: each run must carry exactly one stop at its
+  // end, never two from one doubled LUT entry.
+  std::vector<std::uint64_t> freq = {1u << 20, 1000, 500};
+  HuffmanCoder coder(freq);
+  const std::int32_t stop = 0;
+
+  const std::vector<int> message = {0, 0, 1, 0, 2};
+  BitWriter writer;
+  for (int s : message) coder.encode(writer, s);
+
+  BitReader reader(writer.bytes());
+  std::vector<std::int32_t> run(16);
+  std::vector<int> all;
+  while (all.size() < message.size()) {
+    const pyblaz::index_t got = coder.decode_run(
+        reader, run.data(),
+        static_cast<pyblaz::index_t>(message.size() - all.size()), stop);
+    ASSERT_GE(got, 1);
+    for (pyblaz::index_t t = 0; t < got; ++t) {
+      all.push_back(static_cast<int>(run[static_cast<std::size_t>(t)]));
+      if (run[static_cast<std::size_t>(t)] == stop)
+        ASSERT_EQ(t, got - 1) << "stop symbol not last in its run";
+    }
+  }
+  EXPECT_EQ(all, message);
+}
+
 TEST(Huffman, DecodeOnEmptyStreamReturnsError) {
   HuffmanCoder coder(std::vector<std::uint64_t>{5, 5, 5, 5});
   std::vector<std::uint8_t> empty;

@@ -16,7 +16,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <thread>
 #include <tuple>
 #include <vector>
@@ -259,6 +262,101 @@ TEST(Scheduler, ConcurrentResizersDoNotDeadlock) {
     total += static_cast<int>(end - begin);
   });
   EXPECT_EQ(total.load(), 64);
+}
+
+// ---------------------------------------------------------------------------
+// Work-conserving waiters: a caller whose region's tail chunks run on other
+// threads drains other regions' chunks instead of sleeping.
+
+/// Deterministic tail-latency scenario: with exactly one shared worker
+/// (2 threads total) wedged inside a long chunk of region A, a second
+/// client's region B can only complete if A's waiting caller drains one of
+/// B's chunks itself — B's chunk 0 blocks until chunk 1 runs, B's own caller
+/// is inside chunk 0, and the worker is wedged.  Without work conservation
+/// the waiter sleeps in wait_complete() and B deadlocks.
+TEST(Scheduler, WaitingCallerDrainsOtherRegionsChunks) {
+  SchedulerGuard guard;
+  parallel::set_num_threads(2);  // One shared worker + the callers.
+  parallel::set_num_shards(1);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool worker_engaged = false;  // A's wedged chunk has started.
+  bool release_a = false;       // Lets A's wedged chunk finish.
+  bool b1_done = false;         // B's chunk 1 ran.
+  std::atomic<bool> timed_out{false};
+  const auto deadline = std::chrono::seconds(30);
+
+  std::atomic<std::thread::id> a_submitter{};
+  std::atomic<std::thread::id> b_runners[2] = {};
+  std::atomic<int> b1_frame_depth{0};
+
+  std::thread ta([&] {
+    a_submitter.store(std::this_thread::get_id());
+    parallel::parallel_for(0, 2, 1, [&](index_t chunk, index_t) {
+      (void)chunk;
+      if (std::this_thread::get_id() == a_submitter.load()) {
+        // The submitting caller's chunk: hold until the worker is wedged in
+        // the other chunk, so the caller reaches its work-conserving wait
+        // with A's tail demonstrably running on another thread.
+        std::unique_lock<std::mutex> lock(m);
+        if (!cv.wait_for(lock, deadline, [&] { return worker_engaged; }))
+          timed_out = true;
+      } else {
+        // The worker's chunk: wedge until the test releases it.
+        {
+          std::lock_guard<std::mutex> lock(m);
+          worker_engaged = true;
+        }
+        cv.notify_all();
+        std::unique_lock<std::mutex> lock(m);
+        if (!cv.wait_for(lock, deadline, [&] { return release_a; }))
+          timed_out = true;
+      }
+    });
+  });
+
+  {
+    std::unique_lock<std::mutex> lock(m);
+    if (!cv.wait_for(lock, deadline, [&] { return worker_engaged; }))
+      timed_out = true;
+  }
+
+  std::thread tb([&] {
+    parallel::parallel_for(0, 2, 1, [&](index_t chunk, index_t) {
+      b_runners[chunk].store(std::this_thread::get_id());
+      if (chunk == 0) {
+        std::unique_lock<std::mutex> lock(m);
+        if (!cv.wait_for(lock, deadline, [&] { return b1_done; }))
+          timed_out = true;
+      } else {
+        // The drain honors the workspace contract: foreign chunks run
+        // inside a fresh execution frame.
+        b1_frame_depth.store(internal::workspace_frame_depth());
+        {
+          std::lock_guard<std::mutex> lock(m);
+          b1_done = true;
+        }
+        cv.notify_all();
+      }
+    });
+  });
+
+  tb.join();  // Completes only because SOMEONE ran b1 while b0 held its caller.
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release_a = true;
+  }
+  cv.notify_all();
+  ta.join();
+
+  EXPECT_FALSE(timed_out.load());
+  // With the worker wedged in A and B's own caller blocked inside whichever
+  // B chunk it claimed, the other B chunk can only have run on A's
+  // work-conserving waiter.
+  EXPECT_TRUE(b_runners[0].load() == a_submitter.load() ||
+              b_runners[1].load() == a_submitter.load());
+  EXPECT_GE(b1_frame_depth.load(), 1);
 }
 
 // ---------------------------------------------------------------------------

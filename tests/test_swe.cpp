@@ -192,6 +192,89 @@ TEST(ShallowWaterRk2, StaysCloseToForwardBackwardOverShortHorizons) {
   EXPECT_LT(worst, 0.25 * scale);
 }
 
+// ---------------------------------------------------------------------------
+// RK4 stepping: four forward-backward stages combined as
+// S' = S0 + (dt/6)(k1 + 2 k2 + 2 k3 + k4), with all four stages' tendencies
+// exported for the compressed-form stepper's 9-term height / 5-term momentum
+// expressions.
+
+TEST(ShallowWaterRk4, UpdateMatchesExportedTendenciesExactly) {
+  ShallowWaterModel model(small_config());
+  model.run(3);  // Leave the initial condition so tendencies are nontrivial.
+  const NDArray<double> u0 = model.velocity_u();
+  const NDArray<double> v0 = model.velocity_v();
+  const NDArray<double> eta0 = model.surface_height();
+
+  sim::SweRk4Tendencies stages;
+  model.step_rk4(&stages);
+  const double sixth = model.config().dt / 6.0;
+  const double third = model.config().dt / 3.0;
+
+  // Bitwise: at kFloat64 the applied update IS the exported term-by-term
+  // combine (the same spelling the compressed tracks' expressions use).
+  for (index_t k = 0; k < u0.size(); ++k)
+    ASSERT_EQ(model.velocity_u()[k],
+              u0[k] + sixth * stages.stage1.du[k] + third * stages.stage2.du[k] +
+                  third * stages.stage3.du[k] + sixth * stages.stage4.du[k]);
+  for (index_t k = 0; k < v0.size(); ++k)
+    ASSERT_EQ(model.velocity_v()[k],
+              v0[k] + sixth * stages.stage1.dv[k] + third * stages.stage2.dv[k] +
+                  third * stages.stage3.dv[k] + sixth * stages.stage4.dv[k]);
+  for (index_t k = 0; k < eta0.size(); ++k)
+    ASSERT_EQ(model.surface_height()[k],
+              eta0[k] - sixth * stages.stage1.flux_x[k] -
+                  sixth * stages.stage1.flux_y[k] -
+                  third * stages.stage2.flux_x[k] -
+                  third * stages.stage2.flux_y[k] -
+                  third * stages.stage3.flux_x[k] -
+                  third * stages.stage3.flux_y[k] -
+                  sixth * stages.stage4.flux_x[k] -
+                  sixth * stages.stage4.flux_y[k]);
+}
+
+TEST(ShallowWaterRk4, CountsAsOneStepAndStaysStable) {
+  ShallowWaterModel model(small_config());
+  for (int k = 0; k < 25; ++k) model.step_rk4();
+  EXPECT_EQ(model.steps_taken(), 25);
+  EXPECT_TRUE(std::isfinite(pyblaz::max_abs(model.surface_height())));
+  EXPECT_LT(pyblaz::max_abs(model.surface_height()), 50.0);  // Meters.
+  EXPECT_LT(model.max_speed(), 10.0);                        // m/s.
+}
+
+TEST(ShallowWaterRk4, ApproximatelyConservesVolume) {
+  SweConfig config = small_config();
+  ShallowWaterModel model(config);
+  const double before = model.total_height_anomaly();
+  for (int k = 0; k < 15; ++k) model.step_rk4();
+  const double after = model.total_height_anomaly();
+  const double domain_area = config.lx * config.ly;
+  // Every stage's continuity update telescopes over the closed basin, so the
+  // Simpson-weighted combine conserves volume to rounding as well.
+  EXPECT_LT(std::fabs(after - before), 1e-3 * domain_area);
+}
+
+TEST(ShallowWaterRk4, StaysCloseToRk2OverShortHorizons) {
+  // Same operator, different integrator order: over a few steps the RK2 and
+  // RK4 trajectories must agree to leading order (they differ at O(dt^3) per
+  // step), which pins that stages 2-4 really are evaluated at the advanced
+  // states rather than all at the start state.
+  ShallowWaterModel rk2(small_config());
+  ShallowWaterModel rk4(small_config());
+  for (int k = 0; k < 10; ++k) {
+    rk2.step_rk2();
+    rk4.step_rk4();
+  }
+  double worst = 0.0;
+  for (index_t k = 0; k < rk2.surface_height().size(); ++k)
+    worst = std::max(worst, std::fabs(rk2.surface_height()[k] -
+                                      rk4.surface_height()[k]));
+  const double scale = pyblaz::max_abs(rk2.surface_height());
+  // worst == 0 would mean the later stages degenerated; O(scale) would mean
+  // a different ODE.
+  EXPECT_GT(worst, 0.0);
+  EXPECT_LT(worst, 0.25 * scale);
+}
+
 TEST(ShallowWater, StepCounterAdvances) {
   ShallowWaterModel model(small_config());
   EXPECT_EQ(model.steps_taken(), 0);

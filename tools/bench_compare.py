@@ -10,6 +10,12 @@ Kernel entries (`results[]`, from bench_micro_kernels) are matched on
 than --threshold slower than the baseline is a regression; the script prints a
 table and exits nonzero if any entry regressed, so it can gate CI.
 
+Backend entries (`backends[]`, from bench_micro_kernels' per-SIMD-backend
+series) are matched on (name, impl, shape) and summarized side by side as
+speedup-over-scalar ratios.  The backend summary is warn-only: which ISAs
+exist depends on the recording host, and single-core CI boxes are too noisy
+to hard-gate a SIMD speedup — a vanished win prints a flag, never a failure.
+
 Concurrency entries (`concurrency[]`, from bench_multi_client) are matched on
 (name, shape, mode, clients) and compared on ops_per_second, with the
 sharded-over-serialized overlap ratio per client count summarized side by
@@ -111,6 +117,34 @@ def print_expr_overhead_summary(baseline, candidate):
         print(f"{label:<50} {fmt(base.get(key)):>12} {fmt(ratio):>12}{flag}")
 
 
+def load_backends(path):
+    return {
+        (r["name"], r["impl"], r["shape"]): r
+        for r in load_json(path).get("backends", [])
+    }
+
+
+def print_backend_summary(baseline, candidate):
+    """Per-SIMD-backend speedup-over-scalar, side by side.  Warn-only (see
+    module docstring): flags a candidate SIMD backend that lost its scalar
+    speedup for the tentpole kernels, but never fails the run."""
+    keys = sorted(set(baseline) | set(candidate))
+    if not keys:
+        return
+    print(f"\n{'backend speedup over scalar':<50} {'baseline':>12} {'candidate':>12}")
+    for key in keys:
+        name, impl, shape = key
+        if impl == "scalar":
+            continue
+        label = f"{name} {impl} {shape}"
+        fmt = lambda r: f"{r['speedup_over_scalar']:.2f}x" if r else "-"
+        flag = ""
+        record = candidate.get(key)
+        if record is not None and record["speedup_over_scalar"] < 1.0:
+            flag = "  <-- SIMD slower than scalar (warn-only)"
+        print(f"{label:<50} {fmt(baseline.get(key)):>12} {fmt(record):>12}{flag}")
+
+
 def overlap_ratios(concurrency):
     """sharded-over-serialized aggregate throughput per (name, shape,
     clients) — the scheduler-overlap acceptance ratio."""
@@ -205,6 +239,8 @@ def main():
 
     print_fusion_summary(baseline, candidate)
     print_expr_overhead_summary(baseline, candidate)
+    print_backend_summary(load_backends(args.baseline),
+                          load_backends(args.candidate))
     # Engage only when the candidate actually carries concurrency cells: the
     # routine CI candidate comes from bench_micro_kernels, which has none,
     # and a silent baseline-only table would just read as missing data.

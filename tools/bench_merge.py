@@ -6,7 +6,8 @@ Usage:
 
 The committed BENCH_kernels.json baseline is produced by two binaries:
 bench_micro_kernels writes the kernel sections (results/speedups/
-fusion_speedups/expr_overheads) and bench_multi_client writes concurrency[].
+fusion_speedups/expr_overheads plus the per-SIMD-backend backends[] series)
+and bench_multi_client writes concurrency[].
 This script folds every non-empty top-level list section of EXTRA into BASE —
 entries whose identity (name/kind/impl/shape/mode/clients) matches an
 existing one replace it, new identities append — and writes the merged file
