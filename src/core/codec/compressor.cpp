@@ -11,6 +11,8 @@
 #include "core/kernels/rebin.hpp"
 #include "core/ndarray/ndarray_ops.hpp"
 #include "core/parallel/thread_pool.hpp"
+#include "core/telemetry/telemetry.hpp"
+#include "core/telemetry/trace.hpp"
 
 namespace pyblaz {
 
@@ -21,6 +23,17 @@ namespace {
 /// workspace (one BlockCursor + two block buffers).  A fixed constant so the
 /// chunking — and with it every result — is independent of the thread count.
 constexpr index_t kCodecGrain = 4;
+
+/// Compressed payload bytes of an array with @p num_blocks blocks: the N row
+/// plus the kept bin indices (the quantity serialization stores per chunk).
+std::uint64_t payload_bytes(const CompressedArray& array) {
+  const std::uint64_t payload_bits =
+      static_cast<std::uint64_t>(array.num_blocks()) *
+      (static_cast<std::uint64_t>(bits(array.float_type)) +
+       static_cast<std::uint64_t>(bits(array.index_type)) *
+           static_cast<std::uint64_t>(array.kept_per_block()));
+  return (payload_bits + 7) / 8;
+}
 
 }  // namespace
 
@@ -158,6 +171,21 @@ CompressedArray Compressor::compress(const NDArray<double>& array,
         std::to_string(array.shape().ndim()) + " does not match block shape " +
         settings_.block_shape.to_string());
 
+  // Telemetry observes only: counters/histogram/spans never influence
+  // chunking or arithmetic, so compressed bytes are unchanged by them.
+  static telemetry::Counter& calls = telemetry::counter("codec.compress.calls");
+  static telemetry::Counter& input_bytes =
+      telemetry::counter("codec.compress.input_bytes");
+  static telemetry::Counter& output_bytes =
+      telemetry::counter("codec.compress.output_bytes");
+  static telemetry::Histogram& wall =
+      telemetry::histogram("codec.compress.wall_ns");
+  calls.increment();
+  input_bytes.add(static_cast<std::uint64_t>(array.shape().volume()) *
+                  sizeof(double));
+  telemetry::ScopedLatency latency(wall);
+  telemetry::TraceSpan span("codec.compress");
+
   const Shape grid = Shape::ceil_div(array.shape(), settings_.block_shape);
   const index_t num_blocks = grid.volume();
   const index_t block_volume = settings_.block_shape.volume();
@@ -199,15 +227,22 @@ CompressedArray Compressor::compress(const NDArray<double>& array,
         // Steps 1+2 (§III-A a, b): gather the block, rounding values through
         // the storage float type in the same pass (elementwise, so
         // quantize-then-block and block-then-quantize agree).
-        cursor.gather(array.data(), kb, coeffs.data(), ftype);
+        {
+          telemetry::TraceSpan stage("codec.stage.gather_quantize");
+          cursor.gather(array.data(), kb, coeffs.data(), ftype);
+        }
 
         // Step 3 (§III-A c): orthonormal transform, in place.
-        transform_->forward(coeffs.data(), scratch.data());
+        {
+          telemetry::TraceSpan stage("codec.stage.transform");
+          transform_->forward(coeffs.data(), scratch.data());
+        }
 
         // Steps 4+5 (§III-A d, e): binning + pruning through the shared
         // kernels.  N_k = ‖C_k‖∞ over all coefficients, stored rounded
         // through the float type; indices are round(r C / N) clamped to
         // [-r, r], stored for kept offsets only.
+        telemetry::TraceSpan stage("codec.stage.rebin");
         const double biggest =
             quantize(table.max_abs(coeffs.data(), block_volume), ftype);
         out.biggest[static_cast<std::size_t>(kb)] = biggest;
@@ -252,6 +287,7 @@ CompressedArray Compressor::compress(const NDArray<double>& array,
       }
     });
   });
+  output_bytes.add(payload_bytes(out));
   return out;
 }
 
@@ -260,6 +296,21 @@ NDArray<double> Compressor::decompress(const CompressedArray& array) const {
       array.transform != settings_.transform)
     throw std::invalid_argument(
         "Compressor::decompress: array was compressed with different settings");
+
+  static telemetry::Counter& calls =
+      telemetry::counter("codec.decompress.calls");
+  static telemetry::Counter& input_bytes =
+      telemetry::counter("codec.decompress.input_bytes");
+  static telemetry::Counter& output_bytes =
+      telemetry::counter("codec.decompress.output_bytes");
+  static telemetry::Histogram& wall =
+      telemetry::histogram("codec.decompress.wall_ns");
+  calls.increment();
+  input_bytes.add(payload_bytes(array));
+  output_bytes.add(static_cast<std::uint64_t>(array.shape.volume()) *
+                   sizeof(double));
+  telemetry::ScopedLatency latency(wall);
+  telemetry::TraceSpan span("codec.decompress");
 
   const Shape grid = array.block_grid();
   const index_t num_blocks = grid.volume();
@@ -285,17 +336,24 @@ NDArray<double> Compressor::decompress(const CompressedArray& array) const {
         const double scale = array.biggest[static_cast<std::size_t>(kb)] / r;
         const auto* bins = bins_data + kb * kept;
         using BinT = std::remove_cvref_t<decltype(bins[0])>;
-        if (kept == block_volume) {
-          kernels::bins<BinT>(table).unbin_block(bins, kept, scale,
-                                                 coeffs.data());
-        } else {
-          std::fill(coeffs.begin(), coeffs.end(), 0.0);
-          kernels::unbin_scatter(bins, kept_offsets.data(), kept, scale,
-                                 coeffs.data());
+        {
+          telemetry::TraceSpan stage("codec.stage.unbin");
+          if (kept == block_volume) {
+            kernels::bins<BinT>(table).unbin_block(bins, kept, scale,
+                                                   coeffs.data());
+          } else {
+            std::fill(coeffs.begin(), coeffs.end(), 0.0);
+            kernels::unbin_scatter(bins, kept_offsets.data(), kept, scale,
+                                   coeffs.data());
+          }
         }
-        transform_->inverse(coeffs.data(), scratch.data());
+        {
+          telemetry::TraceSpan stage("codec.stage.itransform");
+          transform_->inverse(coeffs.data(), scratch.data());
+        }
         // The reconstruction lives in the storage float type; the rounding is
         // fused into the scatter so cropped padding is never converted.
+        telemetry::TraceSpan stage("codec.stage.scatter");
         cursor.scatter(out.data(), kb, coeffs.data(), ftype);
       }
     });

@@ -7,6 +7,8 @@
 #include "core/dtypes/bfloat16.hpp"
 #include "core/dtypes/float16.hpp"
 #include "core/parallel/thread_pool.hpp"
+#include "core/telemetry/telemetry.hpp"
+#include "core/telemetry/trace.hpp"
 #include "core/util/bitstream.hpp"
 
 namespace pyblaz {
@@ -242,6 +244,13 @@ std::vector<std::uint8_t> serialize_v1(const CompressedArray& array) {
 }
 
 std::vector<std::uint8_t> serialize(const CompressedArray& array) {
+  static telemetry::Counter& calls =
+      telemetry::counter("serialize.v2.encode_calls");
+  static telemetry::Counter& encoded_bytes =
+      telemetry::counter("serialize.v2.encode_bytes");
+  calls.increment();
+  telemetry::TraceSpan span("serialize.v2.encode");
+
   const ChunkLayout layout = ChunkLayout::plan(array);
 
   // Header: magic, shared metadata, chunk table.  The per-chunk byte offsets
@@ -281,6 +290,7 @@ std::vector<std::uint8_t> serialize(const CompressedArray& array) {
       }
     });
   });
+  encoded_bytes.add(out.size());
   return out;
 }
 
@@ -320,6 +330,14 @@ CompressedArray deserialize_v1(const std::vector<std::uint8_t>& bytes) {
 }
 
 CompressedArray deserialize_v2(const std::vector<std::uint8_t>& bytes) {
+  static telemetry::Counter& calls =
+      telemetry::counter("serialize.v2.decode_calls");
+  static telemetry::Counter& decoded_bytes =
+      telemetry::counter("serialize.v2.decode_bytes");
+  calls.increment();
+  decoded_bytes.add(bytes.size());
+  telemetry::TraceSpan span("serialize.v2.decode");
+
   BitReader reader(bytes);
   reader.seek(32);  // Past the magic.
   CompressedArray array;

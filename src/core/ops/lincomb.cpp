@@ -1,4 +1,4 @@
-#include <atomic>
+#include <algorithm>
 #include <stdexcept>
 #include <type_traits>
 #include <vector>
@@ -10,16 +10,45 @@
 #include "core/ops/ops.hpp"
 #include "core/ops/ops_internal.hpp"
 #include "core/parallel/thread_pool.hpp"
+#include "core/telemetry/telemetry.hpp"
+#include "core/telemetry/trace.hpp"
 
 namespace pyblaz::ops {
 
 namespace {
+
 /// One increment per lincomb call = one terminal rebin pass over the result.
-std::atomic<long> g_lincomb_rebin_passes{0};
+/// Lives in the telemetry registry (visible in CC_STATS snapshots as
+/// ops.lincomb.rebin_passes); ops::lincomb_rebin_passes() reads it.
+telemetry::Counter& rebin_passes_counter() {
+  static telemetry::Counter& counter =
+      telemetry::counter("ops.lincomb.rebin_passes");
+  return counter;
+}
+
+/// Calls bucketed by operand count: arities 1..7 get their own counter, the
+/// tail shares one.  Resolved through a small static table so the hot path
+/// never builds a name string.
+telemetry::Counter& arity_counter(std::size_t num_operands) {
+  static telemetry::Counter* const counters[] = {
+      &telemetry::counter("ops.lincomb.arity1"),
+      &telemetry::counter("ops.lincomb.arity2"),
+      &telemetry::counter("ops.lincomb.arity3"),
+      &telemetry::counter("ops.lincomb.arity4"),
+      &telemetry::counter("ops.lincomb.arity5"),
+      &telemetry::counter("ops.lincomb.arity6"),
+      &telemetry::counter("ops.lincomb.arity7"),
+      &telemetry::counter("ops.lincomb.arity8plus"),
+  };
+  return *counters[std::min<std::size_t>(num_operands, 8) - 1];
+}
+
 }  // namespace
 
 long lincomb_rebin_passes() {
-  return g_lincomb_rebin_passes.load(std::memory_order_relaxed);
+  // Bit-compatible with the pre-telemetry atomic<long> accessor: monotonic,
+  // relaxed, one tick per lincomb call.
+  return static_cast<long>(rebin_passes_counter().value());
 }
 
 /// The fused expression kernel behind the whole compressed-arithmetic family:
@@ -39,6 +68,15 @@ CompressedArray lincomb(std::span<const CompressedArray* const> operands,
   for (std::size_t i = 1; i < operands.size(); ++i)
     first.require_layout_match(*operands[i]);
   if (bias != 0.0) internal::require_dc(first, "lincomb bias");
+
+  static telemetry::Counter& calls = telemetry::counter("ops.lincomb.calls");
+  static telemetry::Histogram& wall =
+      telemetry::histogram("ops.lincomb.wall_ns");
+  calls.increment();
+  arity_counter(operands.size()).increment();
+  telemetry::ScopedLatency latency(wall);
+  telemetry::TraceSpan span("ops.lincomb",
+                            static_cast<std::uint64_t>(operands.size()));
 
   const index_t num_blocks = first.num_blocks();
   const index_t kept = first.kept_per_block();
@@ -92,7 +130,7 @@ CompressedArray lincomb(std::span<const CompressedArray* const> operands,
           }
         });
   });
-  g_lincomb_rebin_passes.fetch_add(1, std::memory_order_relaxed);
+  rebin_passes_counter().increment();
   return out;
 }
 

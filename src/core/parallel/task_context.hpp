@@ -40,9 +40,17 @@ namespace pyblaz::parallel {
 ///     pointer to the context and destruction is safe.
 class TaskContext {
  public:
+  /// @p submit_time is when the caller asked for the region (captured before
+  /// any serialize-gate wait), so submit -> first-claim telemetry measures
+  /// true scheduling latency including queueing.
   TaskContext(index_t num_chunks, const std::function<void(index_t)>& fn,
-              int shard)
-      : fn_(&fn), num_chunks_(num_chunks), shard_(shard) {}
+              int shard,
+              std::chrono::steady_clock::time_point submit_time =
+                  std::chrono::steady_clock::now())
+      : fn_(&fn),
+        num_chunks_(num_chunks),
+        shard_(shard),
+        submit_time_(submit_time) {}
 
   TaskContext(const TaskContext&) = delete;
   TaskContext& operator=(const TaskContext&) = delete;
@@ -52,6 +60,11 @@ class TaskContext {
   /// Index of the shard queue this region is listed in (fixed at submission;
   /// the shard count cannot change while any region is live).
   int shard() const { return shard_; }
+
+  /// When the caller submitted the region (see constructor).
+  std::chrono::steady_clock::time_point submit_time() const {
+    return submit_time_;
+  }
 
   /// Hand out the next chunk index.  May overshoot num_chunks() by up to the
   /// number of drainers — an overshooting claim just tells that drainer to
@@ -131,6 +144,7 @@ class TaskContext {
   const std::function<void(index_t)>* fn_;
   const index_t num_chunks_;
   const int shard_;
+  const std::chrono::steady_clock::time_point submit_time_;
 
   std::atomic<index_t> next_chunk_{0};
   std::atomic<index_t> chunks_done_{0};

@@ -1,13 +1,53 @@
 #include "core/parallel/thread_pool.hpp"
 
+#include <array>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
 #include "core/codec/workspace.hpp"
+#include "core/telemetry/telemetry.hpp"
+#include "core/telemetry/trace.hpp"
 
 namespace pyblaz::parallel {
 
 namespace {
+
+// --------------------------------------------------------------- telemetry
+// All observational: counters and histograms never influence chunking, claim
+// order, or shard routing, so the determinism contract is untouched.
+
+/// Chunks executed per shard queue — the load-balance picture across shards.
+telemetry::Counter& shard_claims(int shard) {
+  static const std::array<telemetry::Counter*, ThreadPool::kMaxShards>
+      counters = [] {
+        std::array<telemetry::Counter*, ThreadPool::kMaxShards> out{};
+        for (int s = 0; s < ThreadPool::kMaxShards; ++s)
+          out[static_cast<std::size_t>(s)] = &telemetry::counter(
+              "sched.shard" + std::to_string(s) + ".claims");
+        return out;
+      }();
+  return *counters[static_cast<std::size_t>(shard)];
+}
+
+/// Submit -> first chunk claim: how long a region queued before anything ran
+/// (includes the serialize-gate wait in CC_SERIALIZE_REGIONS mode).
+void record_first_claim(const TaskContext* context) {
+  static telemetry::Histogram& queue_wait =
+      telemetry::histogram("sched.region.queue_wait_ns");
+  queue_wait.record_seconds(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                context->submit_time())
+                                .count());
+}
+
+/// Claim accounting shared by every drain loop: the per-shard chunk count
+/// plus the region's one-time queue-wait sample (first claim is chunk 0 by
+/// construction — the claim counter starts there).
+void record_chunk_claim(const TaskContext* context, index_t chunk) {
+  if (chunk == 0) record_first_claim(context);
+  shard_claims(context->shard()).increment();
+}
 
 /// True on any thread currently executing scheduler chunks (workers and the
 /// participating callers).  Nested parallel calls from such a thread run
@@ -173,9 +213,12 @@ void ThreadPool::execute_region_chunks(TaskContext* context) {
   // clobber coefficient rows held by an enclosing chunk body on this thread
   // (nested inline regions) — see core/codec/workspace.hpp.
   internal::WorkspaceScope workspace_frame;
+  telemetry::TraceSpan span("sched.region",
+                            static_cast<std::uint64_t>(context->shard()));
   for (;;) {
     const index_t chunk = context->claim();
     if (chunk >= context->num_chunks()) break;
+    record_chunk_claim(context, chunk);
     try {
       context->run(chunk);
     } catch (...) {
@@ -194,6 +237,15 @@ void ThreadPool::drain_foreign_chunks(TaskContext* context, TaskContext* own) {
   // per drain keeps the foreign region's chunk bodies from clobbering
   // coefficient rows held by any enclosing chunk body on this thread.
   internal::WorkspaceScope workspace_frame;
+  // Work-conservation accounting: every episode here is a waiting caller
+  // usefully draining somebody else's region instead of spinning.
+  static telemetry::Counter& drains =
+      telemetry::counter("sched.cross_region.drains");
+  static telemetry::Counter& drained_chunks =
+      telemetry::counter("sched.cross_region.drained_chunks");
+  drains.increment();
+  telemetry::TraceSpan span("sched.assist",
+                            static_cast<std::uint64_t>(context->shard()));
   for (;;) {
     const index_t chunk = context->claim();
     if (chunk >= context->num_chunks()) {
@@ -201,6 +253,8 @@ void ThreadPool::drain_foreign_chunks(TaskContext* context, TaskContext* own) {
       delist(context);
       break;
     }
+    record_chunk_claim(context, chunk);
+    drained_chunks.increment();
     try {
       context->run(chunk);
     } catch (...) {
@@ -238,7 +292,14 @@ void ThreadPool::delist(TaskContext* context) {
 }
 
 void ThreadPool::run_region(index_t num_chunks,
-                            const std::function<void(index_t)>& fn) {
+                            const std::function<void(index_t)>& fn,
+                            std::chrono::steady_clock::time_point submit_time) {
+  static telemetry::Counter& submitted =
+      telemetry::counter("sched.regions_submitted");
+  static telemetry::Histogram& region_wall =
+      telemetry::histogram("sched.region.wall_ns");
+  submitted.increment();
+
   {
     std::unique_lock<std::mutex> lock(mutex_);
     submit_cv_.wait(lock, [&] { return reconfigure_waiters_ == 0; });
@@ -251,7 +312,7 @@ void ThreadPool::run_region(index_t num_chunks,
   const int shard =
       static_cast<int>(next_shard_.fetch_add(1, std::memory_order_relaxed) %
                        static_cast<std::uint64_t>(num_shards()));
-  TaskContext context(num_chunks, fn, shard);
+  TaskContext context(num_chunks, fn, shard, submit_time);
   {
     std::lock_guard<std::mutex> lock(shards_[shard].mutex);
     shards_[shard].regions.push_back(&context);
@@ -271,6 +332,12 @@ void ThreadPool::run_region(index_t num_chunks,
     std::lock_guard<std::mutex> lock(mutex_);
     if (--live_regions_ == 0) quiescent_cv_.notify_all();
   }
+  // Submit -> fully drained, the per-region latency a service tier would
+  // report.  In serialize mode this includes the gate wait by design.
+  region_wall.record_seconds(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    submit_time)
+          .count());
   if (std::exception_ptr error = context.exception())
     std::rethrow_exception(error);
 }
@@ -284,14 +351,17 @@ void ThreadPool::run_chunks(index_t num_chunks,
     for (index_t chunk = 0; chunk < num_chunks; ++chunk) fn(chunk);
     return;
   }
+  // Captured before the serialize gate so queue-wait telemetry sees the
+  // queueing the baseline mode exists to measure.
+  const auto submit_time = std::chrono::steady_clock::now();
   if (serialize_regions()) {
     // Benchmark baseline: one region at a time, exactly the pre-sharding
     // scheduler's queueing.
     std::lock_guard<std::mutex> gate(serialize_mutex_);
-    run_region(num_chunks, fn);
+    run_region(num_chunks, fn, submit_time);
     return;
   }
-  run_region(num_chunks, fn);
+  run_region(num_chunks, fn, submit_time);
 }
 
 }  // namespace pyblaz::parallel

@@ -119,7 +119,8 @@ class ThreadPool {
   ThreadPool();
   ~ThreadPool();
 
-  void run_region(index_t num_chunks, const std::function<void(index_t)>& fn);
+  void run_region(index_t num_chunks, const std::function<void(index_t)>& fn,
+                  std::chrono::steady_clock::time_point submit_time);
   void ensure_workers_locked();
   void worker_loop(int worker_index);
   TaskContext* find_work(int start_shard);

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pyblaz::telemetry {
+
+namespace internal {
+/// Tracing master switch, cached here so TraceSpan's constructor inlines to
+/// one relaxed load and a branch when tracing is off.  Set at static init
+/// from CC_TRACE, or at runtime by set_trace_sink().
+extern std::atomic<bool> g_trace_enabled;
+struct TraceBuffer;
+TraceBuffer* begin_span(const char* name, std::uint64_t arg, bool has_arg);
+void end_span(TraceBuffer* buffer, const char* name);
+}  // namespace internal
+
+/// RAII scoped trace span.  When tracing is enabled (CC_TRACE=<path> at
+/// startup or set_trace_sink() at runtime), construction records a "B" event
+/// and destruction the matching "E" event on the calling thread, timestamped
+/// with the steady clock; flush_trace() (or process exit) writes every
+/// thread's events as Chrome trace-event JSON that chrome://tracing and
+/// Perfetto open directly.  When tracing is disabled the span is one relaxed
+/// load, one branch, and zero allocations — cheap enough for per-block
+/// codec-stage scopes.
+///
+/// @p name must be a string literal (or otherwise outlive the final flush):
+/// only the pointer is recorded, which is what keeps the hot path
+/// allocation-free.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : name_(name) {
+    if (internal::g_trace_enabled.load(std::memory_order_relaxed))
+      buffer_ = internal::begin_span(name, 0, false);
+  }
+  /// With a small integer argument (shard index, arity, ...) attached to the
+  /// begin event as args.v.
+  TraceSpan(const char* name, std::uint64_t arg) : name_(name) {
+    if (internal::g_trace_enabled.load(std::memory_order_relaxed))
+      buffer_ = internal::begin_span(name, arg, true);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (buffer_) internal::end_span(buffer_, name_);
+  }
+
+ private:
+  const char* name_;
+  internal::TraceBuffer* buffer_ = nullptr;
+};
+
+/// True while spans are being recorded.
+inline bool trace_enabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Point the trace recorder at @p path ("stderr" writes the JSON to stderr)
+/// and enable span recording.  An empty path disables recording and discards
+/// any buffered, unflushed events.  The sink is written by flush_trace() and
+/// automatically at process exit.
+void set_trace_sink(const std::string& path);
+
+/// Write all buffered events to the configured sink as one self-contained
+/// trace-event JSON document and clear the buffers.  Returns the number of
+/// events written (0 when tracing never recorded anything or no sink is
+/// configured).  Safe to call while other threads record: their in-flight
+/// spans land in the next flush.
+std::size_t flush_trace();
+
+/// Events dropped because a thread hit its buffer cap (also reported in the
+/// flushed JSON's otherData).
+std::uint64_t trace_dropped_events();
+
+}  // namespace pyblaz::telemetry

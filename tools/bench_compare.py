@@ -174,6 +174,24 @@ def print_concurrency_summary(baseline, candidate):
         label = f"{name} {shape} {mode} x{clients}"
         fmt = lambda r: f"{r['ops_per_second']:.1f}" if r else "-"
         print(f"{label:<50} {fmt(baseline.get(key)):>12} {fmt(candidate.get(key)):>12}")
+
+    def latency_cell(record, field):
+        # Baselines recorded before the p99 column existed simply lack the
+        # key; render "-" rather than KeyError so old JSON stays comparable.
+        if not record or field not in record:
+            return "-"
+        return f"{record[field] * 1e3:.2f}ms"
+
+    print(f"\n{'multi-client latency p50/p95/p99':<50} {'baseline':>26} {'candidate':>26}")
+    for key in keys:
+        name, shape, mode, clients = key
+        label = f"{name} {shape} {mode} x{clients}"
+        cols = []
+        for record in (baseline.get(key), candidate.get(key)):
+            cols.append("/".join(
+                latency_cell(record, f)
+                for f in ("p50_seconds", "p95_seconds", "p99_seconds")))
+        print(f"{label:<50} {cols[0]:>26} {cols[1]:>26}")
     base_overlap = overlap_ratios(baseline)
     cand_overlap = overlap_ratios(candidate)
     overlap_keys = sorted(set(base_overlap) | set(cand_overlap), key=str)

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace JSON file emitted by the CC_TRACE telemetry sink.
+
+Usage:
+    tools/trace_check.py TRACE.json [--require-span NAME]... [--stats STATS.json]
+
+Checks, in order:
+
+  1. The file parses as JSON and has the expected top-level shape
+     (`traceEvents` list; every event carries name/ph/pid/tid/ts).
+  2. Begin/end balance per thread: each tid's B/E events form a properly
+     nested stack, with every E matching the name of the innermost open B.
+     A truncated or interleaved writer shows up here immediately.
+  3. Timestamps are non-decreasing per tid (spans are recorded by one thread
+     into one buffer, so out-of-order timestamps mean a broken clock or a
+     corrupted flush).
+  4. Every --require-span NAME appears at least once (exact match on the
+     event name).  CI uses this to prove the smoke run actually exercised
+     the codec, ops, and scheduler instrumentation.
+  5. With --stats, the CC_STATS snapshot JSON is also validated: expected
+     schema, scheduler queue-wait histogram with p50/p95/p99, and nonzero
+     codec byte counters.
+
+Exits 0 when everything holds, 1 with a diagnostic per failure otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"trace_check: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def check_trace(path, require_spans):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(f"{path}: unreadable or invalid JSON: {error}")
+
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(f"{path}: no traceEvents list")
+    if not events:
+        return fail(f"{path}: traceEvents is empty — tracing never fired")
+
+    failures = 0
+    stacks = {}  # tid -> [open span names]
+    last_ts = {}  # tid -> last timestamp seen
+    seen_names = set()
+    for i, event in enumerate(events):
+        for field in ("name", "ph", "pid", "tid", "ts"):
+            if field not in event:
+                failures += fail(f"{path}: event #{i} missing {field!r}")
+                break
+        else:
+            name, phase, tid, ts = (
+                event["name"], event["ph"], event["tid"], event["ts"])
+            if phase not in ("B", "E"):
+                failures += fail(f"{path}: event #{i} has phase {phase!r}, "
+                                 "expected B or E")
+                continue
+            seen_names.add(name)
+            if tid in last_ts and ts < last_ts[tid]:
+                failures += fail(
+                    f"{path}: event #{i} ({name}) on tid {tid} goes back in "
+                    f"time: {ts} after {last_ts[tid]}")
+            last_ts[tid] = ts
+            stack = stacks.setdefault(tid, [])
+            if phase == "B":
+                stack.append(name)
+            elif not stack:
+                failures += fail(
+                    f"{path}: event #{i}: E({name}) on tid {tid} with no "
+                    "open span")
+            elif stack[-1] != name:
+                failures += fail(
+                    f"{path}: event #{i}: E({name}) on tid {tid} but "
+                    f"innermost open span is {stack[-1]!r}")
+            else:
+                stack.pop()
+
+    for tid, stack in sorted(stacks.items()):
+        if stack:
+            failures += fail(
+                f"{path}: tid {tid} ends with {len(stack)} unclosed span(s): "
+                f"{stack}")
+
+    for name in require_spans:
+        if name not in seen_names:
+            failures += fail(f"{path}: required span {name!r} never appears")
+
+    if not failures:
+        print(f"trace_check: {path}: {len(events)} events across "
+              f"{len(stacks)} thread(s), balanced and monotonic"
+              + (f"; required spans present: {', '.join(require_spans)}"
+                 if require_spans else ""))
+    return failures
+
+
+# CC_STATS invariants the smoke run must satisfy: the queue-wait histogram
+# proves the scheduler path ran, the byte counters prove the codec path ran.
+STATS_REQUIRED_HISTOGRAM = "sched.region.queue_wait_ns"
+STATS_REQUIRED_QUANTILES = ("p50", "p95", "p99")
+STATS_REQUIRED_COUNTERS = ("codec.compress.output_bytes",
+                           "codec.decompress.output_bytes")
+
+
+def check_stats(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(f"{path}: unreadable or invalid JSON: {error}")
+
+    failures = 0
+    if data.get("schema") != "pyblaz-telemetry-v1":
+        failures += fail(f"{path}: unexpected schema {data.get('schema')!r}")
+
+    histograms = data.get("histograms", {})
+    queue_wait = histograms.get(STATS_REQUIRED_HISTOGRAM)
+    if not isinstance(queue_wait, dict):
+        failures += fail(f"{path}: histogram {STATS_REQUIRED_HISTOGRAM!r} "
+                         "missing")
+    else:
+        if queue_wait.get("count", 0) <= 0:
+            failures += fail(f"{path}: {STATS_REQUIRED_HISTOGRAM} has no "
+                             "samples — no region was ever scheduled")
+        for quantile in STATS_REQUIRED_QUANTILES:
+            if quantile not in queue_wait:
+                failures += fail(f"{path}: {STATS_REQUIRED_HISTOGRAM} "
+                                 f"missing {quantile}")
+
+    counters = data.get("counters", {})
+    for name in STATS_REQUIRED_COUNTERS:
+        if counters.get(name, 0) <= 0:
+            failures += fail(f"{path}: counter {name!r} missing or zero")
+
+    if not failures:
+        print(f"trace_check: {path}: stats snapshot has "
+              f"{STATS_REQUIRED_HISTOGRAM} quantiles and nonzero codec byte "
+              "counters")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome-trace JSON from CC_TRACE")
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="span name that must appear at least once (repeatable)",
+    )
+    parser.add_argument(
+        "--stats",
+        metavar="STATS.json",
+        help="also validate a CC_STATS snapshot JSON",
+    )
+    args = parser.parse_args()
+
+    failures = check_trace(args.trace, args.require_span)
+    if args.stats:
+        failures += check_stats(args.stats)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
