@@ -203,6 +203,46 @@ class Harness {
     return out;
   }
 
+  /// Checksummed-container series: serialize/deserialize timed for the v2
+  /// (unchecksummed) and v3 (CRC32 header + per-chunk) containers, with the
+  /// stream size recorded so both the time and the byte overhead of the
+  /// integrity layer stay measured.  Separate from results_ so baseline
+  /// files recorded before the section existed still diff cleanly.
+  void run_checksum(const std::string& name, const std::string& impl,
+                    const Shape& shape, double elements, double stream_bytes,
+                    const std::function<void()>& op) {
+    Result result{name, "", impl, shape_string(shape), time_op(op), elements};
+    std::printf("%-22s %-5s %-6s %-12s %12.1f ns/call %10.1f Melem/s\n",
+                name.c_str(), "", impl.c_str(), result.shape.c_str(),
+                result.seconds_per_call * 1e9,
+                elements / result.seconds_per_call / 1e6);
+    std::fflush(stdout);
+    checksum_results_.push_back(std::move(result));
+    checksum_bytes_.push_back(stream_bytes);
+  }
+
+  /// v3-over-v2 time ratios for every (name, shape) with both entries.
+  struct ChecksumOverhead {
+    std::string name, shape;
+    double v3_over_v2_time;
+    double v3_over_v2_bytes;
+  };
+  std::vector<ChecksumOverhead> checksum_overheads() const {
+    std::vector<ChecksumOverhead> out;
+    for (std::size_t i = 0; i < checksum_results_.size(); ++i) {
+      const Result& v3 = checksum_results_[i];
+      if (v3.impl != "v3") continue;
+      for (std::size_t j = 0; j < checksum_results_.size(); ++j) {
+        const Result& v2 = checksum_results_[j];
+        if (v2.impl == "v2" && v2.name == v3.name && v2.shape == v3.shape)
+          out.push_back({v3.name, v3.shape,
+                         v3.seconds_per_call / v2.seconds_per_call,
+                         checksum_bytes_[i] / checksum_bytes_[j]});
+      }
+    }
+    return out;
+  }
+
   bool write_json(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (!f) return false;
@@ -267,6 +307,29 @@ class Harness {
                    r.elements_per_call / r.seconds_per_call, speedup,
                    i + 1 < backend_results_.size() ? "," : "");
     }
+    std::fprintf(f, "  ],\n  \"checksums\": [\n");
+    for (std::size_t i = 0; i < checksum_results_.size(); ++i) {
+      const Result& r = checksum_results_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"impl\": \"%s\", \"shape\": "
+                   "\"%s\", \"seconds_per_call\": %.6e, \"elements_per_call\": "
+                   "%.0f, \"stream_bytes\": %.0f}%s\n",
+                   r.name.c_str(), r.impl.c_str(), r.shape.c_str(),
+                   r.seconds_per_call, r.elements_per_call, checksum_bytes_[i],
+                   i + 1 < checksum_results_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"checksum_overheads\": [\n");
+    const auto checksum_ratios = checksum_overheads();
+    for (std::size_t i = 0; i < checksum_ratios.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"shape\": \"%s\", "
+                   "\"v3_over_v2_time\": %.3f, \"v3_over_v2_bytes\": %.4f}%s\n",
+                   checksum_ratios[i].name.c_str(),
+                   checksum_ratios[i].shape.c_str(),
+                   checksum_ratios[i].v3_over_v2_time,
+                   checksum_ratios[i].v3_over_v2_bytes,
+                   i + 1 < checksum_ratios.size() ? "," : "");
+    }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     return true;
@@ -275,6 +338,8 @@ class Harness {
  private:
   std::vector<Result> results_;
   std::vector<Result> backend_results_;  // impl = backend name.
+  std::vector<Result> checksum_results_;  // impl = container version.
+  std::vector<double> checksum_bytes_;    // Parallel to checksum_results_.
 };
 
 void bench_transforms(Harness& harness) {
@@ -558,6 +623,44 @@ void bench_backends(Harness& harness) {
   kernels::set_backend(saved);
 }
 
+/// Integrity-layer cost: serialize/deserialize through the unchecksummed v2
+/// container and the checksummed v3 default, on a 2-D and a 3-D workload.
+/// The CRC32 work is one table-driven pass over the chunk payloads inside
+/// the already-parallel chunk loops, so the expected time overhead is a few
+/// percent and the byte overhead is 4 B + 4 B per ~64 KiB chunk;
+/// tools/bench_compare.py reports the measured ratios (warn-only).
+void bench_checksums(Harness& harness) {
+  struct ChecksumCase {
+    Shape array_shape;
+    Shape block_shape;
+  };
+  const ChecksumCase kCases[] = {
+      {Shape{256, 256}, Shape{8, 8}},
+      {Shape{64, 64, 64}, Shape{8, 8, 8}},
+  };
+  for (const auto& c : kCases) {
+    Rng rng(9);
+    NDArray<double> array = random_smooth(c.array_shape, rng, 6);
+    const double volume = static_cast<double>(c.array_shape.volume());
+    Compressor compressor(codec_settings(c.block_shape, TransformImpl::kAuto));
+    const CompressedArray compressed = compressor.compress(array);
+
+    std::vector<std::uint8_t> v2 = serialize_v2(compressed);
+    std::vector<std::uint8_t> v3 = serialize(compressed);
+    const double v2_bytes = static_cast<double>(v2.size());
+    const double v3_bytes = static_cast<double>(v3.size());
+    harness.run_checksum("serialize_container", "v2", c.array_shape, volume,
+                         v2_bytes, [&] { v2 = serialize_v2(compressed); });
+    harness.run_checksum("serialize_container", "v3", c.array_shape, volume,
+                         v3_bytes, [&] { v3 = serialize(compressed); });
+    CompressedArray decoded = deserialize(v2);
+    harness.run_checksum("deserialize_container", "v2", c.array_shape, volume,
+                         v2_bytes, [&] { decoded = deserialize(v2); });
+    harness.run_checksum("deserialize_container", "v3", c.array_shape, volume,
+                         v3_bytes, [&] { decoded = deserialize(v3); });
+  }
+}
+
 /// The paper's comparison-baseline codecs, kept in the harness so their
 /// block pipelines stay under the same regression tracking as pyblaz's.
 void bench_baseline_codecs(Harness& harness) {
@@ -604,6 +707,7 @@ int main(int argc, char** argv) {
   bench_fused_lincomb(harness);
   bench_threaded_codec(harness);
   bench_backends(harness);
+  bench_checksums(harness);
   bench_baseline_codecs(harness);
 
   std::printf("\nfast-over-dense speedups:\n");
@@ -634,6 +738,11 @@ int main(int argc, char** argv) {
   for (const auto& s : harness.backend_speedups())
     std::printf("  %-22s %-7s %-12s %6.2fx\n", s.name.c_str(),
                 s.backend.c_str(), s.shape.c_str(), s.speedup_over_scalar);
+
+  std::printf("\nchecksummed container (v3 over v2):\n");
+  for (const auto& o : harness.checksum_overheads())
+    std::printf("  %-22s %-12s %6.2fx time %8.4fx bytes\n", o.name.c_str(),
+                o.shape.c_str(), o.v3_over_v2_time, o.v3_over_v2_bytes);
 
   std::printf("\nthread scaling (t1 over tN, 64x64x64):\n");
   for (const char* name : {"compress_threads", "decompress_threads",

@@ -7,23 +7,33 @@
 
 namespace pyblaz {
 
-/// Serialize into the current (v2) chunked container format:
+/// Serialize into the current (v3) checksummed chunked container:
 ///
-///   - 4 bytes: magic "PBZ2" (a v1 stream can never start with it: v1's
+///   - 4 bytes: magic "PBZ3" (a v1 stream can never start with it: v1's
 ///     first byte is always < 32)
 ///   - the shared v1 metadata header (type nibble, transform, shape s with
 ///     end marker, block shape i, pruning mask P), padded to a byte boundary
 ///   - 64 bits: blocks per chunk; 32 bits: chunk count
 ///   - 64 bits per chunk: byte offset of its payload, relative to the
 ///     payload start
+///   - 32 bits: CRC-32 of every byte above (magic through chunk table)
+///   - 32 bits per chunk: CRC-32 of that chunk's payload bytes
 ///   - per chunk, byte-aligned: N then F for that chunk's blocks
 ///
-/// Blocks are partitioned into fixed-size chunks (a pure function of the
-/// array's geometry), so encode and decode fan the chunks out across the
-/// parallel runtime while producing byte-identical streams at any thread
-/// count.  Chunk payloads are independent: a decoder can also read any
-/// subset of chunks without touching the rest of the payload.
+/// The payload bytes are byte-identical to what the v2 writer produces —
+/// v3 is v2 plus integrity.  CRC-32 detects every single-bit flip and every
+/// burst up to 32 bits, so the decoder rejects such corruption with
+/// cc::Error(kCorruptArchive) instead of silently decoding garbage
+/// (tools/fuzz_archive sweeps this).  Blocks are partitioned into fixed-size
+/// chunks (a pure function of the array's geometry), so encode and decode
+/// fan the chunks out across the parallel runtime while producing
+/// byte-identical streams — checksums included — at any thread count.
 std::vector<std::uint8_t> serialize(const CompressedArray& array);
+
+/// Serialize into the v2 chunked container: the same layout as v3 minus the
+/// magic ("PBZ2") and the two checksum fields.  Kept for interoperability
+/// and as the baseline the `checksums[]` bench section measures v3 against.
+std::vector<std::uint8_t> serialize_v2(const CompressedArray& array);
 
 /// Serialize into the legacy v1 single-stream layout (§IV-C):
 ///
@@ -43,11 +53,18 @@ std::vector<std::uint8_t> serialize(const CompressedArray& array);
 /// matches the paper's ratio accounting exactly.
 std::vector<std::uint8_t> serialize_v1(const CompressedArray& array);
 
-/// True when @p bytes starts with the v2 chunked-container magic.
+/// Container version @p bytes carries: 3 ("PBZ3"), 2 ("PBZ2"), else 1 (the
+/// magic-less legacy layout — any stream that is not a chunked container).
+int archive_version(const std::vector<std::uint8_t>& bytes);
+
+/// True when @p bytes starts with a chunked-container magic (v2 or v3).
 bool is_chunked_stream(const std::vector<std::uint8_t>& bytes);
 
-/// Inverse of serialize()/serialize_v1(); the format version is detected
-/// from the stream.  Throws std::invalid_argument on malformed input.
+/// Inverse of serialize()/serialize_v2()/serialize_v1(); the format version
+/// is detected from the stream.  Malformed input raises cc::Error — see
+/// src/core/error/error.hpp for the taxonomy (kTruncated, kCorruptArchive,
+/// kResourceExhausted) and docs/ROBUSTNESS.md for the guarantees per
+/// container version.
 CompressedArray deserialize(const std::vector<std::uint8_t>& bytes);
 
 /// Size in bits of the §IV-C layout for @p array — exactly the components the

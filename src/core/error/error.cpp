@@ -1,0 +1,72 @@
+#include "core/error/error.hpp"
+
+#include <array>
+
+#include "core/telemetry/telemetry.hpp"
+
+namespace cc {
+
+namespace {
+
+std::string format_message(ErrorCode code, const std::string& site,
+                           const std::string& detail, std::uint64_t offset) {
+  std::string message = site;
+  message += ": ";
+  message += detail;
+  message += " [";
+  message += error_code_name(code);
+  if (offset != Error::kNoOffset) {
+    message += " @ byte ";
+    message += std::to_string(offset);
+  }
+  message += "]";
+  return message;
+}
+
+/// One counter per code, resolved once: raise() sits on error paths only,
+/// but those paths are exactly where an extra allocation or registry lock
+/// would be least welcome (e.g. under std::bad_alloc translation).
+pyblaz::telemetry::Counter& detected_counter(ErrorCode code) {
+  static const std::array<pyblaz::telemetry::Counter*, 5> counters = [] {
+    std::array<pyblaz::telemetry::Counter*, 5> out{};
+    for (int c = 0; c < 5; ++c)
+      out[static_cast<std::size_t>(c)] = &pyblaz::telemetry::counter(
+          std::string("fault.detected.") +
+          error_code_name(static_cast<ErrorCode>(c)));
+    return out;
+  }();
+  return *counters[static_cast<std::size_t>(code)];
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kCorruptArchive:
+      return "corrupt_archive";
+    case ErrorCode::kTruncated:
+      return "truncated";
+    case ErrorCode::kResourceExhausted:
+      return "resource_exhausted";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::kFaultInjected:
+      return "fault_injected";
+  }
+  return "unknown";
+}
+
+Error::Error(ErrorCode code, std::string site, const std::string& detail,
+             std::uint64_t offset)
+    : std::runtime_error(format_message(code, site, detail, offset)),
+      code_(code),
+      site_(std::move(site)),
+      offset_(offset) {}
+
+void raise(ErrorCode code, std::string site, const std::string& detail,
+           std::uint64_t offset) {
+  detected_counter(code).increment();
+  throw Error(code, std::move(site), detail, offset);
+}
+
+}  // namespace cc

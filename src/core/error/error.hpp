@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+/// Structured error taxonomy of the runtime.
+///
+/// Everything the runtime can *detect and survive* — corrupt archives,
+/// truncated streams, failed allocations, missed deadlines — surfaces as one
+/// exception type, cc::Error, carrying a machine-readable code, the site that
+/// detected it, and (for stream problems) the byte offset.  Callers that used
+/// to fish for std::invalid_argument can now switch on code(); the service
+/// tier can map codes straight onto response statuses.
+///
+/// Programming errors (bad CompressorSettings, mismatched layouts) stay
+/// std::invalid_argument / std::logic_error: those are bugs in the caller,
+/// not conditions a healthy deployment encounters, and they should not be
+/// swallowed by fault-tolerant retry paths.
+///
+/// Every throw is counted in the telemetry registry as
+/// `fault.detected.<code name>` (see raise()), so a fleet-wide corruption or
+/// stall burst is visible in the CC_STATS dump without any log scraping.
+namespace cc {
+
+enum class ErrorCode {
+  kCorruptArchive,     ///< An integrity check failed or the structure is
+                       ///  inconsistent (bad magic geometry, checksum
+                       ///  mismatch, implausible header field).
+  kTruncated,          ///< The stream ends before the data its header
+                       ///  promises.
+  kResourceExhausted,  ///< An allocation failed while building the result.
+  kDeadlineExceeded,   ///< A parallel region outlived its deadline
+                       ///  (parallel::DeadlineScope).
+  kFaultInjected,      ///< A CC_FAULT test fault fired (tests/CI only; never
+                       ///  raised by production code paths on their own).
+};
+
+/// Stable lowercase name for telemetry keys and log lines
+/// ("corrupt_archive", "truncated", ...).
+const char* error_code_name(ErrorCode code);
+
+class Error : public std::runtime_error {
+ public:
+  /// Offset value meaning "no meaningful byte offset for this error".
+  static constexpr std::uint64_t kNoOffset = ~std::uint64_t{0};
+
+  Error(ErrorCode code, std::string site, const std::string& detail,
+        std::uint64_t offset = kNoOffset);
+
+  ErrorCode code() const noexcept { return code_; }
+
+  /// The detection site, e.g. "deserialize.v3.chunk" — same vocabulary as
+  /// the fault-injection site names (docs/ROBUSTNESS.md has the table).
+  const std::string& site() const noexcept { return site_; }
+
+  /// Byte offset into the stream where the problem was detected, or
+  /// kNoOffset when the error is not positional.
+  std::uint64_t offset() const noexcept { return offset_; }
+
+ private:
+  ErrorCode code_;
+  std::string site_;
+  std::uint64_t offset_;
+};
+
+/// Throw Error(code, site, detail, offset) after bumping the telemetry
+/// counter `fault.detected.<code name>`.  All runtime detection paths go
+/// through here so the counters are complete by construction.
+[[noreturn]] void raise(ErrorCode code, std::string site,
+                        const std::string& detail,
+                        std::uint64_t offset = Error::kNoOffset);
+
+}  // namespace cc

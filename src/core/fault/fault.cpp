@@ -1,0 +1,322 @@
+#include "core/fault/fault.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <random>
+#include <thread>
+
+#include "core/error/error.hpp"
+#include "core/telemetry/telemetry.hpp"
+
+namespace pyblaz::fault {
+
+namespace {
+
+constexpr std::uint64_t kNoNth = ~std::uint64_t{0};
+
+enum class Action { kThrow, kBadAlloc, kDelay, kFlip, kTruncate };
+
+bool is_data_action(Action action) {
+  return action == Action::kFlip || action == Action::kTruncate;
+}
+
+struct Spec {
+  std::string site;
+  Action action = Action::kThrow;
+  std::uint64_t value = 0;   // delay ms / bits to flip / bytes to drop.
+  std::uint64_t seed = 0;    // RNG seed for flip and p.
+  std::uint64_t nth = kNoNth;
+  std::uint64_t every = 1;
+  double probability = -1.0;  // < 0: not probabilistic.
+  std::uint64_t hit_count = 0;
+  std::uint64_t fired_count = 0;
+};
+
+/// splitmix64 of (seed, hit index): the per-hit RNG stream.  A pure function
+/// of the spec and the hit ordinal — nothing about threads, time, or
+/// addresses — which is the whole replay guarantee.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t hit) {
+  std::uint64_t z = seed + (hit + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// ------------------------------------------------------------- spec parsing
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  *out = parsed;
+  return true;
+}
+
+bool parse_probability(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  if (!(parsed >= 0.0 && parsed <= 1.0)) return false;
+  *out = parsed;
+  return true;
+}
+
+/// Parse one `site:action[,key=value]...` clause into @p spec.
+bool parse_clause(const std::string& clause, Spec* spec) {
+  const std::size_t colon = clause.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  spec->site = clause.substr(0, colon);
+
+  std::vector<std::string> tokens;
+  std::size_t start = colon + 1;
+  while (start <= clause.size()) {
+    std::size_t comma = clause.find(',', start);
+    if (comma == std::string::npos) comma = clause.size();
+    tokens.push_back(clause.substr(start, comma - start));
+    start = comma + 1;
+  }
+  if (tokens.empty() || tokens.front().empty()) return false;
+
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    const std::string& token = tokens[t];
+    const std::size_t eq = token.find('=');
+    const std::string key = token.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : token.substr(eq + 1);
+    const bool is_action = t == 0;
+    if (is_action) {
+      if (key == "throw" && eq == std::string::npos)
+        spec->action = Action::kThrow;
+      else if (key == "badalloc" && eq == std::string::npos)
+        spec->action = Action::kBadAlloc;
+      else if (key == "delay" && parse_u64(value, &spec->value))
+        spec->action = Action::kDelay;
+      else if (key == "flip" && parse_u64(value, &spec->value) &&
+               spec->value > 0)
+        spec->action = Action::kFlip;
+      else if (key == "truncate" && parse_u64(value, &spec->value) &&
+               spec->value > 0)
+        spec->action = Action::kTruncate;
+      else
+        return false;
+    } else if (key == "seed") {
+      if (!parse_u64(value, &spec->seed)) return false;
+    } else if (key == "nth") {
+      if (!parse_u64(value, &spec->nth) || spec->nth == kNoNth) return false;
+    } else if (key == "every") {
+      if (!parse_u64(value, &spec->every) || spec->every == 0) return false;
+    } else if (key == "p") {
+      if (!parse_probability(value, &spec->probability)) return false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parse a full `clause[;clause]...` spec string.  All-or-nothing: one bad
+/// clause rejects the whole string so a typo cannot half-arm a test.
+bool parse_spec(const std::string& text, std::vector<Spec>* out) {
+  std::vector<Spec> parsed;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t semi = text.find(';', start);
+    if (semi == std::string::npos) semi = text.size();
+    const std::string clause = text.substr(start, semi - start);
+    if (!clause.empty()) {
+      Spec spec;
+      if (!parse_clause(clause, &spec)) return false;
+      parsed.push_back(std::move(spec));
+    }
+    start = semi + 1;
+  }
+  if (parsed.empty()) return false;
+  *out = std::move(parsed);
+  return true;
+}
+
+// ----------------------------------------------------------------- registry
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<Spec> specs;           // Guarded by mutex.
+  std::atomic<int> armed_count{0};   // specs.size(), readable lock-free.
+};
+
+Registry& registry() {
+  // Leaked singleton (never destroyed): fault sites may be evaluated from
+  // worker threads during process teardown, after static destructors start.
+  static Registry* reg = [] {
+    auto* r = new Registry;
+    if (const char* env = std::getenv("CC_FAULT")) {
+      std::vector<Spec> parsed;
+      if (parse_spec(env, &parsed)) {
+        r->specs = std::move(parsed);
+        r->armed_count.store(static_cast<int>(r->specs.size()),
+                             std::memory_order_relaxed);
+      } else {
+        std::fprintf(stderr,
+                     "pyblaz: CC_FAULT=\"%s\" does not parse "
+                     "(site:action[,key=value]...[;...]); arming nothing\n",
+                     env);
+      }
+    }
+    return r;
+  }();
+  return *reg;
+}
+
+/// Fire decision for one hit.  Must be called under the registry mutex (the
+/// counters are plain fields).
+bool should_fire(Spec& spec) {
+  const std::uint64_t hit = spec.hit_count++;
+  bool fire;
+  if (spec.nth != kNoNth) {
+    fire = hit == spec.nth;
+  } else if (spec.probability >= 0.0) {
+    std::mt19937_64 rng(mix(spec.seed, hit));
+    fire = std::uniform_real_distribution<double>(0.0, 1.0)(rng) <
+           spec.probability;
+  } else {
+    fire = hit % spec.every == 0;
+  }
+  if (fire) ++spec.fired_count;
+  return fire;
+}
+
+void count_injected(const std::string& site) {
+  pyblaz::telemetry::counter("fault.injected." + site).increment();
+}
+
+void apply_flip(std::vector<std::uint8_t>& bytes, std::uint64_t nbits,
+                std::uint64_t seed, std::uint64_t hit) {
+  if (bytes.empty()) return;
+  std::mt19937_64 rng(mix(seed, hit));
+  const std::uint64_t total_bits = bytes.size() * 8;
+  nbits = std::min(nbits, total_bits);
+  // Distinct positions: a duplicate would un-flip and silently weaken the
+  // corruption the test asked for.
+  std::vector<std::uint64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(nbits));
+  while (chosen.size() < nbits) {
+    const std::uint64_t pos = rng() % total_bits;
+    if (std::find(chosen.begin(), chosen.end(), pos) == chosen.end())
+      chosen.push_back(pos);
+  }
+  for (std::uint64_t pos : chosen)
+    bytes[static_cast<std::size_t>(pos >> 3)] ^=
+        static_cast<std::uint8_t>(1u << (pos & 7));
+}
+
+}  // namespace
+
+bool armed() {
+  return registry().armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+bool armed_for(const char* site) {
+  if (!armed()) return false;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const Spec& spec : reg.specs)
+    if (spec.site == site) return true;
+  return false;
+}
+
+void point(const char* site) {
+  if (!armed()) return;
+  // Decide under the lock, act outside it: a delay must not stall arm()/
+  // disarm_all(), and the thrown exception must not unwind through the lock
+  // while other sites evaluate.
+  std::uint64_t delay_ms = 0;
+  bool do_throw = false;
+  bool do_badalloc = false;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (Spec& spec : reg.specs) {
+      if (spec.site != site || is_data_action(spec.action)) continue;
+      if (!should_fire(spec)) continue;
+      switch (spec.action) {
+        case Action::kDelay:
+          delay_ms += spec.value;
+          break;
+        case Action::kBadAlloc:
+          do_badalloc = true;
+          break;
+        default:
+          do_throw = true;
+          break;
+      }
+      count_injected(spec.site);
+    }
+  }
+  if (delay_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  if (do_badalloc) throw std::bad_alloc();
+  if (do_throw)
+    throw cc::Error(cc::ErrorCode::kFaultInjected, site, "injected fault");
+}
+
+void corrupt(const char* site, std::vector<std::uint8_t>& bytes) {
+  if (!armed()) return;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (Spec& spec : reg.specs) {
+    if (spec.site != site || !is_data_action(spec.action)) continue;
+    const std::uint64_t hit = spec.hit_count;  // should_fire advances it.
+    if (!should_fire(spec)) continue;
+    if (spec.action == Action::kFlip)
+      apply_flip(bytes, spec.value, spec.seed, hit);
+    else
+      bytes.resize(bytes.size() -
+                   std::min<std::uint64_t>(spec.value, bytes.size()));
+    count_injected(spec.site);
+  }
+}
+
+bool arm(const std::string& spec) {
+  std::vector<Spec> parsed;
+  if (!parse_spec(spec, &parsed)) return false;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (Spec& s : parsed) reg.specs.push_back(std::move(s));
+  reg.armed_count.store(static_cast<int>(reg.specs.size()),
+                        std::memory_order_relaxed);
+  return true;
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.specs.clear();
+  reg.armed_count.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hits(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::uint64_t total = 0;
+  for (const Spec& spec : reg.specs)
+    if (spec.site == site) total += spec.hit_count;
+  return total;
+}
+
+std::uint64_t fired(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::uint64_t total = 0;
+  for (const Spec& spec : reg.specs)
+    if (spec.site == site) total += spec.fired_count;
+  return total;
+}
+
+}  // namespace pyblaz::fault

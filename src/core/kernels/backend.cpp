@@ -5,9 +5,11 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/fault/fault.hpp"
 #include "core/kernels/backend_tables.hpp"
 #include "core/kernels/fast_transform.hpp"
 #include "core/kernels/rebin.hpp"
+#include "core/telemetry/telemetry.hpp"
 
 namespace pyblaz::kernels {
 
@@ -117,6 +119,33 @@ DispatchState& state() {
   return s;
 }
 
+/// Graceful degradation: a fault at the "backend.dispatch" site (standing in
+/// for a broken ISA path discovered at dispatch time) permanently demotes
+/// the process to the scalar oracle — results stay correct and bit-identical
+/// by the backend bit-identity contract — with one warning line and a
+/// counted `backend.dispatch_fallback` event, instead of crashing the
+/// request.  Only evaluated while faults are armed, so the production
+/// dispatch path stays a single relaxed load.
+void maybe_degrade_dispatch() {
+  try {
+    fault::point("backend.dispatch");
+  } catch (...) {
+    static telemetry::Counter& fallbacks =
+        telemetry::counter("backend.dispatch_fallback");
+    fallbacks.increment();
+    DispatchState& s = state();
+    const Backend current = s.backend.load(std::memory_order_relaxed);
+    if (current != Backend::kScalar) {
+      std::fprintf(stderr,
+                   "pyblaz: kernel backend \"%s\" faulted at dispatch; "
+                   "falling back to the scalar oracle\n",
+                   backend_name(current));
+      s.backend.store(Backend::kScalar, std::memory_order_relaxed);
+      s.table.store(table_for(Backend::kScalar), std::memory_order_relaxed);
+    }
+  }
+}
+
 }  // namespace
 
 namespace internal {
@@ -171,6 +200,8 @@ index_t huffman_decode_run_generic(const HuffmanLut2Entry* lut,
 }  // namespace internal
 
 const KernelTable& active() {
+  if (fault::armed()) [[unlikely]]
+    maybe_degrade_dispatch();
   return *state().table.load(std::memory_order_relaxed);
 }
 

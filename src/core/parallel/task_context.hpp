@@ -8,6 +8,7 @@
 #include <mutex>
 #include <utility>
 
+#include "core/error/error.hpp"
 #include "core/ndarray/shape.hpp"
 
 namespace pyblaz::parallel {
@@ -38,19 +39,31 @@ namespace pyblaz::parallel {
 ///   - wait_complete() returns only when every chunk has finished *and* every
 ///     registered drainer has left, after which no other thread can hold a
 ///     pointer to the context and destruction is safe.
+///
+/// Deadlines (parallel::DeadlineScope): a region may carry an absolute
+/// deadline.  Cancellation is cooperative and chunk-grained — drainers call
+/// check_deadline() between chunks, and once it trips they keep *claiming*
+/// chunks but skip *running* them, so the normal exhaustion/delist/teardown
+/// machinery drains the region cleanly and the scheduler stays reusable.  A
+/// chunk already running is never preempted; the caller observes
+/// cc::Error(kDeadlineExceeded) through the ordinary exception slot.
 class TaskContext {
  public:
   /// @p submit_time is when the caller asked for the region (captured before
   /// any serialize-gate wait), so submit -> first-claim telemetry measures
-  /// true scheduling latency including queueing.
+  /// true scheduling latency including queueing.  @p deadline is absolute;
+  /// time_point::max() means none.
   TaskContext(index_t num_chunks, const std::function<void(index_t)>& fn,
               int shard,
               std::chrono::steady_clock::time_point submit_time =
-                  std::chrono::steady_clock::now())
+                  std::chrono::steady_clock::now(),
+              std::chrono::steady_clock::time_point deadline =
+                  std::chrono::steady_clock::time_point::max())
       : fn_(&fn),
         num_chunks_(num_chunks),
         shard_(shard),
-        submit_time_(submit_time) {}
+        submit_time_(submit_time),
+        deadline_(deadline) {}
 
   TaskContext(const TaskContext&) = delete;
   TaskContext& operator=(const TaskContext&) = delete;
@@ -140,15 +153,46 @@ class TaskContext {
   /// (no drainer can still be writing).
   std::exception_ptr exception() const { return exception_; }
 
+  bool has_deadline() const {
+    return deadline_ != std::chrono::steady_clock::time_point::max();
+  }
+
+  /// True once the region has been cancelled: drainers still claim and
+  /// finish chunks (teardown must run), but skip the bodies.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Deadline observation point, called by every drain loop between chunks.
+  /// Returns true when the region is (now) cancelled.  The first observer
+  /// records kDeadlineExceeded through the ordinary exception slot — and
+  /// record_exception()'s first-wins rule means a real chunk exception that
+  /// arrived earlier is preserved, never clobbered by the cancellation.
+  bool check_deadline() {
+    if (cancelled()) return true;
+    if (!has_deadline() || std::chrono::steady_clock::now() < deadline_)
+      return false;
+    bool expected = false;
+    if (cancelled_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      record_exception(std::make_exception_ptr(cc::Error(
+          cc::ErrorCode::kDeadlineExceeded, "sched.region",
+          "region exceeded its deadline; unstarted chunks were skipped")));
+    }
+    return true;
+  }
+
  private:
   const std::function<void(index_t)>* fn_;
   const index_t num_chunks_;
   const int shard_;
   const std::chrono::steady_clock::time_point submit_time_;
+  const std::chrono::steady_clock::time_point deadline_;
 
   std::atomic<index_t> next_chunk_{0};
   std::atomic<index_t> chunks_done_{0};
   std::atomic<int> drainers_{0};
+  std::atomic<bool> cancelled_{false};
 
   std::mutex mutex_;
   std::condition_variable done_cv_;

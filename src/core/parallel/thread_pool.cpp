@@ -6,12 +6,18 @@
 #include <string>
 
 #include "core/codec/workspace.hpp"
+#include "core/error/error.hpp"
+#include "core/fault/fault.hpp"
 #include "core/telemetry/telemetry.hpp"
 #include "core/telemetry/trace.hpp"
 
 namespace pyblaz::parallel {
 
 namespace {
+
+/// The calling thread's inherited region deadline (DeadlineScope).
+thread_local std::chrono::steady_clock::time_point t_deadline =
+    std::chrono::steady_clock::time_point::max();
 
 // --------------------------------------------------------------- telemetry
 // All observational: counters and histograms never influence chunking, claim
@@ -47,6 +53,18 @@ void record_first_claim(const TaskContext* context) {
 void record_chunk_claim(const TaskContext* context, index_t chunk) {
   if (chunk == 0) record_first_claim(context);
   shard_claims(context->shard()).increment();
+}
+
+/// Once per region that missed its deadline — pool path (run_region's
+/// rethrow) and inline path both land here, so the counters agree no matter
+/// where the region executed.
+void record_deadline_exceeded() {
+  static telemetry::Counter& missed =
+      telemetry::counter("sched.deadline_exceeded");
+  static telemetry::Counter& detected =
+      telemetry::counter("fault.detected.deadline_exceeded");
+  missed.increment();
+  detected.increment();
 }
 
 /// True on any thread currently executing scheduler chunks (workers and the
@@ -219,10 +237,16 @@ void ThreadPool::execute_region_chunks(TaskContext* context) {
     const index_t chunk = context->claim();
     if (chunk >= context->num_chunks()) break;
     record_chunk_claim(context, chunk);
-    try {
-      context->run(chunk);
-    } catch (...) {
-      context->record_exception(std::current_exception());
+    // A cancelled region's chunks are claimed and finished but not run:
+    // exhaustion, delisting, and wait_complete() tear the region down
+    // through the unchanged protocol, leaving the scheduler reusable.
+    if (!context->check_deadline()) {
+      try {
+        fault::point("sched.chunk");
+        context->run(chunk);
+      } catch (...) {
+        context->record_exception(std::current_exception());
+      }
     }
     context->finish_chunk();
   }
@@ -255,10 +279,15 @@ void ThreadPool::drain_foreign_chunks(TaskContext* context, TaskContext* own) {
     }
     record_chunk_claim(context, chunk);
     drained_chunks.increment();
-    try {
-      context->run(chunk);
-    } catch (...) {
-      context->record_exception(std::current_exception());
+    // Same cancellation rule as execute_region_chunks — the foreign region's
+    // own deadline, not the waiting caller's.
+    if (!context->check_deadline()) {
+      try {
+        fault::point("sched.chunk");
+        context->run(chunk);
+      } catch (...) {
+        context->record_exception(std::current_exception());
+      }
     }
     context->finish_chunk();
     // Return to the waiting caller as soon as its own region finishes.  The
@@ -270,6 +299,10 @@ void ThreadPool::drain_foreign_chunks(TaskContext* context, TaskContext* own) {
 
 void ThreadPool::assist_while_incomplete(TaskContext* own) {
   while (!own->chunks_complete()) {
+    // The waiting caller is a deadline observer too: if every chunk was
+    // claimed before the deadline passed but the tail is stalled in a
+    // worker, this is where cancellation gets recorded.
+    own->check_deadline();
     TaskContext* other = find_work(own->shard());
     if (!other) {
       // Nothing claimable anywhere: sleep on our own completion, but keep
@@ -293,7 +326,8 @@ void ThreadPool::delist(TaskContext* context) {
 
 void ThreadPool::run_region(index_t num_chunks,
                             const std::function<void(index_t)>& fn,
-                            std::chrono::steady_clock::time_point submit_time) {
+                            std::chrono::steady_clock::time_point submit_time,
+                            std::chrono::steady_clock::time_point deadline) {
   static telemetry::Counter& submitted =
       telemetry::counter("sched.regions_submitted");
   static telemetry::Histogram& region_wall =
@@ -312,7 +346,7 @@ void ThreadPool::run_region(index_t num_chunks,
   const int shard =
       static_cast<int>(next_shard_.fetch_add(1, std::memory_order_relaxed) %
                        static_cast<std::uint64_t>(num_shards()));
-  TaskContext context(num_chunks, fn, shard, submit_time);
+  TaskContext context(num_chunks, fn, shard, submit_time, deadline);
   {
     std::lock_guard<std::mutex> lock(shards_[shard].mutex);
     shards_[shard].regions.push_back(&context);
@@ -338,17 +372,40 @@ void ThreadPool::run_region(index_t num_chunks,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     submit_time)
           .count());
-  if (std::exception_ptr error = context.exception())
-    std::rethrow_exception(error);
+  if (std::exception_ptr error = context.exception()) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const cc::Error& e) {
+      if (e.code() == cc::ErrorCode::kDeadlineExceeded)
+        record_deadline_exceeded();
+      throw;
+    }
+  }
 }
 
 void ThreadPool::run_chunks(index_t num_chunks,
                             const std::function<void(index_t)>& fn) {
   if (num_chunks <= 0) return;
+  const auto deadline = current_deadline();
   if (t_inside_pool || num_threads() <= 1 || num_chunks == 1) {
     InsidePoolGuard guard;
     internal::WorkspaceScope workspace_frame;
-    for (index_t chunk = 0; chunk < num_chunks; ++chunk) fn(chunk);
+    // The inline path honors the same chunk-grained contract as the pool:
+    // the deadline is observed between chunks (never preempting one), and
+    // the sched.chunk fault site fires here too, so CC_THREADS=1 runs and
+    // nested regions are testable like any other.
+    const bool has_deadline =
+        deadline != std::chrono::steady_clock::time_point::max();
+    for (index_t chunk = 0; chunk < num_chunks; ++chunk) {
+      if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+        record_deadline_exceeded();
+        throw cc::Error(cc::ErrorCode::kDeadlineExceeded, "sched.region",
+                        "region exceeded its deadline; unstarted chunks were "
+                        "skipped");
+      }
+      fault::point("sched.chunk");
+      fn(chunk);
+    }
     return;
   }
   // Captured before the serialize gate so queue-wait telemetry sees the
@@ -358,10 +415,21 @@ void ThreadPool::run_chunks(index_t num_chunks,
     // Benchmark baseline: one region at a time, exactly the pre-sharding
     // scheduler's queueing.
     std::lock_guard<std::mutex> gate(serialize_mutex_);
-    run_region(num_chunks, fn, submit_time);
+    run_region(num_chunks, fn, submit_time, deadline);
     return;
   }
-  run_region(num_chunks, fn, submit_time);
+  run_region(num_chunks, fn, submit_time, deadline);
 }
+
+std::chrono::steady_clock::time_point current_deadline() {
+  return t_deadline;
+}
+
+DeadlineScope::DeadlineScope(std::chrono::steady_clock::time_point deadline)
+    : previous_(t_deadline) {
+  t_deadline = std::min(previous_, deadline);
+}
+
+DeadlineScope::~DeadlineScope() { t_deadline = previous_; }
 
 }  // namespace pyblaz::parallel

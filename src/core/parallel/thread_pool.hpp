@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -120,7 +121,8 @@ class ThreadPool {
   ~ThreadPool();
 
   void run_region(index_t num_chunks, const std::function<void(index_t)>& fn,
-                  std::chrono::steady_clock::time_point submit_time);
+                  std::chrono::steady_clock::time_point submit_time,
+                  std::chrono::steady_clock::time_point deadline);
   void ensure_workers_locked();
   void worker_loop(int worker_index);
   TaskContext* find_work(int start_shard);
@@ -168,6 +170,39 @@ class ThreadPool {
 
   std::mutex reconfigure_mutex_;  // Serializes concurrent reconfigurers.
   std::mutex serialize_mutex_;    // Held across a region in serialize mode.
+};
+
+/// The calling thread's current region deadline (time_point::max() = none).
+/// Regions submitted by this thread inherit it — see DeadlineScope.
+std::chrono::steady_clock::time_point current_deadline();
+
+/// RAII deadline for every parallel region the current thread submits while
+/// the scope is alive.  Nested scopes compose by taking the earlier
+/// deadline; the previous value is restored on destruction.
+///
+/// Semantics (cooperative, chunk-grained): once the deadline passes, the
+/// region's unstarted chunks are skipped — a chunk already running is never
+/// preempted — the region is drained cleanly through the normal teardown
+/// protocol, and the submitting call throws cc::Error(kDeadlineExceeded).
+/// The scheduler remains fully usable afterwards: a deadline cancels one
+/// region, not the pool.  Results of a cancelled region are unspecified
+/// (some chunks never ran); only the exception is the contract.
+///
+///   parallel::DeadlineScope deadline(std::chrono::milliseconds(50));
+///   auto decoded = compressor.decompress(archive);  // throws if > 50 ms
+class DeadlineScope {
+ public:
+  explicit DeadlineScope(std::chrono::steady_clock::time_point deadline);
+  /// Convenience: deadline = now + @p budget.
+  explicit DeadlineScope(std::chrono::nanoseconds budget)
+      : DeadlineScope(std::chrono::steady_clock::now() + budget) {}
+  ~DeadlineScope();
+
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+ private:
+  std::chrono::steady_clock::time_point previous_;
 };
 
 /// Effective thread count of the process-wide scheduler.

@@ -1,11 +1,15 @@
 #include "core/util/bitstream.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace pyblaz {
 
 void BitWriter::put_bits(std::uint64_t value, int nbits) {
-  assert(nbits >= 0 && nbits <= 64);
+  // Clamping is the contract (not an assert): widths can be computed from
+  // untrusted header fields, and a bad width must degrade to a short write
+  // the caller's bounds checks then catch — never a >= 64-bit shift (UB).
+  nbits = std::clamp(nbits, 0, 64);
   for (int i = 0; i < nbits; ++i) {
     const std::size_t byte = bit_count_ >> 3;
     const unsigned offset = static_cast<unsigned>(bit_count_ & 7);
@@ -25,7 +29,7 @@ void BitWriter::pad_to(std::size_t nbits) {
 }
 
 std::uint64_t BitReader::get_bits(int nbits) {
-  assert(nbits >= 0 && nbits <= 64);
+  nbits = std::clamp(nbits, 0, 64);  // Same contract as put_bits.
   std::uint64_t value = 0;
   for (int i = 0; i < nbits; ++i) {
     if (cursor_ < size_bits_) {

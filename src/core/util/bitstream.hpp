@@ -15,7 +15,10 @@ class BitWriter {
  public:
   BitWriter() = default;
 
-  /// Append the low @p nbits bits of @p value (0 <= nbits <= 64).
+  /// Append the low @p nbits bits of @p value.  @p nbits outside [0, 64] is
+  /// clamped (a negative width writes nothing) — out-of-range widths are
+  /// caller bugs, but they must degrade to a defined no-op, not to the
+  /// undefined shift the old assert-only contract left in release builds.
   void put_bits(std::uint64_t value, int nbits);
 
   /// Append a single bit (any nonzero @p bit writes 1).
@@ -52,8 +55,15 @@ class BitReader {
   BitReader(const std::uint8_t* bytes, std::size_t nbytes)
       : bytes_(bytes), size_bits_(nbytes * 8) {}
 
-  /// Read @p nbits bits (0 <= nbits <= 64) as an unsigned value.
-  /// Reading past the end yields zero bits.
+  /// Read @p nbits bits as an unsigned value.  @p nbits outside [0, 64] is
+  /// clamped, like BitWriter::put_bits.
+  ///
+  /// Reading past the end yields zero bits while the cursor keeps advancing
+  /// — deliberate: the Huffman LUT probe over-reads its window and rewinds,
+  /// and fixed-rate decoders stay branch-free.  The flip side is that
+  /// `size_bits() - position()` can underflow once the cursor has passed the
+  /// end; bounds logic must use remaining_bits()/overran() instead of doing
+  /// that subtraction (tests/test_bitstream.cpp pins both behaviors).
   std::uint64_t get_bits(int nbits);
 
   /// Read a single bit.
@@ -62,7 +72,8 @@ class BitReader {
   /// Skip forward until the cursor is byte aligned.
   void align_to_byte();
 
-  /// Move the cursor to an absolute bit position.
+  /// Move the cursor to an absolute bit position (past the end is legal and
+  /// reads as zeros; see get_bits).
   void seek(std::size_t bit_position) { cursor_ = bit_position; }
 
   /// Current cursor position in bits.
@@ -70,6 +81,18 @@ class BitReader {
 
   /// Total readable bits.
   std::size_t size_bits() const { return size_bits_; }
+
+  /// Bits left before the end, saturating at zero once the cursor has
+  /// passed it — the underflow-proof form of `size_bits() - position()`.
+  std::size_t remaining_bits() const {
+    return cursor_ >= size_bits_ ? 0 : size_bits_ - cursor_;
+  }
+
+  /// True once any read or seek has moved the cursor past the end — i.e.
+  /// some returned bits were fabricated zeros, not stream data.  Decoders
+  /// that tolerate over-reads mid-stream check this at the end and reject
+  /// the result as truncated.
+  bool overran() const { return cursor_ > size_bits_; }
 
  private:
   const std::uint8_t* bytes_;

@@ -100,6 +100,51 @@ TEST(BitStream, ReadPastEndYieldsZeros) {
   EXPECT_EQ(reader.position(), 24u);
 }
 
+TEST(BitStream, OverranFlagsReadsPastTheEnd) {
+  // Over-reads yield zeros by design (the Huffman LUT probes a full window
+  // near the stream tail), so bounds policing lives in overran(): false for
+  // any read that stays inside, true the moment the cursor passes the end.
+  BitWriter writer;
+  writer.put_bits(0xABCDu, 16);
+  BitReader reader(writer.bytes());
+  EXPECT_FALSE(reader.overran());
+  reader.get_bits(16);  // Consumes exactly the stream.
+  EXPECT_FALSE(reader.overran());
+  reader.get_bits(1);
+  EXPECT_TRUE(reader.overran());
+  reader.seek(8);  // Rewinding clears the condition.
+  EXPECT_FALSE(reader.overran());
+}
+
+TEST(BitStream, RemainingBitsSaturatesAtZero) {
+  BitWriter writer;
+  writer.put_bits(0u, 12);
+  BitReader reader(writer.bytes());  // 12 bits padded to 2 bytes = 16 bits.
+  EXPECT_EQ(reader.remaining_bits(), 16u);
+  reader.get_bits(10);
+  EXPECT_EQ(reader.remaining_bits(), 6u);
+  reader.get_bits(64);  // Overshoots: remaining must not wrap around.
+  EXPECT_EQ(reader.remaining_bits(), 0u);
+  reader.seek(1000);
+  EXPECT_EQ(reader.remaining_bits(), 0u);
+  EXPECT_TRUE(reader.overran());
+}
+
+TEST(BitStream, WidthArgumentsAreClampedTo64) {
+  // Deserializers compute widths from untrusted header fields; a width that
+  // escaped validation must clamp, not shift by >= 64 (UB).
+  BitWriter writer;
+  writer.put_bits(0xDEADBEEFull, 200);  // Writes 64 bits worth.
+  EXPECT_EQ(writer.size_bits(), 64u);
+  writer.put_bits(1u, -3);  // Negative widths are no-ops.
+  EXPECT_EQ(writer.size_bits(), 64u);
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(reader.get_bits(200), 0xDEADBEEFull);
+  EXPECT_EQ(reader.position(), 64u);
+  EXPECT_EQ(reader.get_bits(-5), 0u);
+  EXPECT_EQ(reader.position(), 64u);
+}
+
 TEST(BitStream, ReaderAlignToByte) {
   BitWriter writer;
   writer.put_bits(0b1u, 1);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/codec/compressor.hpp"
+#include "core/error/error.hpp"
 #include "core/ndarray/ndarray_ops.hpp"
 #include "core/util/rng.hpp"
 
@@ -98,8 +99,10 @@ TEST_P(Serialization, ChunkedOverheadIsBounded) {
   CompressedArray compressed = compressor.compress(array);
 
   const std::vector<std::uint8_t> v1 = serialize_v1(compressed);
-  const std::vector<std::uint8_t> v2 = serialize(compressed);
+  const std::vector<std::uint8_t> v2 = serialize_v2(compressed);
+  const std::vector<std::uint8_t> v3 = serialize(compressed);
   EXPECT_TRUE(is_chunked_stream(v2));
+  EXPECT_TRUE(is_chunked_stream(v3));
   EXPECT_FALSE(is_chunked_stream(v1));
   // v2 adds the magic (4 B), the chunk geometry (12 B), 8 B per chunk of
   // offset table, and at most one byte of alignment padding per chunk plus
@@ -109,6 +112,46 @@ TEST_P(Serialization, ChunkedOverheadIsBounded) {
   const std::size_t num_blocks = static_cast<std::size_t>(compressed.num_blocks());
   EXPECT_GT(v2.size(), v1.size());
   EXPECT_LE(v2.size(), v1.size() + 16 + 9 * num_blocks + 1);
+  // The checksummed v3 default adds exactly one 4 B header CRC plus 4 B per
+  // chunk on top of v2 — and there is at least one, at most num_blocks
+  // chunks.
+  EXPECT_GE(v3.size(), v2.size() + 8);
+  EXPECT_LE(v3.size(), v2.size() + 4 + 4 * num_blocks);
+  EXPECT_EQ((v3.size() - v2.size() - 4) % 4, 0u);
+}
+
+TEST_P(Serialization, V3ReproducesV2PayloadBytesExactly) {
+  const auto& p = GetParam();
+  CompressorSettings settings{.block_shape = p.block_shape,
+                              .float_type = p.float_type,
+                              .index_type = p.index_type,
+                              .transform = p.transform};
+  if (p.keep_fraction < 1.0)
+    settings.mask = PruningMask::keep_fraction(p.block_shape, p.keep_fraction);
+  Compressor compressor(settings);
+  Rng rng(79);
+  NDArray<double> array = random_smooth(p.array_shape, rng);
+  CompressedArray compressed = compressor.compress(array);
+
+  const std::vector<std::uint8_t> v2 = serialize_v2(compressed);
+  const std::vector<std::uint8_t> v3 = serialize(compressed);
+  EXPECT_EQ(archive_version(v2), 2);
+  EXPECT_EQ(archive_version(v3), 3);
+
+  // v3 is v2 with the checksum table spliced between the chunk table and the
+  // payload (and a different magic byte): the shared header bytes match
+  // position for position, and every payload byte matches shifted by the
+  // splice width.  Find the splice point as the first divergence after the
+  // magic; everything from there on must line up under the shift.
+  const std::size_t extra = v3.size() - v2.size();
+  ASSERT_GE(extra, 8u);          // Header CRC + at least one chunk CRC.
+  ASSERT_EQ((extra - 4) % 4, 0u);
+  std::size_t divergence = 4;
+  while (divergence < v2.size() && v3[divergence] == v2[divergence])
+    ++divergence;
+  ASSERT_LT(divergence, v2.size()) << "checksum table matched v2 payload?";
+  for (std::size_t k = divergence; k < v2.size(); ++k)
+    ASSERT_EQ(v3[k + extra], v2[k]) << "payload byte " << k << " differs";
 }
 
 TEST_P(Serialization, LegacyV1StreamRoundTrips) {
@@ -154,12 +197,36 @@ TEST(Serialization, RejectsTruncatedStream) {
   NDArray<double> array = random_smooth(Shape{16, 16}, rng);
   std::vector<std::uint8_t> bytes = serialize(compressor.compress(array));
   bytes.resize(bytes.size() / 2);
-  EXPECT_THROW(deserialize(bytes), std::invalid_argument);
+  try {
+    (void)deserialize(bytes);
+    FAIL() << "half a stream deserialized";
+  } catch (const cc::Error& e) {
+    EXPECT_EQ(e.code(), cc::ErrorCode::kTruncated);
+    EXPECT_NE(e.offset(), cc::Error::kNoOffset);  // Positional diagnosis.
+  }
 }
 
 TEST(Serialization, RejectsGarbage) {
   std::vector<std::uint8_t> garbage(64, 0xA5);
-  EXPECT_THROW(deserialize(garbage), std::invalid_argument);
+  EXPECT_THROW(deserialize(garbage), cc::Error);
+}
+
+TEST(Serialization, DetectsSinglePayloadBitFlip) {
+  // The per-chunk CRCs make the default container fail closed: flipping one
+  // bit of the *last* payload byte — which v1/v2 would decode to a wrong
+  // value without a word — is detected, typed, and attributed to the chunk.
+  Compressor compressor({.block_shape = Shape{4, 4}});
+  Rng rng(83);
+  NDArray<double> array = random_smooth(Shape{16, 16}, rng);
+  std::vector<std::uint8_t> bytes = serialize(compressor.compress(array));
+  bytes.back() ^= 0x01;
+  try {
+    (void)deserialize(bytes);
+    FAIL() << "payload flip escaped the chunk checksum";
+  } catch (const cc::Error& e) {
+    EXPECT_EQ(e.code(), cc::ErrorCode::kCorruptArchive);
+    EXPECT_EQ(e.site(), "deserialize.v3.chunk");
+  }
 }
 
 TEST(Serialization, NegativeIndicesSurviveNarrowTypes) {

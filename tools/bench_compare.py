@@ -145,6 +145,43 @@ def print_backend_summary(baseline, candidate):
         print(f"{label:<50} {fmt(baseline.get(key)):>12} {fmt(record):>12}{flag}")
 
 
+def load_checksum_overheads(path):
+    # Baselines recorded before the checksummed v3 container existed simply
+    # lack the section; an empty dict renders as "-" columns, never an error.
+    return {
+        (r["name"], r["shape"]): r
+        for r in load_json(path).get("checksum_overheads", [])
+    }
+
+
+def print_checksum_summary(baseline, candidate):
+    """Checksummed-container (v3) cost over the unchecksummed v2 layout, in
+    time and bytes, side by side.  Warn-only: flags a candidate whose CRC
+    pass costs more than 15% serialize/deserialize time — the integrity
+    layer is supposed to ride inside the already-parallel chunk loops."""
+    keys = sorted(set(baseline) | set(candidate))
+    if not keys:
+        return
+    print(f"\n{'checksummed container v3/v2 (time, bytes)':<50} "
+          f"{'baseline':>16} {'candidate':>16}")
+    for key in keys:
+        name, shape = key
+        label = f"{name} {shape}"
+
+        def fmt(record):
+            if not record:
+                return "-"
+            return (f"{record['v3_over_v2_time']:.2f}x "
+                    f"{record['v3_over_v2_bytes']:.4f}x")
+
+        flag = ""
+        record = candidate.get(key)
+        if record is not None and record["v3_over_v2_time"] > 1.15:
+            flag = "  <-- checksum pass >15% (warn-only)"
+        print(f"{label:<50} {fmt(baseline.get(key)):>16} "
+              f"{fmt(record):>16}{flag}")
+
+
 def overlap_ratios(concurrency):
     """sharded-over-serialized aggregate throughput per (name, shape,
     clients) — the scheduler-overlap acceptance ratio."""
@@ -259,6 +296,8 @@ def main():
     print_expr_overhead_summary(baseline, candidate)
     print_backend_summary(load_backends(args.baseline),
                           load_backends(args.candidate))
+    print_checksum_summary(load_checksum_overheads(args.baseline),
+                           load_checksum_overheads(args.candidate))
     # Engage only when the candidate actually carries concurrency cells: the
     # routine CI candidate comes from bench_micro_kernels, which has none,
     # and a silent baseline-only table would just read as missing data.
