@@ -7,6 +7,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/codec/block_access.hpp"
 #include "core/kernels/backend.hpp"
 #include "core/kernels/rebin.hpp"
 #include "core/ndarray/ndarray_ops.hpp"
@@ -44,124 +45,6 @@ Compressor::Compressor(CompressorSettings settings)
   transform_ = std::make_shared<BlockTransform>(
       settings_.transform, settings_.block_shape, settings_.transform_impl);
 }
-
-namespace {
-
-/// Decompose @p offset (row-major within @p shape) into per-axis coordinates.
-void decompose(const Shape& shape, index_t offset, index_t* coords) {
-  for (int axis = shape.ndim() - 1; axis >= 0; --axis) {
-    coords[axis] = offset % shape[axis];
-    offset /= shape[axis];
-  }
-}
-
-/// Advance row-major coordinates over the leading (all but last) axes.
-bool advance_row(const Shape& shape, index_t* coords) {
-  for (int axis = shape.ndim() - 2; axis >= 0; --axis) {
-    if (++coords[axis] < shape[axis]) return true;
-    coords[axis] = 0;
-  }
-  return false;
-}
-
-/// Per-thread workspace for fused block processing: block rows are moved
-/// with memcpy between the array (row-major) and a local block buffer, so
-/// compression never materializes a whole-array blocked intermediate.
-struct BlockCursor {
-  const Shape& shape;
-  const Shape& block_shape;
-  const Shape& grid;
-  std::vector<index_t> strides;
-  int d;
-  index_t block_last;
-  index_t rows_per_block;
-
-  std::vector<index_t> block_coords;
-  std::vector<index_t> row_coords;
-
-  BlockCursor(const Shape& array_shape, const Shape& block, const Shape& block_grid)
-      : shape(array_shape),
-        block_shape(block),
-        grid(block_grid),
-        strides(array_shape.strides()),
-        d(array_shape.ndim()),
-        block_last(block[array_shape.ndim() - 1]),
-        rows_per_block(block.volume() / block[array_shape.ndim() - 1]),
-        block_coords(static_cast<std::size_t>(array_shape.ndim())),
-        row_coords(static_cast<std::size_t>(array_shape.ndim()), 0) {}
-
-  /// Copy block @p kb of the array into @p dst, zero-padding ragged edges and
-  /// rounding the copied values through @p float_type in the same cache pass
-  /// (padding zeros are exact in every float type, so only copied rows need
-  /// the conversion).
-  void gather(const double* array, index_t kb, double* dst,
-              FloatType float_type) {
-    decompose(grid, kb, block_coords.data());
-    const index_t last_start =
-        block_coords[static_cast<std::size_t>(d - 1)] * block_last;
-    const index_t copy_count =
-        std::clamp<index_t>(shape[d - 1] - last_start, 0, block_last);
-    std::fill(row_coords.begin(), row_coords.end(), 0);
-    for (index_t row = 0; row < rows_per_block; ++row, dst += block_last) {
-      bool inside = copy_count > 0;
-      index_t src = last_start;
-      for (int axis = 0; inside && axis < d - 1; ++axis) {
-        const index_t coord =
-            block_coords[static_cast<std::size_t>(axis)] * block_shape[axis] +
-            row_coords[static_cast<std::size_t>(axis)];
-        if (coord >= shape[axis]) {
-          inside = false;
-        } else {
-          src += coord * strides[static_cast<std::size_t>(axis)];
-        }
-      }
-      if (inside) {
-        std::memcpy(dst, array + src,
-                    static_cast<std::size_t>(copy_count) * sizeof(double));
-        kernels::quantize_block(dst, copy_count, float_type);
-        std::fill(dst + copy_count, dst + block_last, 0.0);
-      } else {
-        std::fill(dst, dst + block_last, 0.0);
-      }
-      if (d > 1) advance_row(block_shape, row_coords.data());
-    }
-  }
-
-  /// Copy block @p kb from @p src into the array, cropping ragged edges and
-  /// rounding the written values through @p float_type in the same pass (the
-  /// cropped padding never reaches the output, so it is never converted).
-  void scatter(double* array, index_t kb, const double* src,
-               FloatType float_type) {
-    decompose(grid, kb, block_coords.data());
-    const index_t last_start =
-        block_coords[static_cast<std::size_t>(d - 1)] * block_last;
-    const index_t copy_count =
-        std::clamp<index_t>(shape[d - 1] - last_start, 0, block_last);
-    std::fill(row_coords.begin(), row_coords.end(), 0);
-    for (index_t row = 0; row < rows_per_block; ++row, src += block_last) {
-      bool inside = copy_count > 0;
-      index_t dst = last_start;
-      for (int axis = 0; inside && axis < d - 1; ++axis) {
-        const index_t coord =
-            block_coords[static_cast<std::size_t>(axis)] * block_shape[axis] +
-            row_coords[static_cast<std::size_t>(axis)];
-        if (coord >= shape[axis]) {
-          inside = false;
-        } else {
-          dst += coord * strides[static_cast<std::size_t>(axis)];
-        }
-      }
-      if (inside) {
-        std::memcpy(array + dst, src,
-                    static_cast<std::size_t>(copy_count) * sizeof(double));
-        kernels::quantize_block(array + dst, copy_count, float_type);
-      }
-      if (d > 1) advance_row(block_shape, row_coords.data());
-    }
-  }
-};
-
-}  // namespace
 
 CompressedArray Compressor::compress(const NDArray<double>& array,
                                      CompressionDiagnostics* diagnostics) const {
@@ -220,7 +103,7 @@ CompressedArray Compressor::compress(const NDArray<double>& array,
   out.indices.visit_mutable([&](auto* bins_data) {
     parallel::parallel_for(0, num_blocks, kCodecGrain, [&](index_t chunk_begin,
                                                            index_t chunk_end) {
-      BlockCursor cursor(array.shape(), settings_.block_shape, grid);
+      blockio::BlockCursor cursor(array.shape(), settings_.block_shape, grid);
       std::vector<double> coeffs(static_cast<std::size_t>(block_volume));
       std::vector<double> scratch(static_cast<std::size_t>(block_volume));
       for (index_t kb = chunk_begin; kb < chunk_end; ++kb) {
@@ -232,32 +115,15 @@ CompressedArray Compressor::compress(const NDArray<double>& array,
           cursor.gather(array.data(), kb, coeffs.data(), ftype);
         }
 
-        // Step 3 (§III-A c): orthonormal transform, in place.
-        {
-          telemetry::TraceSpan stage("codec.stage.transform");
-          transform_->forward(coeffs.data(), scratch.data());
-        }
-
-        // Steps 4+5 (§III-A d, e): binning + pruning through the shared
-        // kernels.  N_k = ‖C_k‖∞ over all coefficients, stored rounded
-        // through the float type; indices are round(r C / N) clamped to
-        // [-r, r], stored for kept offsets only.
-        telemetry::TraceSpan stage("codec.stage.rebin");
-        const double biggest =
-            quantize(table.max_abs(coeffs.data(), block_volume), ftype);
-        out.biggest[static_cast<std::size_t>(kb)] = biggest;
-
+        // Steps 3-5 (§III-A c-e): orthonormal transform, then binning +
+        // pruning, through the per-block path shared with the decoded-block
+        // cache and random-access API (core/codec/block_access.hpp).
         auto* bins = bins_data + kb * kept;
         using BinT = std::remove_reference_t<decltype(bins[0])>;
-        if (biggest == 0.0) {
-          std::fill(bins, bins + kept, BinT{0});
-        } else if (kept == block_volume) {
-          kernels::bins<BinT>(table).quantize_bins(coeffs.data(), bins, kept,
-                                                   r / biggest, r);
-        } else {
-          kernels::quantize_bins_gather(coeffs.data(), kept_offsets.data(),
-                                        bins, kept, r / biggest, r);
-        }
+        const double biggest = blockio::encode_transform_rebin<BinT>(
+            table, *transform_, coeffs.data(), scratch.data(), block_volume,
+            kept, kept_offsets.data(), r, ftype, bins);
+        out.biggest[static_cast<std::size_t>(kb)] = biggest;
 
         if (diagnostics) {
           double binning_sq = 0.0, pruning_sq = 0.0, pruning_linf = 0.0,
@@ -296,6 +162,10 @@ NDArray<double> Compressor::decompress(const CompressedArray& array) const {
       array.transform != settings_.transform)
     throw std::invalid_argument(
         "Compressor::decompress: array was compressed with different settings");
+  if (array.dirty_cached_blocks() > 0)
+    throw std::logic_error(
+        "Compressor::decompress: array has unflushed dirty cached blocks; "
+        "call flush_cache() first");
 
   static telemetry::Counter& calls =
       telemetry::counter("codec.decompress.calls");
@@ -327,30 +197,19 @@ NDArray<double> Compressor::decompress(const CompressedArray& array) const {
   array.indices.visit([&](const auto* bins_data) {
     parallel::parallel_for(0, num_blocks, kCodecGrain, [&](index_t chunk_begin,
                                                            index_t chunk_end) {
-      BlockCursor cursor(array.shape, array.block_shape, grid);
+      blockio::BlockCursor cursor(array.shape, array.block_shape, grid);
       std::vector<double> coeffs(static_cast<std::size_t>(block_volume));
       std::vector<double> scratch(static_cast<std::size_t>(block_volume));
       for (index_t kb = chunk_begin; kb < chunk_end; ++kb) {
         // Unflatten F with zeros in the pruned slots (§III-B), scaling back
-        // to specified coefficients (Algorithm 3) through the shared kernels.
+        // to specified coefficients (Algorithm 3), then inverse-transform —
+        // the per-block path shared with the decoded-block cache.
         const double scale = array.biggest[static_cast<std::size_t>(kb)] / r;
         const auto* bins = bins_data + kb * kept;
         using BinT = std::remove_cvref_t<decltype(bins[0])>;
-        {
-          telemetry::TraceSpan stage("codec.stage.unbin");
-          if (kept == block_volume) {
-            kernels::bins<BinT>(table).unbin_block(bins, kept, scale,
-                                                   coeffs.data());
-          } else {
-            std::fill(coeffs.begin(), coeffs.end(), 0.0);
-            kernels::unbin_scatter(bins, kept_offsets.data(), kept, scale,
-                                   coeffs.data());
-          }
-        }
-        {
-          telemetry::TraceSpan stage("codec.stage.itransform");
-          transform_->inverse(coeffs.data(), scratch.data());
-        }
+        blockio::decode_unbin_itransform<BinT>(
+            table, *transform_, bins, block_volume, kept, kept_offsets.data(),
+            scale, coeffs.data(), scratch.data());
         // The reconstruction lives in the storage float type; the rounding is
         // fused into the scatter so cropped padding is never converted.
         telemetry::TraceSpan stage("codec.stage.scatter");

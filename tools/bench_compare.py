@@ -16,6 +16,13 @@ speedup-over-scalar ratios.  The backend summary is warn-only: which ISAs
 exist depends on the recording host, and single-core CI boxes are too noisy
 to hard-gate a SIMD speedup — a vanished win prints a flag, never a failure.
 
+Cache entries (`cache[]`, from bench_block_cache) are matched on
+(name, impl, shape) and summarized side by side with their measured hit
+rates, plus the cached-over-full hot-ROI read speedup (the decoded-block
+cache's >= 5x acceptance number).  Warn-only for the same reason as
+backends[].  --cache-only skips the kernel comparison entirely (for
+candidates that only carry a cache[] section).
+
 Concurrency entries (`concurrency[]`, from bench_multi_client) are matched on
 (name, shape, mode, clients) and compared on ops_per_second, with the
 sharded-over-serialized overlap ratio per client count summarized side by
@@ -182,6 +189,65 @@ def print_checksum_summary(baseline, candidate):
               f"{fmt(record):>16}{flag}")
 
 
+def load_cache(path):
+    # Baselines recorded before the decoded-block cache existed simply lack
+    # the section; an empty dict renders as "-" columns, never an error.
+    return {
+        (r["name"], r["impl"], r["shape"]): r
+        for r in load_json(path).get("cache", [])
+    }
+
+
+def cache_roi_speedups(cache):
+    """cached-over-full hot-ROI read ratio per shape — the decoded-block
+    cache's headline acceptance number (>= 5x on a cache-resident hot set)."""
+    ratios = {}
+    for (name, impl, shape), record in cache.items():
+        if name != "roi_read" or impl != "cached":
+            continue
+        full = cache.get((name, "full", shape))
+        if full and record["seconds_per_call"] > 0:
+            ratios[shape] = (
+                full["seconds_per_call"] / record["seconds_per_call"]
+            )
+    return ratios
+
+
+def print_cache_summary(baseline, candidate):
+    """Decoded-block cache entries (bench_block_cache) side by side, with the
+    measured hit rate per entry and the cached-over-full ROI-read speedup.
+    Warn-only, like backends[]: cache timings on a loaded runner are too
+    noisy to gate, so a lost speedup prints a flag, never a failure."""
+    keys = sorted(set(baseline) | set(candidate))
+    if not keys:
+        return
+    print(f"\n{'decoded-block cache':<50} {'baseline':>18} {'candidate':>18}")
+    for key in keys:
+        name, impl, shape = key
+        label = f"{name} {impl} {shape}"
+
+        def fmt(record):
+            if not record:
+                return "-"
+            cell = f"{record['seconds_per_call'] * 1e9:.0f}ns"
+            if record.get("hit_rate", -1) >= 0:
+                cell += f" {record['hit_rate'] * 100:.0f}%h"
+            return cell
+
+        print(f"{label:<50} {fmt(baseline.get(key)):>18} "
+              f"{fmt(candidate.get(key)):>18}")
+    base_roi = cache_roi_speedups(baseline)
+    cand_roi = cache_roi_speedups(candidate)
+    for shape in sorted(set(base_roi) | set(cand_roi)):
+        fmt = lambda r: f"{r:.1f}x" if r is not None else "-"
+        flag = ""
+        ratio = cand_roi.get(shape)
+        if ratio is not None and ratio < 5.0:
+            flag = "  <-- <5x hot-ROI speedup (warn-only)"
+        print(f"{'roi_read cached over full ' + shape:<50} "
+              f"{fmt(base_roi.get(shape)):>18} {fmt(ratio):>18}{flag}")
+
+
 def overlap_ratios(concurrency):
     """sharded-over-serialized aggregate throughput per (name, shape,
     clients) — the scheduler-overlap acceptance ratio."""
@@ -261,12 +327,23 @@ def main():
         help="compare only the concurrency[] sections (bench_multi_client "
         "candidates have no kernel results[]); always informational",
     )
+    parser.add_argument(
+        "--cache-only",
+        action="store_true",
+        help="compare only the cache[] sections (bench_block_cache "
+        "candidates have no kernel results[]); always warn-only",
+    )
     args = parser.parse_args()
 
     if args.concurrency_only:
         print_concurrency_summary(
             load_concurrency(args.baseline), load_concurrency(args.candidate)
         )
+        return 0
+
+    if args.cache_only:
+        print_cache_summary(load_cache(args.baseline),
+                            load_cache(args.candidate))
         return 0
 
     baseline = load_results(args.baseline)
@@ -298,6 +375,7 @@ def main():
                           load_backends(args.candidate))
     print_checksum_summary(load_checksum_overheads(args.baseline),
                            load_checksum_overheads(args.candidate))
+    print_cache_summary(load_cache(args.baseline), load_cache(args.candidate))
     # Engage only when the candidate actually carries concurrency cells: the
     # routine CI candidate comes from bench_micro_kernels, which has none,
     # and a silent baseline-only table would just read as missing data.

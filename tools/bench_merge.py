@@ -4,10 +4,12 @@
 Usage:
     tools/bench_merge.py BASE.json EXTRA.json [-o OUT.json]
 
-The committed BENCH_kernels.json baseline is produced by two binaries:
+The committed BENCH_kernels.json baseline is produced by three binaries:
 bench_micro_kernels writes the kernel sections (results/speedups/
-fusion_speedups/expr_overheads plus the per-SIMD-backend backends[] series)
-and bench_multi_client writes concurrency[].
+fusion_speedups/expr_overheads plus the per-SIMD-backend backends[] series),
+bench_multi_client writes concurrency[], and bench_block_cache writes the
+decoded-block cache[] series (identified by name/impl/shape, merged like any
+other section).
 This script folds every non-empty top-level list section of EXTRA into BASE —
 entries whose identity (name/kind/impl/shape/mode/clients) matches an
 existing one replace it, new identities append — and writes the merged file
@@ -15,7 +17,9 @@ existing one replace it, new identities append — and writes the merged file
 
     ./build/bench_micro_kernels BENCH_kernels.json
     ./build/bench_multi_client  BENCH_multi.json
+    ./build/bench_block_cache   BENCH_cache.json
     tools/bench_merge.py BENCH_kernels.json BENCH_multi.json
+    tools/bench_merge.py BENCH_kernels.json BENCH_cache.json
 
 (run bench_multi_client once per configuration you want recorded — e.g. the
 full-size run and the CI --smoke shape — merging after each.)
