@@ -3,7 +3,7 @@
 /// front end) → decompress — against the process-wide scheduler, measuring
 /// whether independent requests actually overlap.
 ///
-/// Usage: bench_multi_client [OUTPUT.json] [--smoke]
+/// Usage: bench_multi_client [OUTPUT.json] [--smoke] [--batch]
 ///
 /// Every (mode, clients) cell fires `clients` threads that run the identical
 /// session workload; the harness records aggregate throughput plus p50/p95
@@ -22,12 +22,22 @@
 /// single-core host the two modes are expected to tie (there is nothing to
 /// overlap onto); the harness prints that caveat instead of a warning.
 ///
+/// --batch swaps the per-request work for the coalesced-session shape: each
+/// client builds K=4 expressions sharing 3 of 4 operands and submits them as
+/// ONE BatchEval::eval() (one ops::lincomb_batch call) instead of four
+/// separate lincomb calls.  The reference every client checks against is computed
+/// by SEQUENTIAL per-expression evaluation, so these cells gate the
+/// batch==sequential bit-identity contract under concurrency, not just the
+/// scheduler.  Batched cells record under the distinct name
+/// "compress_lincomb_batch" so they diff independently in concurrency[].
+///
 /// Results land in a `concurrency[]` section (same JSON schema as
 /// bench_micro_kernels); tools/bench_compare.py diffs it and
 /// tools/bench_merge.py folds it into the committed BENCH_kernels.json.
 /// --smoke shrinks arrays and iteration counts for CI.
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -81,23 +91,81 @@ CompressorSettings session_settings() {
 /// compressed operands through the expression front end (one fused lincomb,
 /// one rebin), and decode the result — the compress/operate/decompress
 /// stream shape inline-compression pipelines keep in flight.
+///
+/// With `batched` set, the combine step widens to the coalesced-session
+/// shape: K=4 expressions of arity 4 sharing 3 operands (fresh, standing_b,
+/// standing_c) plus one per-expression standing_d[k], submitted as a single
+/// BatchEval::eval().  request_reference() evaluates the same expressions
+/// one lincomb at a time, so the run_cell bit-check doubles as a
+/// batch==sequential identity gate under concurrency.
 struct SessionWorkload {
   Compressor compressor{session_settings()};
   NDArray<double> input;
   CompressedArray standing_b;
   CompressedArray standing_c;
+  std::array<CompressedArray, 4> standing_d;
+  bool batched = false;
 
-  explicit SessionWorkload(const Shape& shape) : input(shape) {
+  SessionWorkload(const Shape& shape, bool batched_mode)
+      : input(shape), batched(batched_mode) {
     Rng rng(11);
     input = random_smooth(shape, rng, 6);
     standing_b = compressor.compress(random_smooth(shape, rng, 6));
     standing_c = compressor.compress(random_smooth(shape, rng, 6));
+    for (auto& d : standing_d)
+      d = compressor.compress(random_smooth(shape, rng, 6));
   }
 
   std::pair<std::vector<std::uint8_t>, NDArray<double>> request() const {
     const CompressedArray fresh = compressor.compress(input);
+    if (batched) {
+      const auto exprs = batch_exprs(fresh);
+      BatchEval batch;
+      for (const auto& e : exprs) batch.add(e);
+      return pack(batch.eval());
+    }
     const CompressedArray mix = fresh - 0.5 * standing_b + 0.25 * standing_c;
     return {serialize(mix), compressor.decompress(mix)};
+  }
+
+  /// What request() must reproduce bit for bit.  In batch mode this
+  /// evaluates the same K expressions sequentially — one lincomb each — so
+  /// any divergence between the fused multi-output path and per-expression
+  /// evaluation fails every client's check.
+  std::pair<std::vector<std::uint8_t>, NDArray<double>> request_reference()
+      const {
+    if (!batched) return request();
+    const CompressedArray fresh = compressor.compress(input);
+    const auto exprs = batch_exprs(fresh);
+    std::vector<CompressedArray> results;
+    results.reserve(exprs.size());
+    for (const auto& e : exprs) results.push_back(e.eval());
+    return pack(results);
+  }
+
+ private:
+  /// K=4 expressions sharing fresh/standing_b/standing_c — the 3-of-4
+  /// sharing shape bench_lincomb_batch's acceptance workload uses.
+  std::array<LinExpr<4>, 4> batch_exprs(const CompressedArray& fresh) const {
+    std::array<LinExpr<4>, 4> exprs;
+    for (int k = 0; k < 4; ++k)
+      exprs[static_cast<std::size_t>(k)] =
+          fresh - 0.5 * standing_b + 0.25 * standing_c +
+          (0.125 * (k + 1)) * standing_d[static_cast<std::size_t>(k)];
+    return exprs;
+  }
+
+  /// Serialized bytes of every result concatenated (so the bit-check covers
+  /// all K outputs) plus the decoded first result, mirroring the
+  /// single-expression pipeline's decode step.
+  std::pair<std::vector<std::uint8_t>, NDArray<double>> pack(
+      const std::vector<CompressedArray>& results) const {
+    std::vector<std::uint8_t> bytes;
+    for (const CompressedArray& r : results) {
+      const std::vector<std::uint8_t> one = serialize(r);
+      bytes.insert(bytes.end(), one.begin(), one.end());
+    }
+    return {std::move(bytes), compressor.decompress(results.front())};
   }
 };
 
@@ -200,8 +268,8 @@ std::string shape_string(const Shape& shape) {
   return text;
 }
 
-bool write_json(const std::string& path, const Shape& shape,
-                const std::vector<CellResult>& cells) {
+bool write_json(const std::string& path, const char* cell_name,
+                const Shape& shape, const std::vector<CellResult>& cells) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;
   std::fprintf(f, "{\n  \"schema\": \"pyblaz-bench-kernels-v1\",\n");
@@ -210,12 +278,13 @@ bool write_json(const std::string& path, const Shape& shape,
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const CellResult& r = cells[i];
     std::fprintf(f,
-                 "    {\"name\": \"compress_lincomb_decompress\", \"shape\": "
+                 "    {\"name\": \"%s\", \"shape\": "
                  "\"%s\", \"mode\": \"%s\", \"clients\": %d, \"threads\": %d, "
                  "\"iterations_per_client\": %d, \"seconds_total\": %.6e, "
                  "\"ops_per_second\": %.6e, \"p50_seconds\": %.6e, "
                  "\"p95_seconds\": %.6e, \"p99_seconds\": %.6e}%s\n",
-                 shape_text.c_str(), r.mode.c_str(), r.clients, r.threads,
+                 cell_name, shape_text.c_str(), r.mode.c_str(), r.clients,
+                 r.threads,
                  r.iterations_per_client, r.seconds_total, r.ops_per_second,
                  r.p50_seconds, r.p95_seconds, r.p99_seconds,
                  i + 1 < cells.size() ? "," : "");
@@ -230,9 +299,12 @@ bool write_json(const std::string& path, const Shape& shape,
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_multi_client.local.json";
   bool smoke = false;
+  bool batch = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--smoke") == 0)
       smoke = true;
+    else if (std::strcmp(argv[a], "--batch") == 0)
+      batch = true;
     else
       out_path = argv[a];
   }
@@ -249,9 +321,15 @@ int main(int argc, char** argv) {
     config.client_counts = {1, 2};
   }
 
-  const SessionWorkload workload(config.array_shape);
-  // Sequential reference: what every concurrent client must reproduce.
-  const auto [reference_bytes, reference_decoded] = workload.request();
+  const SessionWorkload workload(config.array_shape, batch);
+  // Sequential reference: what every concurrent client must reproduce (in
+  // --batch mode, computed per-expression so it also gates the batched
+  // path's bit-identity contract).
+  const auto [reference_bytes, reference_decoded] =
+      workload.request_reference();
+  if (batch)
+    std::printf("batch mode: each request coalesces 4 expressions (3 of 4 "
+                "operands shared) into one BatchEval::eval()\n");
 
   std::vector<CellResult> cells;
   bool all_identical = true;
@@ -300,7 +378,9 @@ int main(int argc, char** argv) {
                  "reference\n");
     return 1;
   }
-  if (!write_json(out_path, config.array_shape, cells)) {
+  const char* cell_name =
+      batch ? "compress_lincomb_batch" : "compress_lincomb_decompress";
+  if (!write_json(out_path, cell_name, config.array_shape, cells)) {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
     return 1;
   }

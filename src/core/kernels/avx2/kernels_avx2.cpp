@@ -227,6 +227,106 @@ void decode_lincomb_avx2(const BinT* const* f, const double* s,
   if (i < num_operands) decode_accumulate_avx2(f[i], s[i], count, c);
 }
 
+/// c[j] = sa*a[j] + sb*b[j] over converted double rows — the first-pair pass
+/// of the multi-output decode, same per-element association as
+/// decode_axpby_avx2 (mul, mul, add; scale broadcasts hoisted).
+void axpby_rows_avx2(const double* a, double sa, const double* b, double sb,
+                     index_t count, double* c) {
+  const __m256d va = _mm256_set1_pd(sa);
+  const __m256d vb = _mm256_set1_pd(sb);
+  index_t j = 0;
+  for (; j + 4 <= count; j += 4)
+    _mm256_storeu_pd(
+        c + j, _mm256_add_pd(_mm256_mul_pd(va, _mm256_loadu_pd(a + j)),
+                             _mm256_mul_pd(vb, _mm256_loadu_pd(b + j))));
+  for (; j < count; ++j) c[j] = sa * a[j] + sb * b[j];
+}
+
+/// c[j] += sa*a[j] + sb*b[j]: the later-pair pass (pair rounds first, then
+/// accumulates — the decode_axpby_accumulate_avx2 association).
+void axpby_accumulate_rows_avx2(const double* a, double sa, const double* b,
+                                double sb, index_t count, double* c) {
+  const __m256d va = _mm256_set1_pd(sa);
+  const __m256d vb = _mm256_set1_pd(sb);
+  index_t j = 0;
+  for (; j + 4 <= count; j += 4)
+    _mm256_storeu_pd(
+        c + j,
+        _mm256_add_pd(_mm256_loadu_pd(c + j),
+                      _mm256_add_pd(_mm256_mul_pd(va, _mm256_loadu_pd(a + j)),
+                                    _mm256_mul_pd(vb, _mm256_loadu_pd(b + j)))));
+  for (; j < count; ++j) c[j] += sa * a[j] + sb * b[j];
+}
+
+/// c[j] = sa*a[j]: the single-term output (unbin_block association).
+void scale_row_avx2(const double* a, double sa, index_t count, double* c) {
+  const __m256d va = _mm256_set1_pd(sa);
+  index_t j = 0;
+  for (; j + 4 <= count; j += 4)
+    _mm256_storeu_pd(c + j, _mm256_mul_pd(va, _mm256_loadu_pd(a + j)));
+  for (; j < count; ++j) c[j] = sa * a[j];
+}
+
+/// c[j] += sa*a[j]: the odd-tail term (decode_accumulate association).
+void accumulate_row_avx2(const double* a, double sa, index_t count,
+                         double* c) {
+  const __m256d va = _mm256_set1_pd(sa);
+  index_t j = 0;
+  for (; j + 4 <= count; j += 4)
+    _mm256_storeu_pd(c + j,
+                     _mm256_add_pd(_mm256_loadu_pd(c + j),
+                                   _mm256_mul_pd(va, _mm256_loadu_pd(a + j))));
+  for (; j < count; ++j) c[j] += sa * a[j];
+}
+
+/// Multi-output batched decode: every distinct row is converted to double
+/// ONCE into the caller's decoded scratch (row d at decoded[d*count ..]),
+/// then each output's term list streams pairwise passes over those contiguous
+/// double rows — contiguous loads, hoisted scale broadcasts, no per-element
+/// indirection.  The per-element operation sequence on out[k][j] (first pair
+/// a*b + c*d, later pairs summed then accumulated, odd tail alone) matches
+/// decode_lincomb_avx2 exactly and int->double conversion is exact, so every
+/// output row is bit-identical to a separate decode_lincomb call.
+template <typename BinT>
+void decode_lincomb_multi_avx2(const BinT* const* rows, index_t num_rows,
+                               const double* scales, const index_t* term_rows,
+                               const index_t* offsets, index_t num_outputs,
+                               index_t count, double* decoded,
+                               double* const* out) {
+  for (index_t d = 0; d < num_rows; ++d) {
+    const BinT* src = rows[d];
+    double* dst = decoded + d * count;
+    index_t j = 0;
+    for (; j + 4 <= count; j += 4)
+      _mm256_storeu_pd(dst + j, load4_pd(src + j));
+    for (; j < count; ++j) dst[j] = static_cast<double>(src[j]);
+  }
+  for (index_t k = 0; k < num_outputs; ++k) {
+    const index_t begin = offsets[k];
+    const index_t end = offsets[k + 1];
+    double* c = out[k];
+    index_t t = begin;
+    if (end - begin >= 2) {
+      axpby_rows_avx2(decoded + term_rows[begin] * count, scales[begin],
+                      decoded + term_rows[begin + 1] * count,
+                      scales[begin + 1], count, c);
+      t = begin + 2;
+    } else if (end - begin == 1) {
+      scale_row_avx2(decoded + term_rows[begin] * count, scales[begin], count,
+                     c);
+      t = begin + 1;
+    } else {
+      std::fill(c, c + count, 0.0);
+    }
+    for (; t + 1 < end; t += 2)
+      axpby_accumulate_rows_avx2(decoded + term_rows[t] * count, scales[t],
+                                 decoded + term_rows[t + 1] * count,
+                                 scales[t + 1], count, c);
+    if (t < end)
+      accumulate_row_avx2(decoded + term_rows[t] * count, scales[t], count, c);
+  }
+}
+
 // --- family 3: dense one-axis transform ------------------------------------
 
 void dense_transform_axis_avx2(const double* src, double* dst,
@@ -526,11 +626,20 @@ void decode_lincomb_i64(const std::int64_t* const* f, const double* s,
                         index_t num_operands, index_t count, double* c) {
   decode_lincomb<std::int64_t>(f, s, num_operands, count, c);
 }
+void decode_lincomb_multi_i64(const std::int64_t* const* rows,
+                              index_t num_rows, const double* scales,
+                              const index_t* term_rows, const index_t* offsets,
+                              index_t num_outputs, index_t count,
+                              double* decoded, double* const* out) {
+  decode_lincomb_multi<std::int64_t>(rows, num_rows, scales, term_rows,
+                                     offsets, num_outputs, count, decoded,
+                                     out);
+}
 
 template <typename BinT>
 constexpr BinKernels<BinT> avx2_bin_kernels() {
   return {&quantize_bins_avx2<BinT>, &unbin_block_avx2<BinT>,
-          &decode_lincomb_avx2<BinT>};
+          &decode_lincomb_avx2<BinT>, &decode_lincomb_multi_avx2<BinT>};
 }
 
 }  // namespace
@@ -544,7 +653,8 @@ const KernelTable* avx2_table() {
       avx2_bin_kernels<std::int8_t>(),
       avx2_bin_kernels<std::int16_t>(),
       avx2_bin_kernels<std::int32_t>(),
-      {&quantize_bins_i64, &unbin_block_i64, &decode_lincomb_i64},
+      {&quantize_bins_i64, &unbin_block_i64, &decode_lincomb_i64,
+       &decode_lincomb_multi_i64},
       &dense_transform_axis_avx2,
       &dct_axis_avx2,
       &huffman_decode_run_generic,

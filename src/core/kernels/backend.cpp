@@ -34,9 +34,19 @@ void decode_lincomb_entry(const BinT* const* f, const double* s,
 }
 
 template <typename BinT>
+void decode_lincomb_multi_entry(const BinT* const* rows, index_t num_rows,
+                                const double* scales, const index_t* term_rows,
+                                const index_t* offsets, index_t num_outputs,
+                                index_t count, double* decoded,
+                                double* const* out) {
+  decode_lincomb_multi<BinT>(rows, num_rows, scales, term_rows, offsets,
+                             num_outputs, count, decoded, out);
+}
+
+template <typename BinT>
 constexpr BinKernels<BinT> scalar_bin_kernels() {
   return {&quantize_bins_entry<BinT>, &unbin_block_entry<BinT>,
-          &decode_lincomb_entry<BinT>};
+          &decode_lincomb_entry<BinT>, &decode_lincomb_multi_entry<BinT>};
 }
 
 bool cpu_supports(Backend backend) {

@@ -49,6 +49,14 @@ struct BinKernels {
   void (*unbin_block)(const BinT* f, index_t count, double scale, double* c);
   void (*decode_lincomb)(const BinT* const* f, const double* s,
                          index_t num_operands, index_t count, double* c);
+  /// Multi-output batched decode (see rebin.hpp decode_lincomb_multi): K
+  /// flattened linear combinations over num_rows shared bin rows; decoded is
+  /// caller scratch of at least num_rows * count doubles.
+  void (*decode_lincomb_multi)(const BinT* const* rows, index_t num_rows,
+                               const double* scales, const index_t* term_rows,
+                               const index_t* offsets, index_t num_outputs,
+                               index_t count, double* decoded,
+                               double* const* out);
 };
 
 /// A complete kernel backend.  Every slot is non-null in every table; slots a

@@ -217,10 +217,24 @@ void dense_transform_axis_neon(const double* src, double* dst,
   }
 }
 
+/// Multi-output batched decode: stays on the scalar oracle until a dedicated
+/// 2-lane variant is measured on real AArch64 hardware (same policy as the
+/// unrecorded NEON speedups in ROADMAP.md) — correctness and bit-identity
+/// hold either way because the scalar kernel IS the contract.
+template <typename BinT>
+void decode_lincomb_multi_neon(const BinT* const* rows, index_t num_rows,
+                               const double* scales, const index_t* term_rows,
+                               const index_t* offsets, index_t num_outputs,
+                               index_t count, double* decoded,
+                               double* const* out) {
+  decode_lincomb_multi<BinT>(rows, num_rows, scales, term_rows, offsets,
+                             num_outputs, count, decoded, out);
+}
+
 template <typename BinT>
 constexpr BinKernels<BinT> neon_bin_kernels() {
   return {&quantize_bins_neon<BinT>, &unbin_block_neon<BinT>,
-          &decode_lincomb_neon<BinT>};
+          &decode_lincomb_neon<BinT>, &decode_lincomb_multi_neon<BinT>};
 }
 
 /// int64 bins stay scalar: the 2^53 arithmetic radius would need the full
@@ -237,6 +251,15 @@ void decode_lincomb_i64(const std::int64_t* const* f, const double* s,
                         index_t num_operands, index_t count, double* c) {
   decode_lincomb<std::int64_t>(f, s, num_operands, count, c);
 }
+void decode_lincomb_multi_i64(const std::int64_t* const* rows,
+                              index_t num_rows, const double* scales,
+                              const index_t* term_rows, const index_t* offsets,
+                              index_t num_outputs, index_t count,
+                              double* decoded, double* const* out) {
+  decode_lincomb_multi<std::int64_t>(rows, num_rows, scales, term_rows,
+                                     offsets, num_outputs, count, decoded,
+                                     out);
+}
 
 }  // namespace
 
@@ -249,7 +272,8 @@ const KernelTable* neon_table() {
       neon_bin_kernels<std::int8_t>(),
       neon_bin_kernels<std::int16_t>(),
       neon_bin_kernels<std::int32_t>(),
-      {&quantize_bins_i64, &unbin_block_i64, &decode_lincomb_i64},
+      {&quantize_bins_i64, &unbin_block_i64, &decode_lincomb_i64,
+       &decode_lincomb_multi_i64},
       &dense_transform_axis_neon,
       &dct_fast_axis,
       &huffman_decode_run_generic,

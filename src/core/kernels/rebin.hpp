@@ -139,6 +139,83 @@ inline void decode_lincomb(const BinT* const* __restrict f,
   if (i < num_operands) decode_accumulate(f[i], s[i], count, c);
 }
 
+/// Multi-output fused decode: evaluate K linear combinations over one shared
+/// set of distinct bin rows, converting each distinct row's element to double
+/// ONCE per element instead of once per (expression, element).  This is the
+/// per-block engine of ops::lincomb_batch: when K expressions share operands,
+/// the int->double conversions and bin-row loads fall from Σ_k arity_k to
+/// num_rows per element.
+///
+/// Terms are flattened: output k owns terms [offsets[k], offsets[k+1]); term
+/// t reads rows[term_rows[t]] with scale scales[t].  @p decoded is caller
+/// scratch of at least num_rows * count doubles: every backend converts each
+/// distinct row into decoded[d*count ..] once, then streams each output's
+/// pairwise passes over those contiguous double rows.
+///
+/// Bit-identity contract: out[k][j] is computed with exactly the per-element
+/// association of decode_lincomb — first pair via a*b + c*d, subsequent pairs
+/// summed then accumulated, odd tail accumulated alone, single-term outputs
+/// as one multiply — and int->double conversion is exact for every bin value
+/// (|bin| <= 2^53), so each output row is bit-identical to a separate
+/// decode_lincomb call with the same (row, scale) list.
+template <typename BinT>
+inline void decode_lincomb_multi(const BinT* const* __restrict rows,
+                                 index_t num_rows,
+                                 const double* __restrict scales,
+                                 const index_t* __restrict term_rows,
+                                 const index_t* __restrict offsets,
+                                 index_t num_outputs, index_t count,
+                                 double* __restrict decoded,
+                                 double* const* __restrict out) {
+  // Convert every distinct row ONCE (exact: int -> double), then run each
+  // output's pairwise passes over the converted doubles.  Per element the
+  // operation sequence on out[k][j] is identical to decode_lincomb's
+  // per-element order, so hoisting the conversion changes no bit.
+  for (index_t d = 0; d < num_rows; ++d) {
+    double* __restrict dst = decoded + d * count;
+    const BinT* __restrict src = rows[d];
+#pragma omp simd
+    for (index_t j = 0; j < count; ++j) dst[j] = static_cast<double>(src[j]);
+  }
+  for (index_t k = 0; k < num_outputs; ++k) {
+    const index_t begin = offsets[k];
+    const index_t end = offsets[k + 1];
+    double* __restrict c = out[k];
+    index_t t = begin;
+    if (end - begin >= 2) {
+      const double* __restrict a = decoded + term_rows[begin] * count;
+      const double* __restrict b = decoded + term_rows[begin + 1] * count;
+      const double sa = scales[begin];
+      const double sb = scales[begin + 1];
+#pragma omp simd
+      for (index_t j = 0; j < count; ++j) c[j] = sa * a[j] + sb * b[j];
+      t = begin + 2;
+    } else if (end - begin == 1) {
+      const double* __restrict a = decoded + term_rows[begin] * count;
+      const double sa = scales[begin];
+#pragma omp simd
+      for (index_t j = 0; j < count; ++j) c[j] = sa * a[j];
+      t = begin + 1;
+    } else {
+      std::fill(c, c + count, 0.0);
+    }
+    for (; t + 1 < end; t += 2) {
+      const double* __restrict a = decoded + term_rows[t] * count;
+      const double* __restrict b = decoded + term_rows[t + 1] * count;
+      const double sa = scales[t];
+      const double sb = scales[t + 1];
+#pragma omp simd
+      for (index_t j = 0; j < count; ++j) c[j] += sa * a[j] + sb * b[j];
+    }
+    if (t < end) {
+      const double* __restrict a = decoded + term_rows[t] * count;
+      const double sa = scales[t];
+#pragma omp simd
+      for (index_t j = 0; j < count; ++j) c[j] += sa * a[j];
+    }
+  }
+}
+
 /// Round a coefficient row through the storage float type in place.  The
 /// float32 case (the default) is a tight vectorizable loop; the 16-bit types
 /// go through their bit-exact conversion helpers.

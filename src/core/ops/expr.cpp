@@ -14,3 +14,17 @@ CompressedArray eval_terms(const CompressedArray* const* operands,
 }
 
 }  // namespace pyblaz::expr_detail
+
+namespace pyblaz {
+
+std::vector<CompressedArray> BatchEval::eval() const {
+  std::vector<ops::LincombRequest> requests;
+  requests.reserve(requests_.size());
+  for (const Request& req : requests_)
+    requests.push_back({std::span<const CompressedArray* const>(
+                            req.operands.data(), req.operands.size()),
+                        std::span<const double>(req.weights), req.bias});
+  return ops::lincomb_batch(std::span<const ops::LincombRequest>(requests));
+}
+
+}  // namespace pyblaz

@@ -4,6 +4,7 @@
 #include <concepts>
 #include <cstddef>
 #include <type_traits>
+#include <vector>
 
 #include "core/codec/compressed_array.hpp"
 
@@ -198,6 +199,62 @@ template <LinExprOperand A>
 constexpr auto operator-(double s, const A& a) {
   return as_expr(a).scaled(-1.0).shifted(s);
 }
+
+// --- Batched evaluation: K expressions, shared operands decoded once. ---
+
+/// Collects LinExprs and evaluates them as ONE ops::lincomb_batch call: per
+/// block, each *distinct* operand (deduplicated by pointer — expressions
+/// share a decode only when they reference the same CompressedArray object)
+/// is decoded once and fanned into every collected expression through the
+/// multi-output kernel, each output finishing with its own terminal rebin.
+/// Results are bit-identical to eval()ing each expression alone, in add()
+/// order; a batch whose expressions share nothing (or holds a single
+/// expression) falls back to exactly that sequential evaluation.
+///
+///     BatchEval batch;
+///     batch.add(h - dt * (fx + fy));
+///     batch.add(0.5 * h + 0.5 * g);
+///     std::vector<CompressedArray> results = batch.eval();
+///
+/// Lifetime: like LinExpr, only operand *pointers* are stored — every operand
+/// must stay alive until eval() returns.  Unlike a bare LinExpr, collected
+/// expressions are held across statements by design, so never add()
+/// expressions built from temporaries.
+class BatchEval {
+ public:
+  /// Append one expression.  Returns *this so adds chain.
+  template <std::size_t N>
+  BatchEval& add(const LinExpr<N>& e) {
+    Request req;
+    req.operands.assign(e.operands.begin(), e.operands.end());
+    req.weights.assign(e.weights.begin(), e.weights.end());
+    req.bias = e.bias;
+    requests_.push_back(std::move(req));
+    return *this;
+  }
+
+  /// A bare array batches as its unit-weight single-term expression.
+  BatchEval& add(const CompressedArray& a) { return add(as_expr(a)); }
+
+  std::size_t size() const { return requests_.size(); }
+  bool empty() const { return requests_.empty(); }
+
+  /// Drop every collected expression (eval() does not clear).
+  void clear() { requests_.clear(); }
+
+  /// Evaluate all collected expressions in one batched pass; results[i]
+  /// corresponds to the i-th add().  Implemented in expr.cpp so this header
+  /// stays independent of ops.hpp.
+  std::vector<CompressedArray> eval() const;
+
+ private:
+  struct Request {
+    std::vector<const CompressedArray*> operands;
+    std::vector<double> weights;
+    double bias = 0.0;
+  };
+  std::vector<Request> requests_;
+};
 
 // --- Compound assignment: state updates through the same one-rebin path. ---
 

@@ -180,6 +180,39 @@ CompressedArray lincomb(
     std::initializer_list<std::pair<double, const CompressedArray*>> terms,
     double bias = 0.0);
 
+/// One expression of a batch: Σ_i weights[i] * operands[i] + bias, the same
+/// term list a single lincomb call takes.  Non-owning views — the arrays and
+/// the weight storage must outlive the lincomb_batch call.
+struct LincombRequest {
+  std::span<const CompressedArray* const> operands;
+  std::span<const double> weights;
+  double bias = 0.0;
+};
+
+/// Batched multi-expression evaluation: evaluate every request in ONE blocked
+/// pass, decoding each *distinct* operand's coefficient row once per block
+/// and fanning it into all K output rows through the multi-output kernel
+/// (kernels::decode_lincomb_multi), then finishing each output with its own
+/// terminal rebin.  Per block, int->double bin decodes fall from Σ_k arity_k
+/// to the number of distinct operands — the request-batching amortization the
+/// service layer coalesces concurrent expressions for.
+///
+/// Outputs are bit-identical to calling ops::lincomb(requests[k]) one at a
+/// time, at any thread count, shard count, kernel backend, or cache capacity;
+/// results[k] corresponds to requests[k].  Operands are deduplicated by
+/// pointer — two requests share a decode only when they reference the same
+/// CompressedArray object.  Batches of one request, or batches whose
+/// requests share nothing, fall back to sequential per-request evaluation
+/// (same bits, no amortization).  Every request's operands must share the
+/// layout of the first request's first operand; a request with a nonzero
+/// bias requires the DC coefficient, like lincomb.  Operands with unflushed
+/// dirty cached blocks are rejected (std::logic_error): the raw archive
+/// fields this pass reads don't reflect those writes yet — flush_cache()
+/// first.  Rebin accounting: a K-request batch performs exactly K terminal
+/// rebin passes (lincomb_rebin_passes() advances by K, fused or fallback).
+std::vector<CompressedArray> lincomb_batch(
+    std::span<const LincombRequest> requests);
+
 /// Process-wide count of terminal rebin passes performed by ops::lincomb —
 /// exactly one per call, which is the fused pipeline's defining property.
 /// Everything that routes through lincomb (add, subtract, add_scalar,

@@ -23,6 +23,15 @@ cache's >= 5x acceptance number).  Warn-only for the same reason as
 backends[].  --cache-only skips the kernel comparison entirely (for
 candidates that only carry a cache[] section).
 
+Batch entries (`batch[]`, from bench_lincomb_batch) are matched on
+(name, impl, shape) and summarized side by side with the batch-over-sequential
+speedup per workload (the batched-evaluation >= 1.5x acceptance number on the
+shared3of4_i32 row).  Warn-only for the same reason as backends[]: the ratio
+is a cache-traffic property of the recording host.  Baselines recorded before
+the section existed simply lack it — the summary prints "-" columns, never an
+error.  --batch-only skips the kernel comparison entirely (for candidates
+that only carry a batch[] section).
+
 Concurrency entries (`concurrency[]`, from bench_multi_client) are matched on
 (name, shape, mode, clients) and compared on ops_per_second, with the
 sharded-over-serialized overlap ratio per client count summarized side by
@@ -248,6 +257,60 @@ def print_cache_summary(baseline, candidate):
               f"{fmt(base_roi.get(shape)):>18} {fmt(ratio):>18}{flag}")
 
 
+def load_batch(path):
+    # Baselines recorded before batched evaluation existed simply lack the
+    # section; an empty dict renders as "-" columns, never an error.
+    return {
+        (r["name"], r["impl"], r["shape"]): r
+        for r in load_json(path).get("batch", [])
+    }
+
+
+def batch_speedups(batch):
+    """batch-over-sequential ratio per (name, shape) — >= 1.5x on the
+    shared3of4_i32 row is the batched-evaluation acceptance number; the
+    shared3of4_i8 and noshare rows are expected to sit near 1.0x."""
+    ratios = {}
+    for (name, impl, shape), record in batch.items():
+        if impl != "batch":
+            continue
+        sequential = batch.get((name, "sequential", shape))
+        if sequential and record["seconds_per_call"] > 0:
+            ratios[(name, shape)] = (
+                sequential["seconds_per_call"] / record["seconds_per_call"]
+            )
+    return ratios
+
+
+def print_batch_summary(baseline, candidate):
+    """Batched-evaluation entries (bench_lincomb_batch) side by side, with
+    the batch-over-sequential speedup per workload.  Warn-only, like
+    backends[]: the ratio depends on the recording host's cache hierarchy,
+    so a shrunken headline prints a flag, never a failure (the bench binary
+    itself hard-gates bit-identity)."""
+    keys = sorted(set(baseline) | set(candidate))
+    if not keys:
+        return
+    print(f"\n{'batched evaluation':<50} {'baseline':>14} {'candidate':>14}")
+    for key in keys:
+        name, impl, shape = key
+        label = f"{name} {impl} {shape}"
+        fmt = lambda r: f"{r['seconds_per_call'] * 1e6:.0f}us" if r else "-"
+        print(f"{label:<50} {fmt(baseline.get(key)):>14} "
+              f"{fmt(candidate.get(key)):>14}")
+    base_ratio = batch_speedups(baseline)
+    cand_ratio = batch_speedups(candidate)
+    for key in sorted(set(base_ratio) | set(cand_ratio)):
+        name, shape = key
+        fmt = lambda r: f"{r:.2f}x" if r is not None else "-"
+        flag = ""
+        ratio = cand_ratio.get(key)
+        if name == "shared3of4_i32" and ratio is not None and ratio < 1.5:
+            flag = "  <-- <1.5x batch speedup (warn-only)"
+        print(f"{name + ' batch over sequential ' + shape:<50} "
+              f"{fmt(base_ratio.get(key)):>14} {fmt(ratio):>14}{flag}")
+
+
 def overlap_ratios(concurrency):
     """sharded-over-serialized aggregate throughput per (name, shape,
     clients) — the scheduler-overlap acceptance ratio."""
@@ -333,6 +396,12 @@ def main():
         help="compare only the cache[] sections (bench_block_cache "
         "candidates have no kernel results[]); always warn-only",
     )
+    parser.add_argument(
+        "--batch-only",
+        action="store_true",
+        help="compare only the batch[] sections (bench_lincomb_batch "
+        "candidates have no kernel results[]); always warn-only",
+    )
     args = parser.parse_args()
 
     if args.concurrency_only:
@@ -344,6 +413,11 @@ def main():
     if args.cache_only:
         print_cache_summary(load_cache(args.baseline),
                             load_cache(args.candidate))
+        return 0
+
+    if args.batch_only:
+        print_batch_summary(load_batch(args.baseline),
+                            load_batch(args.candidate))
         return 0
 
     baseline = load_results(args.baseline)
@@ -376,6 +450,11 @@ def main():
     print_checksum_summary(load_checksum_overheads(args.baseline),
                            load_checksum_overheads(args.candidate))
     print_cache_summary(load_cache(args.baseline), load_cache(args.candidate))
+    # Like concurrency below: the routine bench_micro_kernels candidate has
+    # no batch[] section, and a baseline-only table would read as missing.
+    candidate_batch = load_batch(args.candidate)
+    if candidate_batch:
+        print_batch_summary(load_batch(args.baseline), candidate_batch)
     # Engage only when the candidate actually carries concurrency cells: the
     # routine CI candidate comes from bench_micro_kernels, which has none,
     # and a silent baseline-only table would just read as missing data.

@@ -4,38 +4,56 @@
 Usage:
     tools/bench_merge.py BASE.json EXTRA.json [-o OUT.json]
 
-The committed BENCH_kernels.json baseline is produced by three binaries:
+The committed BENCH_kernels.json baseline is produced by four binaries:
 bench_micro_kernels writes the kernel sections (results/speedups/
 fusion_speedups/expr_overheads plus the per-SIMD-backend backends[] series),
-bench_multi_client writes concurrency[], and bench_block_cache writes the
-decoded-block cache[] series (identified by name/impl/shape, merged like any
-other section).
+bench_multi_client writes concurrency[], bench_block_cache writes the
+decoded-block cache[] series, and bench_lincomb_batch writes the batched
+expression-evaluation batch[] series (identified by name/impl/shape, merged
+like any other section).
 This script folds every non-empty top-level list section of EXTRA into BASE —
 entries whose identity (name/kind/impl/shape/mode/clients) matches an
 existing one replace it, new identities append — and writes the merged file
 (in place by default), so refreshing the baseline is:
 
-    ./build/bench_micro_kernels BENCH_kernels.json
-    ./build/bench_multi_client  BENCH_multi.json
-    ./build/bench_block_cache   BENCH_cache.json
+    ./build/bench_micro_kernels  BENCH_kernels.json
+    ./build/bench_multi_client   BENCH_multi.json
+    ./build/bench_block_cache    BENCH_cache.json
+    ./build/bench_lincomb_batch  BENCH_batch.json
     tools/bench_merge.py BENCH_kernels.json BENCH_multi.json
     tools/bench_merge.py BENCH_kernels.json BENCH_cache.json
+    tools/bench_merge.py BENCH_kernels.json BENCH_batch.json
 
 (run bench_multi_client once per configuration you want recorded — e.g. the
 full-size run and the CI --smoke shape — merging after each.)
+
+Sections and identities are both derived generically, so a binary that emits
+a brand-new top-level section (batch[] was the first to arrive this way)
+merges without this script learning its name: an entry's identity is every
+non-float value it carries (name/kind/impl/shape/mode/clients/... — config is
+strings and ints), and its floats are the measurements a refresh replaces.
+Non-dict entries (the notes[] strings) are their own identity, so re-merging
+never duplicates them.
 """
 
 import argparse
 import json
 import sys
 
-# The configuration keys that identify an entry within a section; everything
-# else in the entry is a measurement that a refresh replaces.
-IDENTITY_KEYS = ("name", "kind", "impl", "shape", "mode", "clients")
-
 
 def identity(entry):
-    return tuple(entry.get(k) for k in IDENTITY_KEYS)
+    """The config tuple that identifies ``entry`` within its section.
+
+    Measurements are floats (seconds, rates, ratios); configuration is
+    strings, ints, and bools.  Deriving the split from the value types keeps
+    the merge correct for sections this script has never heard of.  Config
+    ints that merely restate the shape (elements_per_call) are constant per
+    identity, so including them is harmless.
+    """
+    if not isinstance(entry, dict):
+        return ("__scalar__", entry)
+    return tuple(sorted(
+        (k, v) for k, v in entry.items() if not isinstance(v, float)))
 
 
 def load(path):

@@ -26,6 +26,17 @@ Checks, in order:
      histogram — proof the decoded-block cache path actually ran.  The
      scheduler queue-wait requirement from (5) is skipped in this mode: a
      cache workload may never schedule a parallel region.
+  7. With --batch-stats (opt-in, for bench_lincomb_batch runs), the snapshot
+     must carry the four ops.lincomb_batch counters with calls >= 1,
+     expressions >= calls, operands_distinct >= calls, decodes_avoided >= 1
+     (the fused path actually amortized something), and a sampled
+     ops.lincomb_batch.wall_ns histogram.  --batch-arity-bound /
+     --batch-blocks-bound additionally assert decodes_avoided <=
+     expressions * arity * blocks — the counter can never claim more decodes
+     than the sequential path would have performed.  Like --cache-stats,
+     the scheduler queue-wait requirement is skipped (the bench pins one
+     thread), and only the compress byte counter is required (the batch
+     bench never decompresses).
 
 Exits 0 when everything holds, 1 with a diagnostic per failure otherwise.
 """
@@ -121,7 +132,49 @@ CACHE_REQUIRED_COUNTERS = ("cache.hits", "cache.misses")
 CACHE_REQUIRED_HISTOGRAM = "cache.lookup_ns"
 
 
-def check_stats(path, cache_stats=False):
+# Batched-evaluation invariants (opt-in via --batch-stats): the counters
+# prove lincomb_batch's fused path ran and amortized decodes.
+BATCH_REQUIRED_COUNTERS = ("ops.lincomb_batch.calls",
+                           "ops.lincomb_batch.expressions",
+                           "ops.lincomb_batch.operands_distinct",
+                           "ops.lincomb_batch.decodes_avoided")
+BATCH_REQUIRED_HISTOGRAM = "ops.lincomb_batch.wall_ns"
+
+
+def check_batch_counters(path, counters, arity_bound, blocks_bound):
+    """The --batch-stats counter invariants; returns the failure count."""
+    failures = 0
+    for name in BATCH_REQUIRED_COUNTERS:
+        if counters.get(name, 0) <= 0:
+            failures += fail(f"{path}: counter {name!r} missing or zero — "
+                             "did the run evaluate a shared-operand batch?")
+    if failures:
+        return failures
+    calls = counters["ops.lincomb_batch.calls"]
+    expressions = counters["ops.lincomb_batch.expressions"]
+    distinct = counters["ops.lincomb_batch.operands_distinct"]
+    avoided = counters["ops.lincomb_batch.decodes_avoided"]
+    if expressions < calls:
+        failures += fail(f"{path}: lincomb_batch expressions ({expressions}) "
+                         f"< calls ({calls}) — every call carries >= 1 "
+                         "expression")
+    if distinct < calls:
+        failures += fail(f"{path}: lincomb_batch operands_distinct "
+                         f"({distinct}) < calls ({calls}) — every call has "
+                         ">= 1 distinct operand")
+    if arity_bound is not None and blocks_bound is not None:
+        limit = expressions * arity_bound * blocks_bound
+        if avoided > limit:
+            failures += fail(
+                f"{path}: decodes_avoided ({avoided}) exceeds expressions * "
+                f"arity * blocks ({expressions} * {arity_bound} * "
+                f"{blocks_bound} = {limit}) — the counter claims more decodes "
+                "than sequential evaluation would have performed")
+    return failures
+
+
+def check_stats(path, cache_stats=False, batch_stats=False,
+                batch_arity_bound=None, batch_blocks_bound=None):
     try:
         with open(path) as f:
             data = json.load(f)
@@ -133,11 +186,11 @@ def check_stats(path, cache_stats=False):
         failures += fail(f"{path}: unexpected schema {data.get('schema')!r}")
 
     histograms = data.get("histograms", {})
-    if cache_stats:
-        # The cache harness may legitimately never schedule a parallel
-        # region (single-element gets; single-core hosts run ROI decodes
-        # inline), so the scheduler queue-wait requirement is scoped to the
-        # multi-client invocation.
+    if cache_stats or batch_stats:
+        # These harnesses may legitimately never schedule a parallel region
+        # (single-element gets; the batch bench pins one thread, and
+        # single-core hosts run regions inline), so the scheduler queue-wait
+        # requirement is scoped to the multi-client invocation.
         pass
     else:
         queue_wait = histograms.get(STATS_REQUIRED_HISTOGRAM)
@@ -154,9 +207,21 @@ def check_stats(path, cache_stats=False):
                                      f"missing {quantile}")
 
     counters = data.get("counters", {})
-    for name in STATS_REQUIRED_COUNTERS:
+    # The batch bench compresses its operand arrays but never decompresses,
+    # so only the compress byte counter applies in --batch-stats mode.
+    required_counters = (STATS_REQUIRED_COUNTERS[:1] if batch_stats
+                         else STATS_REQUIRED_COUNTERS)
+    for name in required_counters:
         if counters.get(name, 0) <= 0:
             failures += fail(f"{path}: counter {name!r} missing or zero")
+
+    if batch_stats:
+        failures += check_batch_counters(path, counters, batch_arity_bound,
+                                         batch_blocks_bound)
+        wall = histograms.get(BATCH_REQUIRED_HISTOGRAM)
+        if not isinstance(wall, dict) or wall.get("count", 0) <= 0:
+            failures += fail(f"{path}: histogram {BATCH_REQUIRED_HISTOGRAM!r} "
+                             "missing or empty")
 
     if cache_stats:
         for name in CACHE_REQUIRED_COUNTERS:
@@ -169,7 +234,12 @@ def check_stats(path, cache_stats=False):
                              "missing or empty")
 
     if not failures:
-        if cache_stats:
+        if batch_stats:
+            print(f"trace_check: {path}: stats snapshot has consistent "
+                  "lincomb_batch counters (calls/expressions/"
+                  "operands_distinct/decodes_avoided) and the wall-time "
+                  "histogram")
+        elif cache_stats:
             print(f"trace_check: {path}: stats snapshot has nonzero codec "
                   "byte counters, cache lookup counters, and the "
                   "lookup-latency histogram")
@@ -201,11 +271,35 @@ def main():
         help="with --stats, additionally require the decoded-block cache "
         "counters and lookup-latency histogram (run with CC_CACHE_BLOCKS > 0)",
     )
+    parser.add_argument(
+        "--batch-stats",
+        action="store_true",
+        help="with --stats, additionally require consistent "
+        "ops.lincomb_batch counters and the wall-time histogram "
+        "(for bench_lincomb_batch runs)",
+    )
+    parser.add_argument(
+        "--batch-arity-bound",
+        type=int,
+        metavar="N",
+        help="with --batch-stats: max operands per expression in the run, "
+        "for the decodes_avoided <= expressions * arity * blocks bound",
+    )
+    parser.add_argument(
+        "--batch-blocks-bound",
+        type=int,
+        metavar="N",
+        help="with --batch-stats: max blocks per array in the run, for the "
+        "decodes_avoided bound",
+    )
     args = parser.parse_args()
 
     failures = check_trace(args.trace, args.require_span)
     if args.stats:
-        failures += check_stats(args.stats, cache_stats=args.cache_stats)
+        failures += check_stats(args.stats, cache_stats=args.cache_stats,
+                                batch_stats=args.batch_stats,
+                                batch_arity_bound=args.batch_arity_bound,
+                                batch_blocks_bound=args.batch_blocks_bound)
     return 1 if failures else 0
 
 
